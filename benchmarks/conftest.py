@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures and sizes.
+
+Sizes are chosen so the full suite completes in minutes of wall time while
+keeping every phase long enough to dominate fixed costs.  Throughput
+(K/sec) is size-normalized, and ``test_ablation_scaling.py`` verifies the
+FFS : CFS-NE : DisCFS ratios are stable across sizes — so these runs are
+comparable in *shape* to the paper's 100 MB Bonnie runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import make_target
+
+#: Block-phase file size (bytes).
+FILE_SIZE = 512 * 1024
+#: Per-character phase size (bytes) — Python pays ~1.5 us per putc/getc.
+CHAR_SIZE = 48 * 1024
+
+BONNIE_PATH = "/bonnie.dat"
+
+
+@pytest.fixture
+def built(request):
+    """Build the system named by the test's parametrization."""
+    return make_target(request.param)
+
+
+def prepare_file(target, path: str, size: int) -> None:
+    """Create ``path`` with ``size`` bytes (for read/rewrite phases)."""
+    f = target.create_file(path)
+    block = bytes(i & 0xFF for i in range(8192))
+    written = 0
+    while written < size:
+        n = min(8192, size - written)
+        f.write(block[:n])
+        written += n
+    f.flush()

@@ -1,0 +1,32 @@
+"""Ablation: policy-cache capacity (the paper fixed it at 128).
+
+Sweeps the cache size over the Figure 12 search workload.  Expected:
+capacity 0 (every operation pays a full KeyNote evaluation) is clearly
+slower; a handful of entries recovers most of the win because the search
+touches files sequentially; 128 ~= unbounded for this working set —
+supporting the paper's choice.
+"""
+
+import pytest
+
+from repro.bench.harness import make_target
+from repro.bench.search import run_search
+from repro.bench.workloads import SourceTreeSpec, generate_source_tree
+
+SPEC = SourceTreeSpec(directories=6, files_per_directory=6,
+                      min_file_bytes=1000, max_file_bytes=8000)
+
+CAPACITIES = (0, 1, 8, 128, 100_000)
+
+
+@pytest.mark.parametrize("capacity", CAPACITIES)
+@pytest.mark.benchmark(group="ablation-cache")
+def test_search_vs_cache_capacity(benchmark, capacity):
+    built = make_target("DisCFS", cache_capacity=capacity)
+    generate_source_tree(built.target, "/src", SPEC)
+    result = benchmark(run_search, built.target, "/src")
+    assert result.files_scanned == SPEC.total_source_files
+    benchmark.extra_info["capacity"] = capacity
+    if built.cache_stats is not None and capacity > 0:
+        benchmark.extra_info["hit_rate"] = round(built.cache_stats.hit_rate, 3)
+    benchmark.extra_info["keynote_queries"] = built.server.engine.queries

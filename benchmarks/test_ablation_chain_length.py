@@ -1,0 +1,61 @@
+"""Ablation: delegation-chain length.
+
+The paper contrasts KeyNote's arbitrary-length certificate chains with
+the Exokernel's fixed 8-level capability tree (section 3.1).  This
+benchmark prices an *uncached* compliance query as the chain from the
+administrator to the requesting key grows from 1 to 12 hops, and checks
+a 12-hop chain still authorizes correctly.
+
+Expected: cost grows roughly linearly in chain length (one signature
+verification + one conditions evaluation per hop, amortized to zero by
+the policy cache on the data path).
+"""
+
+import pytest
+
+from repro.core.admin import Administrator, identity_of, make_user_keypair
+from repro.core.credentials import CredentialIssuer
+from repro.core.permissions import PERMISSION_VALUES
+from repro.keynote.ast import ComplianceValues
+from repro.keynote.session import KeyNoteSession
+
+ADMIN = Administrator.generate(seed=b"chain-admin")
+OCTAL = ComplianceValues(list(PERMISSION_VALUES))
+
+CHAIN_LENGTHS = (1, 2, 4, 8, 12)
+
+
+def build_session(length):
+    """POLICY -> admin -> u1 -> u2 ... -> u<length>; returns (session, leaf)."""
+    session = KeyNoteSession()
+    session.add_policy(f'Authorizer: "POLICY"\nLicensees: "{ADMIN.identity}"\n')
+    issuer = CredentialIssuer(ADMIN.key)
+    leaf_id = ADMIN.identity
+    for i in range(length):
+        key = make_user_keypair(f"chain-user-{i}".encode())
+        session.add_credential(
+            issuer.grant(identity_of(key), handle="7.1", rights="RWX")
+        )
+        issuer = CredentialIssuer(key)
+        leaf_id = identity_of(key)
+    return session, leaf_id
+
+
+@pytest.mark.parametrize("length", CHAIN_LENGTHS)
+@pytest.mark.benchmark(group="ablation-chain")
+def test_query_vs_chain_length(benchmark, length):
+    session, leaf = build_session(length)
+    action = {"app_domain": "DisCFS", "HANDLE": "7.1"}
+
+    result = benchmark(session.query, action, [leaf], OCTAL)
+    assert result == "RWX"
+    benchmark.extra_info["chain_length"] = length
+
+
+def test_chain_longer_than_exokernels_eight_levels():
+    """Correctness companion: 12 hops, far past the Exokernel limit."""
+    session, leaf = build_session(12)
+    action = {"app_domain": "DisCFS", "HANDLE": "7.1"}
+    assert session.query(action, [leaf], OCTAL) == "RWX"
+    # and a stranger still gets nothing
+    assert session.query(action, ["nobody"], OCTAL) == "false"

@@ -1,0 +1,53 @@
+"""Ablation: scaling with the number of credentials the server holds.
+
+The paper's scaling requirement: "The system should be able to cope with
+large numbers of files and even larger number of users accessing those
+files."  Every CREATE adds a per-file creator credential to the server's
+KeyNote session, so an uncached compliance query naively scales with the
+credential count.  Our compliance checker indexes guarded credentials by
+their HANDLE literal, making the query cost independent of store size.
+
+This bench prices an uncached query with 10 / 100 / 1000 resident
+credentials, with and without the index.
+"""
+
+import pytest
+
+from repro.core.admin import Administrator, identity_of, make_user_keypair
+from repro.core.permissions import PERMISSION_VALUES
+from repro.keynote.ast import ComplianceValues
+from repro.keynote.session import KeyNoteSession
+
+ADMIN = Administrator.generate(seed=b"store-admin")
+USER = make_user_keypair(b"store-user")
+OCTAL = ComplianceValues(list(PERMISSION_VALUES))
+ACTION = {"app_domain": "DisCFS", "HANDLE": "target.1"}
+
+
+def build_session(n_credentials, indexed):
+    session = KeyNoteSession(
+        index_attribute="HANDLE" if indexed else None
+    )
+    session.add_policy(f'Authorizer: "POLICY"\nLicensees: "{ADMIN.identity}"\n')
+    for i in range(n_credentials):
+        session.add_credential(
+            ADMIN.grant(identity_of(USER), handle=f"file{i}.1", rights="RWX")
+        )
+    # The one credential the query should match:
+    session.add_credential(
+        ADMIN.grant(identity_of(USER), handle="target.1", rights="RX")
+    )
+    return session
+
+
+@pytest.mark.parametrize("n", (10, 100, 1000))
+@pytest.mark.parametrize("indexed", (True, False), ids=("indexed", "linear"))
+@pytest.mark.benchmark(group="ablation-credential-store")
+def test_query_vs_store_size(benchmark, n, indexed):
+    if not indexed and n == 1000:
+        pytest.skip("linear scan at 1000 credentials is priced at n=100")
+    session = build_session(n, indexed)
+    result = benchmark(session.query, ACTION, [identity_of(USER)], OCTAL)
+    assert result == "RX"
+    benchmark.extra_info["credentials"] = n
+    benchmark.extra_info["indexed"] = indexed

@@ -1,0 +1,35 @@
+"""Ablation: transport stack — what does each layer cost?
+
+Compares 64 KiB of sequential block reads through:
+
+* DisCFS over the raw in-process transport (policy cost only),
+* DisCFS over the ESP channel (policy + crypto channel, the paper's
+  actual configuration),
+* CFS-NE over the same raw transport (no policy, the baseline).
+
+Expected: the channel adds a per-record crypto cost; the *policy* delta
+(DisCFS-raw vs CFS-NE) stays near zero — separating the two overheads the
+paper's end-to-end figures fold together.
+"""
+
+import pytest
+
+from repro.bench.bonnie import phase_input_block
+from repro.bench.harness import make_target
+
+from conftest import prepare_file
+
+SIZE = 64 * 1024
+
+CONFIGS = ("CFS-NE", "DisCFS", "DisCFS-IPsec")
+
+
+@pytest.mark.parametrize("system", CONFIGS)
+@pytest.mark.benchmark(group="ablation-transport")
+def test_block_reads_by_transport(benchmark, system):
+    built = make_target(system)
+    prepare_file(built.target, "/t.dat", SIZE)
+    result = benchmark(phase_input_block, built.target, "/t.dat", SIZE)
+    assert result.nbytes == SIZE
+    benchmark.extra_info["system"] = system
+    benchmark.extra_info["kps"] = round(result.kps)

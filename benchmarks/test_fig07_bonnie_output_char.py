@@ -1,0 +1,24 @@
+"""Figure 7: Bonnie Sequential Output (Char) — FFS vs CFS-NE vs DisCFS.
+
+Paper result: FFS fastest; CFS-NE and DisCFS virtually identical.  The
+per-character path is stdio-buffer bound, so the three systems sit close
+together (the buffer absorbs all but 1/8192 of the per-byte cost).
+"""
+
+import pytest
+
+from repro.bench.bonnie import phase_output_char
+from repro.bench.harness import PAPER_SYSTEMS
+
+from conftest import BONNIE_PATH, CHAR_SIZE
+
+
+@pytest.mark.parametrize("built", PAPER_SYSTEMS, indirect=True)
+@pytest.mark.benchmark(group="fig07-output-char")
+def test_bonnie_output_char(benchmark, built):
+    result = benchmark(
+        phase_output_char, built.target, BONNIE_PATH, CHAR_SIZE
+    )
+    assert result.nbytes == CHAR_SIZE
+    benchmark.extra_info["kps"] = round(result.kps)
+    benchmark.extra_info["system"] = built.name

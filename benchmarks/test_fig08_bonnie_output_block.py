@@ -1,0 +1,24 @@
+"""Figure 8: Bonnie Sequential Output (Block) — FFS vs CFS-NE vs DisCFS.
+
+Paper result: FFS well ahead (no RPC layer); CFS-NE ~= DisCFS, i.e. the
+KeyNote check with a warm policy cache costs nothing visible per 8 KiB
+WRITE.
+"""
+
+import pytest
+
+from repro.bench.bonnie import phase_output_block
+from repro.bench.harness import PAPER_SYSTEMS
+
+from conftest import BONNIE_PATH, FILE_SIZE
+
+
+@pytest.mark.parametrize("built", PAPER_SYSTEMS, indirect=True)
+@pytest.mark.benchmark(group="fig08-output-block")
+def test_bonnie_output_block(benchmark, built):
+    result = benchmark(
+        phase_output_block, built.target, BONNIE_PATH, FILE_SIZE
+    )
+    assert result.nbytes == FILE_SIZE
+    benchmark.extra_info["kps"] = round(result.kps)
+    benchmark.extra_info["system"] = built.name

@@ -1,0 +1,22 @@
+"""Figure 9: Bonnie Sequential Output (Rewrite) — FFS vs CFS-NE vs DisCFS.
+
+Read-dirty-seek-write per block: double the RPC traffic of the pure
+phases, same expected ordering (FFS >> CFS-NE ~= DisCFS).
+"""
+
+import pytest
+
+from repro.bench.bonnie import phase_rewrite
+from repro.bench.harness import PAPER_SYSTEMS
+
+from conftest import BONNIE_PATH, FILE_SIZE, prepare_file
+
+
+@pytest.mark.parametrize("built", PAPER_SYSTEMS, indirect=True)
+@pytest.mark.benchmark(group="fig09-rewrite")
+def test_bonnie_rewrite(benchmark, built):
+    prepare_file(built.target, BONNIE_PATH, FILE_SIZE)
+    result = benchmark(phase_rewrite, built.target, BONNIE_PATH, FILE_SIZE)
+    assert result.nbytes == FILE_SIZE
+    benchmark.extra_info["kps"] = round(result.kps)
+    benchmark.extra_info["system"] = built.name

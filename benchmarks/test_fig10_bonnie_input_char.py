@@ -1,0 +1,22 @@
+"""Figure 10: Bonnie Sequential Input (Char) — FFS vs CFS-NE vs DisCFS.
+
+getc() through the read buffer; like Figure 7, buffer-bound and therefore
+near-identical across systems (the paper observes the same clustering).
+"""
+
+import pytest
+
+from repro.bench.bonnie import phase_input_char
+from repro.bench.harness import PAPER_SYSTEMS
+
+from conftest import BONNIE_PATH, CHAR_SIZE, prepare_file
+
+
+@pytest.mark.parametrize("built", PAPER_SYSTEMS, indirect=True)
+@pytest.mark.benchmark(group="fig10-input-char")
+def test_bonnie_input_char(benchmark, built):
+    prepare_file(built.target, BONNIE_PATH, CHAR_SIZE)
+    result = benchmark(phase_input_char, built.target, BONNIE_PATH, CHAR_SIZE)
+    assert result.nbytes == CHAR_SIZE
+    benchmark.extra_info["kps"] = round(result.kps)
+    benchmark.extra_info["system"] = built.name

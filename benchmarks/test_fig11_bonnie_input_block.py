@@ -1,0 +1,22 @@
+"""Figure 11: Bonnie Sequential Input (Block) — FFS vs CFS-NE vs DisCFS.
+
+8 KiB READs; the purest view of per-RPC overhead, and of the policy
+check's cost on the hottest path (one cached KeyNote verdict per READ).
+"""
+
+import pytest
+
+from repro.bench.bonnie import phase_input_block
+from repro.bench.harness import PAPER_SYSTEMS
+
+from conftest import BONNIE_PATH, FILE_SIZE, prepare_file
+
+
+@pytest.mark.parametrize("built", PAPER_SYSTEMS, indirect=True)
+@pytest.mark.benchmark(group="fig11-input-block")
+def test_bonnie_input_block(benchmark, built):
+    prepare_file(built.target, BONNIE_PATH, FILE_SIZE)
+    result = benchmark(phase_input_block, built.target, BONNIE_PATH, FILE_SIZE)
+    assert result.nbytes == FILE_SIZE
+    benchmark.extra_info["kps"] = round(result.kps)
+    benchmark.extra_info["system"] = built.name

@@ -1,0 +1,35 @@
+"""Figure 12: Filesystem Search — FFS vs CFS-NE vs DisCFS.
+
+Walks the synthetic kernel-source tree counting lines/words/bytes of
+every .c/.h file.  Metadata-heavy: readdir + lookup per file exercises
+the DisCFS policy cache exactly as the paper's test did (cache size 128).
+"""
+
+import pytest
+
+from repro.bench.harness import PAPER_SYSTEMS, make_target
+from repro.bench.search import run_search
+from repro.bench.workloads import SourceTreeSpec, generate_source_tree
+
+SPEC = SourceTreeSpec(directories=8, files_per_directory=8,
+                      min_file_bytes=1000, max_file_bytes=20000)
+
+
+@pytest.fixture
+def prepared(request):
+    built = make_target(request.param)
+    generate_source_tree(built.target, "/src", SPEC)
+    return built
+
+
+@pytest.mark.parametrize("prepared", PAPER_SYSTEMS, indirect=True)
+@pytest.mark.benchmark(group="fig12-search")
+def test_filesystem_search(benchmark, prepared):
+    result = benchmark(run_search, prepared.target, "/src")
+    assert result.files_scanned == SPEC.total_source_files
+    benchmark.extra_info["system"] = prepared.name
+    benchmark.extra_info["files"] = result.files_scanned
+    if prepared.cache_stats is not None:
+        benchmark.extra_info["cache_hit_rate"] = round(
+            prepared.cache_stats.hit_rate, 3
+        )

@@ -1,0 +1,156 @@
+"""Micro-benchmarks: the primitive operations of section 6.
+
+The paper "evaluated the system's performance with a set of
+micro-benchmarks which measured primitive operations in the context of
+our access control mechanism".  We price each primitive separately:
+
+* credential parse, signature verification (DSA vs RSA),
+* KeyNote compliance query — cold engine vs warm policy cache,
+* IKE handshake, ESP record seal/open,
+* bare RPC round trip (NULL procedure) with and without the channel.
+"""
+
+import pytest
+
+from repro.core.admin import Administrator, identity_of, make_user_keypair
+from repro.core.client import DisCFSClient
+from repro.core.permissions import Permission
+from repro.core.server import DisCFSServer
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.crypto.numbers import seeded_random_bits
+from repro.ipsec.channel import _open, _seal
+from repro.ipsec.ike import IKEInitiator, IKEResponder
+from repro.ipsec.sa import DirectionState
+from repro.keynote.parser import parse_assertion
+from repro.keynote.signing import verify_assertion
+
+ADMIN = Administrator.generate(seed=b"micro-admin")
+USER = make_user_keypair(b"micro-user")
+RSA_ADMIN = Administrator(generate_rsa_keypair(1024, rand=seeded_random_bits(b"micro-rsa")))
+
+
+@pytest.fixture(scope="module")
+def dsa_credential():
+    return ADMIN.grant(identity_of(USER), handle="1.1", rights="RWX")
+
+
+@pytest.fixture(scope="module")
+def rsa_credential():
+    return RSA_ADMIN.grant(identity_of(USER), handle="1.1", rights="RWX")
+
+
+@pytest.mark.benchmark(group="micro-credential")
+def test_credential_parse(benchmark, dsa_credential):
+    assertion = benchmark(parse_assertion, dsa_credential)
+    assert assertion.signature is not None
+
+
+@pytest.mark.benchmark(group="micro-credential")
+def test_credential_issue_dsa(benchmark):
+    text = benchmark(ADMIN.grant, identity_of(USER), "9.9", "RX")
+    assert "Signature" in text
+
+
+@pytest.mark.benchmark(group="micro-credential")
+def test_credential_verify_dsa(benchmark, dsa_credential):
+    assertion = parse_assertion(dsa_credential)
+    benchmark(verify_assertion, assertion)
+
+
+@pytest.mark.benchmark(group="micro-credential")
+def test_credential_verify_rsa(benchmark, rsa_credential):
+    assertion = parse_assertion(rsa_credential)
+    benchmark(verify_assertion, assertion)
+
+
+def _server_with_user():
+    server = DisCFSServer(admin_identity=ADMIN.identity)
+    ADMIN.trust_server(server)
+    cred = ADMIN.grant_inode(
+        identity_of(USER), server.fs.iget(server.fs.root_ino),
+        rights=Permission.all(), scheme=server.handle_scheme, subtree=True,
+    )
+    server.accept_credential(cred)
+    return server
+
+
+@pytest.mark.benchmark(group="micro-policy")
+def test_compliance_query_uncached(benchmark):
+    """A full KeyNote evaluation (3-credential chain), no cache."""
+    server = _server_with_user()
+    server.cache.capacity = 0
+    from repro.nfs.protocol import FileHandle
+
+    root = server.fs.iget(server.fs.root_ino)
+    fh = FileHandle.of(root)
+    granted = benchmark(server.rights_for, identity_of(USER), fh, "read", root)
+    assert granted.can_read
+
+
+@pytest.mark.benchmark(group="micro-policy")
+def test_compliance_query_cached(benchmark):
+    """The same check with a warm 128-entry policy cache (paper config)."""
+    server = _server_with_user()
+    from repro.nfs.protocol import FileHandle
+
+    root = server.fs.iget(server.fs.root_ino)
+    fh = FileHandle.of(root)
+    server.rights_for(identity_of(USER), fh, "read", root)  # warm it
+    granted = benchmark(server.rights_for, identity_of(USER), fh, "read", root)
+    assert granted.can_read
+
+
+@pytest.mark.benchmark(group="micro-channel")
+def test_ike_handshake(benchmark):
+    server_key = make_user_keypair(b"micro-ike-server")
+
+    def handshake():
+        initiator = IKEInitiator(USER)
+        responder = IKEResponder(server_key)
+        resp = responder.handle_init(initiator.initiate())
+        confirm, sa = initiator.handle_response(resp)
+        responder.handle_confirm(confirm)
+        return sa
+
+    sa = benchmark(handshake)
+    assert sa.peer_identity == identity_of(server_key)
+
+
+@pytest.mark.benchmark(group="micro-channel")
+def test_esp_seal_open_8k(benchmark):
+    send = DirectionState(enc_key=b"k" * 32, mac_key=b"m" * 32)
+    recv = DirectionState(enc_key=b"k" * 32, mac_key=b"m" * 32)
+    payload = b"x" * 8192
+
+    def roundtrip():
+        record = _seal(send, 1, payload)
+        return _open(recv, 1, record)
+
+    assert benchmark(roundtrip) == payload
+
+
+@pytest.mark.benchmark(group="micro-rpc")
+def test_null_rpc_raw(benchmark):
+    """NULL procedure over the raw in-process transport."""
+    server = _server_with_user()
+    client = DisCFSClient.connect(server, USER, secure=False)
+    client.attach("/")
+    benchmark(client.nfs.null)
+
+
+@pytest.mark.benchmark(group="micro-rpc")
+def test_null_rpc_over_channel(benchmark):
+    """NULL procedure through the full ESP channel — prices the paper's
+    IPsec layer on the request path."""
+    server = _server_with_user()
+    client = DisCFSClient.connect(server, USER, secure=True)
+    client.attach("/")
+    benchmark(client.nfs.null)
+
+
+@pytest.mark.benchmark(group="micro-rpc")
+def test_getattr_rpc(benchmark):
+    server = _server_with_user()
+    client = DisCFSClient.connect(server, USER, secure=False)
+    root = client.attach("/")
+    benchmark(client.getattr, root)

@@ -1,0 +1,85 @@
+"""Scalability quantification (the paper's second future-work item).
+
+Section 7: "attempting to rigorously quantify the scalability advantages
+offered by DisCFS."  Two dimensions:
+
+* **users**: N distinct keys each holding a credential; per-request cost
+  for any one of them must not grow with N (the server keeps no per-user
+  state beyond the credentials themselves),
+* **files**: N per-file creator credentials resident; cached-path READ
+  cost must not grow with N (HANDLE-indexed checker + policy cache).
+
+Server-side state is also recorded per run (`extra_info`), quantifying
+the "as little additional state as possible" requirement: the credential
+store is the *only* thing that grows.
+"""
+
+import pytest
+
+from repro.bench.harness import make_target
+from repro.core.admin import Administrator, identity_of, make_user_keypair
+from repro.core.client import DisCFSClient
+from repro.core.permissions import Permission
+from repro.core.server import DisCFSServer
+
+ADMIN = Administrator.generate(seed=b"scale-admin")
+
+
+def server_with_users(n_users):
+    server = DisCFSServer(admin_identity=ADMIN.identity)
+    ADMIN.trust_server(server)
+    root = server.fs.iget(server.fs.root_ino)
+    clients = []
+    for i in range(n_users):
+        key = make_user_keypair(f"scale-user-{i}".encode())
+        cred = ADMIN.grant_inode(identity_of(key), root,
+                                 rights=Permission.all(),
+                                 scheme=server.handle_scheme, subtree=True)
+        client = DisCFSClient.connect(server, key, secure=False)
+        client.attach("/")
+        client.submit_credential(cred)
+        clients.append(client)
+    return server, clients
+
+
+@pytest.mark.parametrize("n_users", (1, 10, 100))
+@pytest.mark.benchmark(group="scalability-users")
+def test_read_latency_vs_user_count(benchmark, n_users):
+    server, clients = server_with_users(n_users)
+    probe = clients[n_users // 2]
+    fh, _cred = probe.create(probe.root, "probe.dat")
+    probe.write(fh, 0, b"x" * 4096)
+
+    benchmark(probe.read, fh, 0, 4096)
+    benchmark.extra_info["users"] = n_users
+    benchmark.extra_info["server_credentials"] = len(server.session.credentials)
+
+
+@pytest.mark.parametrize("n_files", (10, 100, 500))
+@pytest.mark.benchmark(group="scalability-files")
+def test_read_latency_vs_file_count(benchmark, n_files):
+    built = make_target("DisCFS")
+    client = built.client
+    for i in range(n_files):
+        fh, _cred = client.create(client.root, f"f{i}")
+        client.write(fh, 0, b"y")
+    fh, _cred = client.create(client.root, "probe.dat")
+    client.write(fh, 0, b"x" * 4096)
+
+    benchmark(client.read, fh, 0, 4096)
+    benchmark.extra_info["files"] = n_files
+    benchmark.extra_info["server_credentials"] = len(
+        built.server.session.credentials
+    )
+
+
+def test_per_user_server_state_is_only_credentials():
+    """Quantifies the 'little additional state' requirement: 10 more users
+    add exactly 10 credentials and nothing else."""
+    server_small, _ = server_with_users(5)
+    server_large, _ = server_with_users(15)
+    delta = (len(server_large.session.credentials)
+             - len(server_small.session.credentials))
+    assert delta == 10
+    # No user table exists at all:
+    assert not hasattr(server_large, "users")

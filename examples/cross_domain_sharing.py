@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Cross-domain sharing: the paper's motivating scenario (section 2).
+
+Bob, a salesman, wants designated clients to see advance product
+literature.  Traditionally this means accounts, passwords and sysadmin
+tickets.  With DisCFS:
+
+* the administrator delegated the /products subtree to Bob once;
+* Bob issues each client a read-only credential himself (and emails it);
+* clients are *external users* — the server has never heard of them;
+* when a deal falls through, the administrator revokes that client's key
+  (or Bob simply issues short-lived credentials that expire on their own).
+
+Run:  python examples/cross_domain_sharing.py
+"""
+
+import time
+
+from repro.core import Administrator, DisCFSClient, DisCFSServer
+from repro.core.admin import identity_of, make_user_keypair
+from repro.errors import ChannelError, NFSError
+
+
+def main() -> None:
+    admin = Administrator.generate(seed=b"corp-admin")
+    server = DisCFSServer(admin_identity=admin.identity)
+    admin.trust_server(server)
+
+    products = server.fs.mkdir(server.fs.root_ino, "products")
+    server.fs.write_file("/products/roadmap.pdf", b"%PDF confidential roadmap")
+    server.fs.write_file("/products/specs.txt", b"model X: 42 units of awesome")
+
+    # --- one-time delegation: admin -> Bob ------------------------------
+    bob_key = make_user_keypair(b"salesman-bob")
+    bob_cred = admin.grant_inode(
+        identity_of(bob_key), products, rights="RWX",
+        scheme=server.handle_scheme, subtree=True, comment="product literature",
+    )
+    bob = DisCFSClient.connect(server, bob_key, secure=True)
+    bob.attach("/products")
+    bob.submit_credential(bob_cred)
+    print("Bob sees:", [n for _i, n in bob.readdir(bob.root)])
+
+    # --- Bob invites three clients; no administrator involved ----------
+    clients = {}
+    for name in ("acme", "initech", "globex"):
+        key = make_user_keypair(f"client-{name}".encode())
+        # Read-only, expiring in one hour — Bob signs this himself.
+        cred = bob.issuer.delegate(
+            bob_cred, identity_of(key), rights="RX",
+            expires_at=int(time.time()) + 3600,
+        )
+        client = DisCFSClient.connect(server, key, secure=True)
+        client.attach("/products")
+        client.submit_credential(cred)
+        clients[name] = (client, key)
+        print(f"client {name!r} reads:",
+              client.read_path("/specs.txt").decode())
+
+    # --- clients cannot write (RX only) --------------------------------
+    acme, _ = clients["acme"]
+    fh, _ = acme.walk("/specs.txt")
+    try:
+        acme.write(fh, 0, b"tampered")
+        raise AssertionError("write should have been denied")
+    except NFSError:
+        print("acme's write attempt: denied (read-only credential)")
+
+    # --- the globex deal collapses; admin revokes their key ------------
+    globex, globex_key = clients["globex"]
+    admin_client = DisCFSClient.connect(server, admin.key, secure=False)
+    admin_client.attach("/")
+    message = admin_client.nfs.revoke(f"key {identity_of(globex_key)}")
+    print("revocation:", message)
+    try:
+        globex.read_path("/specs.txt")
+        raise AssertionError("globex should be locked out")
+    except (NFSError, ChannelError):
+        # Key revocation tears down globex's security association too, so
+        # the very next request dies at the channel layer.
+        print("globex: locked out after key revocation (channel torn down)")
+
+    # --- the others are untouched ---------------------------------------
+    initech, _ = clients["initech"]
+    assert initech.read_path("/roadmap.pdf").startswith(b"%PDF")
+    print("initech: still reading fine — revocation is surgical")
+
+
+if __name__ == "__main__":
+    main()

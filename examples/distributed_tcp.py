@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The full distributed configuration: DisCFS over ESP records over TCP.
+
+Reproduces the paper's deployment picture (Figures 2-4) with a real
+socket between "Bob" (client host) and "Alice" (server host):
+
+    DisCFS client -> ESP channel -> TCP -> ESP channel -> NFS+KeyNote
+
+Everything on the wire is an encrypted, MACed record; the server
+attributes each request to the public key proven in the IKE handshake.
+
+Run:  python examples/distributed_tcp.py
+"""
+
+from repro.core import Administrator, DisCFSClient, DisCFSServer
+from repro.core.admin import identity_of, make_user_keypair
+from repro.ipsec.channel import SecureTransport
+from repro.ipsec.ike import IKEInitiator
+from repro.rpc.transport import TCPTransport, serve_tcp
+
+
+def main() -> None:
+    # --- "Alice", the server host ---------------------------------------
+    admin = Administrator.generate(seed=b"alice-admin")
+    server = DisCFSServer(admin_identity=admin.identity)
+    admin.trust_server(server)
+    share = server.fs.mkdir(server.fs.root_ino, "share")
+    server.fs.write_file("/share/dataset.csv", b"id,value\n1,42\n2,17\n")
+
+    tcp = serve_tcp(server.secure_channel().handle)
+    host, port = tcp.address
+    print(f"server listening on {host}:{port}")
+
+    # --- "Bob", the client host -----------------------------------------
+    bob_key = make_user_keypair(b"bob-workstation")
+    credential = admin.grant_inode(
+        identity_of(bob_key), share, rights="RWX",
+        scheme=server.handle_scheme, subtree=True,
+    )
+
+    raw = TCPTransport(host, port)
+    transport = SecureTransport(raw, IKEInitiator(bob_key))
+    sa = transport.handshake()
+    print(f"IKE complete: SPI={sa.spi:#010x}, "
+          f"server key fingerprint {sa.peer_identity[8:24]}...")
+
+    bob = DisCFSClient(transport, bob_key)
+    bob.attach("/share")
+    bob.submit_credential(credential)
+
+    print("read over the wire:", bob.read_path("/dataset.csv").decode().strip())
+
+    fh, _cred = bob.create(bob.root, "results.txt")
+    bob.write(fh, 0, b"processed 2 rows\n")
+    print("wrote results back; server sees:",
+          server.fs.read_file("/share/results.txt").decode().strip())
+
+    print(f"RPC payload bytes sent={transport.stats.bytes_sent}, "
+          f"received={transport.stats.bytes_received} "
+          f"(all encrypted + MACed on the wire)")
+
+    bob.close()
+    tcp.close()
+
+
+if __name__ == "__main__":
+    main()

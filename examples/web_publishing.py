@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Anonymous web-style publishing (the paper's future-work scenario).
+
+Section 2 observes that "the commonly used information access model on
+the Web is that browsers can download pages from Web servers without
+prior registration (i.e., anonymously)", and section 7 lists "untrusted
+users characteristic of the WWW" as future work.
+
+The trust-management answer: a **guest principal**.  The server maps
+unauthenticated requests to the opaque principal ``"GUEST"``; publishing
+a directory is just issuing a read-only subtree credential to that name.
+No accounts, no sessions, no anonymous-user table — the same compliance
+check as everything else.
+
+Run:  python examples/web_publishing.py
+"""
+
+from repro.core import Administrator, DisCFSClient, DisCFSServer
+from repro.core.admin import identity_of, make_user_keypair
+from repro.errors import NFSError
+from repro.nfs.client import NFSClient
+from repro.nfs.mount import MountClient
+
+
+def main() -> None:
+    admin = Administrator.generate(seed=b"webmaster")
+    server = DisCFSServer(admin_identity=admin.identity,
+                          guest_principal="GUEST")
+    admin.trust_server(server)
+
+    www = server.fs.mkdir(server.fs.root_ino, "www")
+    server.fs.write_file("/www/index.html", b"<h1>DisCFS project page</h1>")
+    server.fs.write_file("/www/paper.pdf", b"%PDF-1.4 the discfs paper")
+    drafts = server.fs.mkdir(server.fs.root_ino, "drafts")
+    server.fs.write_file("/drafts/rebuttal.txt", b"not for the public yet")
+
+    # "Publishing" = one credential to the guest name.
+    server.accept_credential(admin.grant_inode(
+        "GUEST", www, rights="RX", scheme=server.handle_scheme,
+        subtree=True, comment="world-readable web root",
+    ))
+    print("published /www to principal GUEST\n")
+
+    # --- an anonymous visitor: no key, no registration -----------------
+    transport = server.in_process_transport(identity=None)
+    visitor = NFSClient(transport, MountClient(transport).mount("/www"))
+    print("anonymous visitor lists /www:",
+          [n for _i, n in visitor.readdir_all(visitor.root)
+           if n not in (".", "..")])
+    fh, attr = visitor.lookup(visitor.root, "index.html")
+    print("anonymous visitor reads:", visitor.read(fh, 0, attr.size).decode())
+
+    for attempt, action in (
+        ("write index.html", lambda: visitor.write(fh, 0, b"defaced")),
+        ("create spam.html", lambda: visitor.create(visitor.root, "spam.html")),
+    ):
+        try:
+            action()
+            raise AssertionError("should be denied")
+        except NFSError:
+            print(f"anonymous visitor tries to {attempt}: denied")
+
+    # The drafts directory is invisible to guests...
+    t2 = server.in_process_transport(identity=None)
+    snoop = NFSClient(t2, MountClient(t2).mount("/drafts"))
+    try:
+        snoop.readdir_all(snoop.root)
+        raise AssertionError("should be denied")
+    except NFSError:
+        print("anonymous visitor tries /drafts: denied")
+
+    # ...but the editor (a real key) works there as usual.
+    editor_key = make_user_keypair(b"editor")
+    cred = admin.grant_inode(identity_of(editor_key), drafts, rights="RWX",
+                             scheme=server.handle_scheme, subtree=True)
+    editor = DisCFSClient.connect(server, editor_key, secure=True)
+    editor.attach("/drafts")
+    editor.submit_credential(cred)
+    print("editor reads drafts:", editor.read_path("/rebuttal.txt").decode())
+    print("\nanonymity for readers, keys for writers — one mechanism.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables `python setup.py develop` and legacy editable
+installs in offline environments lacking the `wheel` package."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""Paper-style result tables for the whole evaluation.
+
+Running this module (``python -m repro.bench.report``) regenerates every
+figure's data: Bonnie throughput rows for Figures 7-11 and the search
+times for Figure 12, for FFS, CFS-NE and DisCFS (plus optional extras).
+The output is the source for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.bonnie import PHASES, run_bonnie
+from repro.bench.harness import PAPER_SYSTEMS, make_target
+from repro.bench.search import run_search
+from repro.bench.workloads import SourceTreeSpec, generate_source_tree
+
+_FIGURES = {
+    "output_char": "Figure 7: Bonnie Sequential Output (Char)",
+    "output_block": "Figure 8: Bonnie Sequential Output (Block)",
+    "rewrite": "Figure 9: Bonnie Sequential Output (Rewrite)",
+    "input_char": "Figure 10: Bonnie Sequential Input (Char)",
+    "input_block": "Figure 11: Bonnie Sequential Input (Block)",
+}
+
+
+def run_evaluation(
+    systems: tuple[str, ...] = PAPER_SYSTEMS,
+    file_size: int = 1 << 21,
+    char_size: int = 1 << 18,
+    tree_spec: SourceTreeSpec | None = None,
+    cache_capacity: int = 128,
+) -> dict:
+    """Run Bonnie + search on each system; returns a results dict."""
+    results: dict = {"bonnie": {}, "search": {}}
+    for system in systems:
+        built = make_target(system, cache_capacity=cache_capacity)
+        results["bonnie"][system] = run_bonnie(
+            built.target, file_size=file_size, char_size=char_size
+        )
+        built = make_target(system, cache_capacity=cache_capacity)
+        generate_source_tree(built.target, "/src", tree_spec)
+        results["search"][system] = run_search(built.target, "/src")
+    return results
+
+
+def print_report(results: dict) -> None:
+    systems = list(results["bonnie"])
+    for phase in PHASES:
+        print(f"\n{_FIGURES[phase]}")
+        print(f"  {'Filesystem':<14} {'Throughput (K/sec)':>20}")
+        for system in systems:
+            kps = results["bonnie"][system].kps(phase)
+            print(f"  {system:<14} {kps:>20.0f}")
+    print("\nFigure 12: Filesystem Search")
+    print(f"  {'Filesystem':<14} {'Time (sec)':>12} {'files':>7}")
+    for system in systems:
+        sr = results["search"][system]
+        print(f"  {system:<14} {sr.seconds:>12.3f} {sr.files_scanned:>7}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--file-size", type=int, default=1 << 21,
+                        help="Bonnie block-phase file size in bytes")
+    parser.add_argument("--char-size", type=int, default=1 << 18,
+                        help="Bonnie per-char phase size in bytes")
+    parser.add_argument("--systems", nargs="*", default=list(PAPER_SYSTEMS))
+    parser.add_argument("--cache", type=int, default=128,
+                        help="DisCFS policy cache capacity")
+    args = parser.parse_args()
+    results = run_evaluation(
+        systems=tuple(args.systems),
+        file_size=args.file_size,
+        char_size=args.char_size,
+        cache_capacity=args.cache,
+    )
+    print_report(results)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Synthetic workload content: the "OpenBSD kernel source tree".
+
+The paper's search benchmark "goes through every .c and .h file of the
+OpenBSD kernel source code and counts the number of lines, words and
+bytes" (section 6).  We cannot ship those sources, so this module
+generates a deterministic synthetic tree with the same relevant shape:
+nested directories of C source and header files (plus some non-matching
+files the search must skip), with realistic line-structured content.
+
+Everything is seeded, so every run (and every measured system) sees an
+identical tree.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.bench.targets import FilesystemTarget
+
+_C_SNIPPETS = (
+    "#include <sys/param.h>",
+    "#include <sys/systm.h>",
+    "static int",
+    "struct proc *p;",
+    "int error = 0;",
+    "if (error != 0)",
+    "\treturn (error);",
+    "splx(s);",
+    "simple_lock(&map->lock);",
+    "KASSERT(vp != NULL);",
+    "/* XXX should be per-cpu */",
+    "bzero(&sa, sizeof(sa));",
+    "for (i = 0; i < n; i++) {",
+    "}",
+    "printf(\"%s: watchdog timeout\\n\", sc->sc_dev.dv_xname);",
+)
+
+#: Subdirectory names echoing sys/ in the OpenBSD tree.
+_DIR_NAMES = (
+    "kern", "uvm", "net", "netinet", "nfs", "ufs", "dev", "arch",
+    "crypto", "ddb", "isofs", "miscfs", "altq", "lib", "scsi", "pci",
+)
+
+
+@dataclass(frozen=True)
+class SourceTreeSpec:
+    """Shape parameters for the synthetic tree.
+
+    Defaults give ~160 source files across 16 directories, a few MB in
+    total — a scaled-down kernel tree whose access pattern (many lookups,
+    many small-to-medium sequential reads) matches the original workload.
+    """
+
+    directories: int = 16
+    files_per_directory: int = 10
+    min_file_bytes: int = 2_000
+    max_file_bytes: int = 40_000
+    other_files_per_directory: int = 2  # non-.c/.h files the search skips
+    seed: int = 20010923  # arbitrary fixed seed
+
+    @property
+    def total_source_files(self) -> int:
+        return self.directories * self.files_per_directory
+
+
+def _make_file_content(rng: random.Random, nbytes: int) -> bytes:
+    lines: list[str] = []
+    size = 0
+    while size < nbytes:
+        line = rng.choice(_C_SNIPPETS)
+        lines.append(line)
+        size += len(line) + 1
+    return ("\n".join(lines) + "\n").encode("ascii")
+
+
+def generate_source_tree(
+    target: FilesystemTarget, root: str = "/src", spec: SourceTreeSpec | None = None
+) -> dict[str, int]:
+    """Materialize the tree through ``target``; returns {path: size}.
+
+    ``target`` only needs ``create_file``; directories are created through
+    file paths on local targets and explicitly elsewhere, so the function
+    works uniformly via a small capability check.
+    """
+    spec = spec if spec is not None else SourceTreeSpec()
+    rng = random.Random(spec.seed)
+    manifest: dict[str, int] = {}
+
+    for d in range(spec.directories):
+        dirname = f"{_DIR_NAMES[d % len(_DIR_NAMES)]}{d // len(_DIR_NAMES) or ''}"
+        dirpath = f"{root}/{dirname}"
+        _ensure_directory(target, dirpath)
+        for i in range(spec.files_per_directory):
+            ext = ".c" if rng.random() < 0.7 else ".h"
+            path = f"{dirpath}/file{i}{ext}"
+            nbytes = rng.randint(spec.min_file_bytes, spec.max_file_bytes)
+            content = _make_file_content(rng, nbytes)
+            f = target.create_file(path)
+            f.write(content)
+            f.flush()
+            manifest[path] = len(content)
+        for i in range(spec.other_files_per_directory):
+            path = f"{dirpath}/README{i}"
+            f = target.create_file(path)
+            f.write(b"not a source file\n")
+            f.flush()
+    return manifest
+
+
+def _ensure_directory(target: FilesystemTarget, path: str) -> None:
+    """Create a directory through whatever interface the target offers."""
+    if hasattr(target, "fs"):  # LocalFFSTarget
+        target.fs.makedirs(path)
+        return
+    client = target.client  # NFSTarget
+    fh = client.root
+    for part in (p for p in path.split("/") if p):
+        try:
+            fh, _ = client.lookup(fh, part)
+        except Exception:
+            fh, _attr, _cred = client.mkdir(fh, part)

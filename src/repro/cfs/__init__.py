@@ -1,0 +1,25 @@
+"""The CFS baseline (Blaze's Cryptographic File System).
+
+The paper's prototype *is* a modified CFS daemon — the authors "replaced
+the encryption functionality of CFS with the access control mechanism" —
+and its evaluation baseline, **CFS-NE**, is "basically CFS with encryption
+turned off and modified to run remotely" (section 6).
+
+This package reproduces that lineage:
+
+* :mod:`repro.cfs.cipher_layer` — an encrypting VFS wrapper: file data is
+  enciphered with a position-keyed stream cipher, names with a
+  deterministic block cipher (so lookups still work),
+* :mod:`repro.cfs.server` — assembles a CFS daemon (NFS server over a
+  plain or encrypting VFS),
+* :mod:`repro.cfs.client` — the ``cattach``-style client helper.
+
+``encrypt=False`` gives CFS-NE: byte-identical NFS plumbing to DisCFS but
+with no KeyNote layer — exactly the baseline the figures compare against.
+"""
+
+from repro.cfs.cipher_layer import EncryptingVFS
+from repro.cfs.client import cfs_attach
+from repro.cfs.server import CFSServer
+
+__all__ = ["CFSServer", "EncryptingVFS", "cfs_attach"]

@@ -1,0 +1,18 @@
+"""The ``cattach``-style CFS client helper.
+
+CFS users ran ``cattach`` to make an encrypted directory appear under the
+CFS mount point.  Our equivalent mounts the export over a transport and
+returns a ready :class:`~repro.nfs.client.NFSClient`.
+"""
+
+from __future__ import annotations
+
+from repro.nfs.client import NFSClient
+from repro.nfs.mount import MountClient
+from repro.rpc.transport import Transport
+
+
+def cfs_attach(transport: Transport, path: str = "/") -> NFSClient:
+    """Mount ``path`` from a CFS daemon; returns an NFS client rooted there."""
+    root = MountClient(transport).mount(path)
+    return NFSClient(transport, root)

@@ -1,0 +1,467 @@
+"""The ``discfs`` command-line tool.
+
+Wraps the library in the workflows the paper describes operationally:
+key management, credential issuance/delegation/inspection (the
+"send it via email" artifacts), running a server, and client file
+operations over the secure channel.
+
+Commands
+--------
+==================  ====================================================
+``keygen``          generate a DSA (or RSA) keypair into a key file
+``identity``        print a key file's public principal identifier
+``issue``           issue a credential (issuer key -> licensee id)
+``delegate``        re-grant an existing credential to another key
+``inspect``         pretty-print a credential's fields
+``verify``          check a credential's signature
+``serve``           run a DisCFS server on a TCP port, optionally
+                    importing a host directory into its filesystem
+``ls/cat/put/rm``   client operations against a running server
+``stat``            print a remote file's handle and granted rights
+``submit``          submit credential files to a server
+``revoke``          administrator revocation (key or credential)
+``audit``           dump the server's audit log (administrator only)
+==================  ====================================================
+
+Every client command takes ``--server HOST:PORT --key KEYFILE`` and
+optionally ``--credential FILE`` (repeatable).  See
+``tests/unit/test_cli.py`` for end-to-end invocations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.core.admin import Administrator
+from repro.core.client import DisCFSClient
+from repro.core.credentials import CredentialIssuer, extract_grant
+from repro.core.server import DisCFSServer
+from repro.crypto.dsa import generate_dsa_keypair
+from repro.crypto.keycodec import decode_key, encode_private_key, encode_public_key
+from repro.crypto.numbers import seeded_random_bits
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.errors import ReproError
+from repro.ipsec.channel import SecureTransport
+from repro.ipsec.ike import IKEInitiator
+from repro.keynote.parser import parse_assertion
+from repro.keynote.signing import verify_assertion
+from repro.rpc.transport import TCPTransport, serve_tcp
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as f:
+        return f.read()
+
+
+def _write(path: str, text: str, secret: bool = False) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+    if secret:
+        os.chmod(path, 0o600)
+
+
+def _load_keypair(path: str):
+    key = decode_key(_read(path).strip())
+    if not hasattr(key, "sign"):
+        raise ReproError(f"{path} holds a public key; a private key is needed")
+    return key
+
+
+# ---------------------------------------------------------------------------
+# Key management
+# ---------------------------------------------------------------------------
+
+
+def cmd_keygen(args) -> int:
+    rand = seeded_random_bits(args.seed.encode()) if args.seed else None
+    if args.algorithm == "dsa":
+        key = generate_dsa_keypair(rand=rand) if rand else generate_dsa_keypair()
+    else:
+        key = (generate_rsa_keypair(args.bits, rand=rand) if rand
+               else generate_rsa_keypair(args.bits))
+    _write(args.out, encode_private_key(key) + "\n", secret=True)
+    print(f"wrote {args.algorithm.upper()} private key to {args.out}")
+    print(f"identity: {encode_public_key(key)[:48]}...")
+    return 0
+
+
+def cmd_identity(args) -> int:
+    key = decode_key(_read(args.key).strip())
+    public = getattr(key, "public", key)
+    print(encode_public_key(public))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Credentials
+# ---------------------------------------------------------------------------
+
+
+def cmd_issue(args) -> int:
+    issuer = CredentialIssuer(_load_keypair(args.key))
+    licensee = _read(args.licensee).strip() if os.path.exists(args.licensee) \
+        else args.licensee
+    text = issuer.grant(
+        licensee, handle=args.handle, rights=args.rights,
+        comment=args.comment, subtree=args.subtree,
+        expires_at=args.expires_at, hours=_parse_hours(args.hours),
+    )
+    _emit_credential(text, args.out)
+    return 0
+
+
+def cmd_delegate(args) -> int:
+    issuer = CredentialIssuer(_load_keypair(args.key))
+    licensee = _read(args.licensee).strip() if os.path.exists(args.licensee) \
+        else args.licensee
+    text = issuer.delegate(
+        _read(args.credential), licensee, rights=args.rights,
+        comment=args.comment, expires_at=args.expires_at,
+    )
+    _emit_credential(text, args.out)
+    return 0
+
+
+def _parse_hours(spec: str | None):
+    if not spec:
+        return None
+    start, _, end = spec.partition("-")
+    return (int(start), int(end))
+
+
+def _emit_credential(text: str, out: str | None) -> None:
+    if out:
+        _write(out, text)
+        print(f"credential written to {out}")
+    else:
+        sys.stdout.write(text)
+
+
+def cmd_inspect(args) -> int:
+    assertion = parse_assertion(_read(args.credential))
+    print(f"authorizer : {assertion.authorizer[:64]}...")
+    for principal in sorted(assertion.licensee_principals()):
+        print(f"licensee   : {principal[:64]}...")
+    try:
+        handle, rights, subtree = extract_grant(assertion)
+        print(f"handle     : {handle}{'  (subtree)' if subtree else ''}")
+        print(f"rights     : {rights.value} (octal {rights.octal})")
+    except ReproError:
+        print("handle     : (no HANDLE condition — not a file credential)")
+    if assertion.comment:
+        print(f"comment    : {assertion.comment}")
+    print(f"signed     : {'yes' if assertion.is_signed else 'no'}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    assertion = parse_assertion(_read(args.credential))
+    try:
+        verify_assertion(assertion)
+    except ReproError as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    print("signature OK")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Server
+# ---------------------------------------------------------------------------
+
+
+def _import_host_tree(server: DisCFSServer, host_dir: str) -> int:
+    """Copy a host directory tree into the server's filesystem."""
+    imported = 0
+    host_dir = os.path.abspath(host_dir)
+    for dirpath, _dirnames, filenames in os.walk(host_dir):
+        rel = os.path.relpath(dirpath, host_dir)
+        base = "" if rel == "." else "/" + rel.replace(os.sep, "/")
+        if base:
+            server.fs.makedirs(base)
+        for filename in filenames:
+            with open(os.path.join(dirpath, filename), "rb") as f:
+                server.fs.write_file(f"{base}/{filename}", f.read())
+            imported += 1
+    return imported
+
+
+def cmd_serve(args) -> int:
+    admin_identity = _read(args.admin_identity).strip() \
+        if os.path.exists(args.admin_identity) else args.admin_identity
+    server = DisCFSServer(admin_identity=admin_identity,
+                          cache_capacity=args.cache)
+    if args.trust_key:
+        # Convenience for single-host demos: holding the admin's private
+        # key lets the CLI install the server-issuer delegation directly.
+        Administrator(_load_keypair(args.trust_key)).trust_server(server)
+    if args.import_dir:
+        n = _import_host_tree(server, args.import_dir)
+        print(f"imported {n} files from {args.import_dir}")
+    tcp = serve_tcp(server.secure_channel().handle,
+                    host=args.host, port=args.port)
+    host, port = tcp.address
+    print(f"DisCFS serving on {host}:{port} "
+          f"(issuer identity {server.issuer_identity[:40]}...)")
+    if args.oneshot:  # used by the tests: exit instead of blocking
+        tcp.close()
+        return 0
+    try:  # pragma: no cover - interactive path
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:  # pragma: no cover
+        tcp.close()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Client operations
+# ---------------------------------------------------------------------------
+
+
+def _connect(args) -> DisCFSClient:
+    host, _, port = args.server.partition(":")
+    raw = TCPTransport(host, int(port))
+    key = _load_keypair(args.key)
+    client = DisCFSClient(SecureTransport(raw, IKEInitiator(key)), key)
+    client.attach(args.attach)
+    for path in args.credential or ():
+        client.submit_credential(_read(path))
+    return client
+
+
+def cmd_ls(args) -> int:
+    client = _connect(args)
+    try:
+        fh, _ = client.walk(args.path)
+        for _ino, name in client.readdir(fh):
+            if name not in (".", ".."):
+                print(name)
+    finally:
+        client.close()
+    return 0
+
+
+def cmd_cat(args) -> int:
+    client = _connect(args)
+    try:
+        sys.stdout.buffer.write(client.read_path(args.path))
+    finally:
+        client.close()
+    return 0
+
+
+def cmd_put(args) -> int:
+    client = _connect(args)
+    try:
+        with open(args.local, "rb") as f:
+            data = f.read()
+        client.write_path(args.path, data)
+        print(f"wrote {len(data)} bytes to {args.path}")
+        if client.wallet and args.save_credential:
+            _write(args.save_credential, client.wallet[-1])
+            print(f"creator credential saved to {args.save_credential}")
+    finally:
+        client.close()
+    return 0
+
+
+def cmd_rm(args) -> int:
+    client = _connect(args)
+    try:
+        directory, _, name = args.path.strip("/").rpartition("/")
+        dir_fh, _ = client.walk(directory) if directory else (client.root, None)
+        client.remove(dir_fh, name)
+        print(f"removed {args.path}")
+    finally:
+        client.close()
+    return 0
+
+
+def cmd_stat(args) -> int:
+    """Print a remote file's handle (what credentials bind rights to)."""
+    from repro.core.handles import HandleScheme
+
+    client = _connect(args)
+    try:
+        fh, attr = client.walk(args.path)
+        print(f"handle     : {HandleScheme.INODE_GENERATION.render(fh)}")
+        print(f"handle(ino): {HandleScheme.INODE.render(fh)}")
+        print(f"type       : {'dir' if attr.is_dir else 'file'}")
+        print(f"size       : {attr.size}")
+        print(f"mode       : {attr.permission_bits:03o} (your granted rights)")
+    finally:
+        client.close()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    client = _connect(args)
+    try:
+        for path in args.files:
+            message = client.submit_credential(_read(path))
+            print(f"{path}: {message}")
+    finally:
+        client.close()
+    return 0
+
+
+def cmd_audit(args) -> int:
+    client = _connect(args)
+    try:
+        for line in client.nfs.audit_log(limit=args.limit):
+            print(line)
+    finally:
+        client.close()
+    return 0
+
+
+def cmd_revoke(args) -> int:
+    client = _connect(args)
+    try:
+        if args.kind == "key":
+            value = _read(args.value).strip() if os.path.exists(args.value) \
+                else args.value
+        else:
+            value = parse_assertion(_read(args.value)).signature
+        print(client.nfs.revoke(f"{args.kind} {value}"))
+    finally:
+        client.close()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+
+def _add_client_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--server", required=True, metavar="HOST:PORT")
+    parser.add_argument("--key", required=True, help="private key file")
+    parser.add_argument("--attach", default="/", help="remote path to mount")
+    parser.add_argument("--credential", action="append", metavar="FILE",
+                        help="credential file to submit (repeatable)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="discfs", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("keygen", help="generate a keypair")
+    p.add_argument("--out", required=True)
+    p.add_argument("--algorithm", choices=("dsa", "rsa"), default="dsa")
+    p.add_argument("--bits", type=int, default=1024, help="RSA modulus bits")
+    p.add_argument("--seed", help="deterministic seed (tests/demos only)")
+    p.set_defaults(func=cmd_keygen)
+
+    p = sub.add_parser("identity", help="print a key file's principal")
+    p.add_argument("--key", required=True)
+    p.set_defaults(func=cmd_identity)
+
+    p = sub.add_parser("issue", help="issue a credential")
+    p.add_argument("--key", required=True, help="issuer private key file")
+    p.add_argument("--licensee", required=True,
+                   help="principal id or file containing one")
+    p.add_argument("--handle", required=True)
+    p.add_argument("--rights", default="RWX")
+    p.add_argument("--comment", default="")
+    p.add_argument("--subtree", action="store_true")
+    p.add_argument("--expires-at", type=int, default=None)
+    p.add_argument("--hours", help="e.g. 9-17")
+    p.add_argument("--out")
+    p.set_defaults(func=cmd_issue)
+
+    p = sub.add_parser("delegate", help="re-grant a credential")
+    p.add_argument("--key", required=True, help="delegator private key file")
+    p.add_argument("--credential", required=True, help="original credential")
+    p.add_argument("--licensee", required=True)
+    p.add_argument("--rights", default=None)
+    p.add_argument("--comment", default="")
+    p.add_argument("--expires-at", type=int, default=None)
+    p.add_argument("--out")
+    p.set_defaults(func=cmd_delegate)
+
+    p = sub.add_parser("inspect", help="pretty-print a credential")
+    p.add_argument("--credential", required=True)
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("verify", help="verify a credential signature")
+    p.add_argument("--credential", required=True)
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("serve", help="run a DisCFS server")
+    p.add_argument("--admin-identity", required=True,
+                   help="administrator principal (or file containing it)")
+    p.add_argument("--trust-key",
+                   help="admin private key file: auto-install server trust")
+    p.add_argument("--import-dir", help="host directory to import")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0)
+    p.add_argument("--cache", type=int, default=128)
+    p.add_argument("--oneshot", action="store_true", help=argparse.SUPPRESS)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("ls", help="list a remote directory")
+    _add_client_args(p)
+    p.add_argument("path", nargs="?", default="/")
+    p.set_defaults(func=cmd_ls)
+
+    p = sub.add_parser("cat", help="print a remote file")
+    _add_client_args(p)
+    p.add_argument("path")
+    p.set_defaults(func=cmd_cat)
+
+    p = sub.add_parser("put", help="upload a local file")
+    _add_client_args(p)
+    p.add_argument("local")
+    p.add_argument("path")
+    p.add_argument("--save-credential", metavar="FILE",
+                   help="store the creator credential here")
+    p.set_defaults(func=cmd_put)
+
+    p = sub.add_parser("rm", help="remove a remote file")
+    _add_client_args(p)
+    p.add_argument("path")
+    p.set_defaults(func=cmd_rm)
+
+    p = sub.add_parser("stat", help="print a remote file's handle and rights")
+    _add_client_args(p)
+    p.add_argument("path")
+    p.set_defaults(func=cmd_stat)
+
+    p = sub.add_parser("submit", help="submit credential files")
+    _add_client_args(p)
+    p.add_argument("files", nargs="+")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("audit", help="dump the server audit log (admin)")
+    _add_client_args(p)
+    p.add_argument("--limit", type=int, default=100)
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("revoke", help="administrator revocation")
+    _add_client_args(p)
+    p.add_argument("kind", choices=("key", "credential"))
+    p.add_argument("value", help="principal/file (key) or credential file")
+    p.set_defaults(func=cmd_revoke)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

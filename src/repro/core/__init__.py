@@ -1,0 +1,50 @@
+"""DisCFS — the Distributed Credential Filesystem (the paper's contribution).
+
+Everything identity- and authorization-related in DisCFS flows through
+KeyNote credentials:
+
+* files are identified by **handles** (:mod:`repro.core.handles`),
+* users are identified by their **public keys** — bound to connections by
+  the IPsec/IKE layer,
+* access rights are **credentials** binding a key to a handle under
+  conditions (:mod:`repro.core.credentials`), delegable by simply issuing
+  new credentials,
+* the server (:mod:`repro.core.server`) gates every NFS operation on a
+  KeyNote compliance query (:mod:`repro.core.policy`), memoized in a
+  policy cache (:mod:`repro.core.cache`, 128 entries in the paper's
+  evaluation),
+* ``create``/``mkdir`` return a fresh full-access credential to the
+  creator, and revocation (:mod:`repro.core.revocation`) removes keys or
+  credentials from consideration.
+
+Quick start::
+
+    from repro.core import Administrator, DisCFSServer, DisCFSClient
+
+    admin = Administrator.generate(seed=b"demo")
+    server = DisCFSServer(admin_identity=admin.identity)
+    admin.trust_server(server)
+
+    client = DisCFSClient.connect(server, user_key)   # IKE handshake inside
+    client.attach("/")                                # perms are 000 so far
+    client.submit_credential(cred_text)               # file becomes visible
+    data = client.read_path("/testdir/paper.tex")
+"""
+
+from repro.core.admin import Administrator
+from repro.core.client import DisCFSClient
+from repro.core.credentials import CredentialIssuer, issue_credential
+from repro.core.handles import HandleScheme
+from repro.core.permissions import PERMISSION_VALUES, Permission
+from repro.core.server import DisCFSServer
+
+__all__ = [
+    "Administrator",
+    "DisCFSClient",
+    "DisCFSServer",
+    "CredentialIssuer",
+    "issue_credential",
+    "HandleScheme",
+    "Permission",
+    "PERMISSION_VALUES",
+]

@@ -1,0 +1,100 @@
+"""The policy-result cache.
+
+Paper, section 5: "To improve performance, we use a cache of requested
+operations and policy results." — and the search benchmark (Figure 12)
+"was conducted with a cache size of 128 policy results."
+
+The cache maps (principal, handle, operation) to the granted
+:class:`~repro.core.permissions.Permission`, with LRU eviction at a fixed
+capacity (128 by default, configurable for the ablation benchmark) and an
+optional time-to-live for deployments whose policies depend on
+time-of-day.  Any credential submission or revocation flushes it — policy
+changed, all bets off.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.permissions import Permission
+
+CacheKey = tuple[str, str, str]  # (principal, handle, operation)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    flushes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = self.flushes = 0
+
+
+class PolicyCache:
+    """LRU cache of compliance-query results.
+
+    ``capacity=0`` disables caching entirely (every lookup is a miss),
+    which the ablation benchmark uses as its baseline.
+    """
+
+    def __init__(self, capacity: int = 128, ttl_seconds: float | None = None):
+        if capacity < 0:
+            raise ValueError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self._entries: OrderedDict[CacheKey, tuple[Permission, float]] = OrderedDict()
+        self.stats = CacheStats()
+
+    def get(self, principal: str, handle: str, operation: str) -> Permission | None:
+        key = (principal, handle, operation)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        permission, stored_at = entry
+        if self.ttl_seconds is not None and time.time() - stored_at > self.ttl_seconds:
+            del self._entries[key]
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return permission
+
+    def put(self, principal: str, handle: str, operation: str,
+            permission: Permission) -> None:
+        if self.capacity == 0:
+            return
+        key = (principal, handle, operation)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (permission, time.time())
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def flush(self) -> None:
+        """Drop everything (called on any credential/revocation change)."""
+        self._entries.clear()
+        self.stats.flushes += 1
+
+    def invalidate_principal(self, principal: str) -> int:
+        """Drop entries for one principal; returns how many were dropped."""
+        doomed = [k for k in self._entries if k[0] == principal]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._entries)

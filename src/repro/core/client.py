@@ -1,0 +1,221 @@
+"""The DisCFS client.
+
+Mirrors the paper's client-side workflow (sections 4.3 and 5):
+
+1. ``cattach``-style **attach**: establish the IPsec connection (IKE binds
+   the user's public key) and mount the remote directory.  The attached
+   directory appears with permissions 000.
+2. **submit credentials** over RPC; the files they name become usable.
+3. Ordinary NFS file I/O, every operation policy-checked server-side.
+4. ``create``/``mkdir`` hand back a creator credential, which the client
+   keeps in a local wallet for later delegation to other users.
+"""
+
+from __future__ import annotations
+
+from repro.core.credentials import CredentialIssuer
+from repro.crypto.dsa import DSAKeyPair
+from repro.crypto.keycodec import encode_public_key
+from repro.crypto.rsa import RSAKeyPair
+from repro.errors import NotAttached
+from repro.ipsec.channel import SecureTransport
+from repro.ipsec.ike import IKEInitiator
+from repro.nfs.client import NFSClient, RemoteFile
+from repro.nfs.mount import MountClient
+from repro.nfs.protocol import FAttr, FileHandle, SAttr
+from repro.rpc.transport import InProcessTransport, Transport
+
+
+class DisCFSClient:
+    """A user's connection to a DisCFS server.
+
+    Construct with a transport (usually via :meth:`connect`, which wires
+    the secure channel) and the user's keypair.  The keypair serves both
+    as the channel identity and for delegating credentials onward.
+    """
+
+    def __init__(self, transport: Transport, key: DSAKeyPair | RSAKeyPair):
+        self.transport = transport
+        self.key = key
+        self.identity = encode_public_key(key)
+        self.issuer = CredentialIssuer(key)
+        self._nfs: NFSClient | None = None
+        #: Credentials this user holds (received or minted on create).
+        self.wallet: list[str] = []
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def connect(cls, server, key: DSAKeyPair | RSAKeyPair,
+                secure: bool = True) -> "DisCFSClient":
+        """Connect to an in-process :class:`~repro.core.server.DisCFSServer`.
+
+        ``secure=True`` (default) runs the IKE handshake over the server's
+        channel front end — the canonical configuration.  ``secure=False``
+        wires the identity directly, bypassing cryptography; benchmarks use
+        it to separate channel cost from policy cost.
+        """
+        if secure:
+            inner = InProcessTransport(server.secure_channel().handle)
+            transport: Transport = SecureTransport(inner, IKEInitiator(key))
+        else:
+            transport = server.in_process_transport(encode_public_key(key))
+        return cls(transport, key)
+
+    # -- attach ------------------------------------------------------------
+
+    def attach(self, path: str = "/") -> FileHandle:
+        """Mount the remote export; returns its root handle."""
+        root = MountClient(self.transport).mount(path)
+        self._nfs = NFSClient(self.transport, root)
+        return root
+
+    def detach(self) -> None:
+        if self._nfs is not None:
+            MountClient(self.transport).unmount("/")
+            self._nfs = None
+
+    @property
+    def nfs(self) -> NFSClient:
+        if self._nfs is None:
+            raise NotAttached("call attach() before file operations")
+        return self._nfs
+
+    @property
+    def root(self) -> FileHandle:
+        return self.nfs.root
+
+    # -- credentials --------------------------------------------------------
+
+    def submit_credential(self, text: str) -> str:
+        """Send a credential to the server; remembers it in the wallet."""
+        message = self.nfs.submit_credential(text)
+        if text not in self.wallet:
+            self.wallet.append(text)
+        return message
+
+    def submit_credentials(self, texts: list[str]) -> list[str]:
+        return [self.submit_credential(t) for t in texts]
+
+    def delegate(self, credential_text: str, licensee: str,
+                 rights=None, **options) -> str:
+        """Create a new credential passing (narrowed) rights to ``licensee``.
+
+        This is pure client-side key-signing — no server involvement, the
+        paper's core flexibility claim.  Send the result to the other user
+        out of band (the paper suggests email).
+        """
+        return self.issuer.delegate(credential_text, licensee, rights, **options)
+
+    # -- file operations ------------------------------------------------------
+
+    def getattr(self, fh: FileHandle) -> FAttr:
+        return self.nfs.getattr(fh)
+
+    def lookup(self, dir_fh: FileHandle, name: str) -> tuple[FileHandle, FAttr]:
+        return self.nfs.lookup(dir_fh, name)
+
+    def walk(self, path: str) -> tuple[FileHandle, FAttr]:
+        return self.nfs.walk(path)
+
+    def read(self, fh: FileHandle, offset: int, count: int) -> bytes:
+        return self.nfs.read(fh, offset, count)
+
+    def write(self, fh: FileHandle, offset: int, data: bytes) -> FAttr:
+        return self.nfs.write(fh, offset, data)
+
+    def create(self, dir_fh: FileHandle, name: str,
+               sattr: SAttr | None = None) -> tuple[FileHandle, str | None]:
+        """Create a file; returns (handle, creator credential).
+
+        The credential is added to the wallet automatically.
+        """
+        fh, _attr, credential = self.nfs.create(dir_fh, name, sattr)
+        if credential is not None:
+            self.wallet.append(credential)
+        return fh, credential
+
+    def mkdir(self, dir_fh: FileHandle, name: str,
+              sattr: SAttr | None = None) -> tuple[FileHandle, str | None]:
+        fh, _attr, credential = self.nfs.mkdir(dir_fh, name, sattr)
+        if credential is not None:
+            self.wallet.append(credential)
+        return fh, credential
+
+    def remove(self, dir_fh: FileHandle, name: str) -> None:
+        self.nfs.remove(dir_fh, name)
+
+    def rmdir(self, dir_fh: FileHandle, name: str) -> None:
+        self.nfs.rmdir(dir_fh, name)
+
+    def rename(self, from_dir: FileHandle, from_name: str,
+               to_dir: FileHandle, to_name: str) -> None:
+        self.nfs.rename(from_dir, from_name, to_dir, to_name)
+
+    def readdir(self, dir_fh: FileHandle) -> list[tuple[int, str]]:
+        return self.nfs.readdir_all(dir_fh)
+
+    def open(self, fh: FileHandle) -> RemoteFile:
+        return self.nfs.open(fh)
+
+    # -- path conveniences ---------------------------------------------------
+
+    def read_path(self, path: str) -> bytes:
+        fh, attr = self.walk(path)
+        out = bytearray()
+        offset = 0
+        while offset < attr.size:
+            chunk = self.read(fh, offset, 8192)
+            if not chunk:
+                break
+            out += chunk
+            offset += len(chunk)
+        return bytes(out)
+
+    def write_path(self, path: str, data: bytes) -> FileHandle:
+        """Create (or overwrite) ``path`` and write ``data``."""
+        directory, _, name = path.strip("/").rpartition("/")
+        dir_fh, _ = self.walk(directory) if directory else (self.root, None)
+        try:
+            fh, _ = self.lookup(dir_fh, name)
+            self.nfs.setattr(fh, SAttr(size=0))
+        except Exception:
+            fh, _cred = self.create(dir_fh, name)
+        offset = 0
+        while offset < len(data):
+            chunk = data[offset : offset + 8192]
+            self.write(fh, offset, chunk)
+            offset += len(chunk)
+        return fh
+
+    # -- wallet persistence --------------------------------------------------
+
+    def save_wallet(self, path: str) -> int:
+        """Write the wallet to a file (blank-line-separated credentials);
+        returns the number saved.  The format is what ``discfs submit``
+        and :meth:`load_wallet` read back."""
+        with open(path, "w", encoding="utf-8") as f:
+            for text in self.wallet:
+                f.write(text.rstrip("\n") + "\n\n")
+        return len(self.wallet)
+
+    def load_wallet(self, path: str, submit: bool = True) -> int:
+        """Load credentials from a wallet file; optionally submit each to
+        the server (the normal re-attach flow after a client restart).
+        Returns the number loaded."""
+        from repro.keynote.parser import parse_assertions
+
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+        count = 0
+        for assertion in parse_assertions(text):
+            credential = assertion.source_text
+            if submit:
+                self.submit_credential(credential)
+            elif credential not in self.wallet:
+                self.wallet.append(credential)
+            count += 1
+        return count
+
+    def close(self) -> None:
+        self.transport.close()

@@ -1,0 +1,91 @@
+"""Revocation of keys and credentials.
+
+Paper, section 4.1: "the traditional problem of credential revocation is
+fairly straightforward to address: since the credentials related to a
+specific file have to be examined by the DisCFS server where the file is
+stored, revocation (especially if it is infrequent) can be done by
+notifying the server about bad keys or credentials.  If the credentials
+are relatively short-lived, the server need only remember such information
+for a short period of time."
+
+We implement exactly that: a server-side store of bad keys (by canonical
+principal identifier) and bad credentials (by signature, which is unique
+per credential), with optional forget-after horizons so entries for
+already-expired credentials can be aged out.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.keynote.ast import Assertion, normalize_principal
+
+
+@dataclass
+class _Entry:
+    revoked_at: float
+    forget_at: float | None  # None = remember forever
+
+
+class RevocationStore:
+    """Bad keys and bad credentials, with optional expiry of the entries."""
+
+    def __init__(self) -> None:
+        self._keys: dict[str, _Entry] = {}
+        self._credentials: dict[str, _Entry] = {}
+
+    # -- marking -----------------------------------------------------------
+
+    def revoke_key(self, principal: str, forget_after: float | None = None) -> None:
+        """Declare a public key bad; all delegation through it dies."""
+        now = time.time()
+        self._keys[normalize_principal(principal)] = _Entry(
+            revoked_at=now,
+            forget_at=None if forget_after is None else now + forget_after,
+        )
+
+    def revoke_credential(self, signature: str,
+                          forget_after: float | None = None) -> None:
+        """Declare one credential bad, identified by its signature string."""
+        now = time.time()
+        self._credentials[signature] = _Entry(
+            revoked_at=now,
+            forget_at=None if forget_after is None else now + forget_after,
+        )
+
+    # -- checking ----------------------------------------------------------
+
+    def key_revoked(self, principal: str) -> bool:
+        return self._check(self._keys, normalize_principal(principal))
+
+    def credential_revoked(self, assertion: Assertion) -> bool:
+        """A credential is revoked if listed, or if its authorizer or any
+        licensee key is revoked."""
+        if assertion.signature is not None and self._check(
+            self._credentials, assertion.signature
+        ):
+            return True
+        if self._check(self._keys, assertion.authorizer):
+            return True
+        return any(
+            self._check(self._keys, p) for p in assertion.licensee_principals()
+        )
+
+    def _check(self, table: dict[str, _Entry], key: str) -> bool:
+        entry = table.get(key)
+        if entry is None:
+            return False
+        if entry.forget_at is not None and time.time() > entry.forget_at:
+            del table[key]  # aged out (short-lived credential has expired)
+            return False
+        return True
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def revoked_keys(self) -> list[str]:
+        return [k for k in list(self._keys) if self._check(self._keys, k)]
+
+    def __len__(self) -> int:
+        return len(self._keys) + len(self._credentials)

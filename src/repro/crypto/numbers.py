@@ -1,0 +1,118 @@
+"""Number-theoretic helpers: primality testing and prime generation.
+
+Everything here is deterministic given the supplied random source, which
+keeps key generation reproducible in tests (pass a seeded ``random.Random``
+or an ``int``-returning callable).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from typing import Callable
+
+# Small primes used for fast trial division before Miller-Rabin.
+_SMALL_PRIMES: tuple[int, ...] = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+    149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223,
+    227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293,
+)
+
+RandomBits = Callable[[int], int]
+
+
+def default_random_bits(bits: int) -> int:
+    """Return a uniformly random integer with at most ``bits`` bits."""
+    return secrets.randbits(bits)
+
+
+def seeded_random_bits(seed: bytes) -> RandomBits:
+    """Deterministic bit source derived from ``seed`` via SHA-256 in counter mode.
+
+    Used for reproducible key generation in tests and examples.
+    """
+    counter = 0
+
+    def rand(bits: int) -> int:
+        nonlocal counter
+        out = b""
+        nbytes = (bits + 7) // 8
+        while len(out) < nbytes:
+            out += hashlib.sha256(seed + counter.to_bytes(8, "big")).digest()
+            counter += 1
+        value = int.from_bytes(out[:nbytes], "big")
+        excess = nbytes * 8 - bits
+        return value >> excess
+
+    return rand
+
+
+def is_probable_prime(n: int, rounds: int = 40, rand: RandomBits = default_random_bits) -> bool:
+    """Miller-Rabin primality test with trial division pre-filter."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n - 1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = 2 + rand(n.bit_length()) % (n - 3)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rand: RandomBits = default_random_bits) -> int:
+    """Generate a random prime with exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError("prime size must be at least 8 bits")
+    while True:
+        candidate = rand(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force top bit and oddness
+        if is_probable_prime(candidate, rand=rand):
+            return candidate
+
+
+def generate_safe_prime(bits: int, rand: RandomBits = default_random_bits) -> int:
+    """Generate a safe prime p (p = 2q + 1 with q prime)."""
+    while True:
+        q = generate_prime(bits - 1, rand=rand)
+        p = 2 * q + 1
+        if is_probable_prime(p, rand=rand):
+            return p
+
+
+def modinv(a: int, m: int) -> int:
+    """Modular inverse of ``a`` mod ``m``; raises ValueError if not invertible."""
+    try:
+        return pow(a, -1, m)
+    except ValueError as exc:  # pragma: no cover - message normalization
+        raise ValueError(f"{a} is not invertible modulo {m}") from exc
+
+
+def bytes_to_int(data: bytes) -> int:
+    return int.from_bytes(data, "big")
+
+
+def int_to_bytes(value: int, length: int | None = None) -> bytes:
+    """Big-endian encoding; minimal length unless ``length`` is given."""
+    if value < 0:
+        raise ValueError("cannot encode negative integer")
+    if length is None:
+        length = max(1, (value.bit_length() + 7) // 8)
+    return value.to_bytes(length, "big")

@@ -1,0 +1,34 @@
+"""An IPsec-like secure channel with IKE-style identity binding.
+
+The DisCFS prototype ran NFS over IPsec: the IKE key-establishment phase
+authenticated the client's *public key*, and all subsequent NFS requests on
+that Security Association could be attributed to that key (paper sections
+4.3 and 5).  That binding — "requests on this channel come from key K" —
+is the only property DisCFS needs from IPsec, and it is exactly what this
+package provides:
+
+* :mod:`repro.ipsec.ike` — a two-round-trip signed Diffie-Hellman
+  handshake; each peer proves possession of its signature key over the
+  handshake transcript,
+* :mod:`repro.ipsec.sa` — security associations: per-direction keys,
+  sequence numbers with replay protection, lifetimes,
+* :mod:`repro.ipsec.channel` — an ESP-like record layer (encrypt-then-MAC)
+  carried over any RPC transport, with a client wrapper and a server-side
+  demultiplexer that hands the bound identity to the RPC layer.
+
+The wire format is simulation-grade (we are not interoperating with real
+IKE/ESP), but the security architecture — ephemeral DH, transcript
+signatures, per-SA keys, sequence-number replay windows — matches.
+"""
+
+from repro.ipsec.channel import SecureChannelServer, SecureTransport
+from repro.ipsec.ike import IKEInitiator, IKEResponder
+from repro.ipsec.sa import SecurityAssociation
+
+__all__ = [
+    "SecureTransport",
+    "SecureChannelServer",
+    "IKEInitiator",
+    "IKEResponder",
+    "SecurityAssociation",
+]

@@ -1,0 +1,109 @@
+"""Security associations: keys, sequence numbers, lifetimes."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.crypto.cipher import derive_key
+from repro.errors import IntegrityError, SAExpired
+
+
+@dataclass
+class SALifetime:
+    """Limits after which an SA must be rekeyed (IKE-style)."""
+
+    max_seconds: float = 3600.0
+    max_messages: int = 1 << 32
+    max_bytes: int = 1 << 40
+
+
+@dataclass
+class DirectionState:
+    """Per-direction key material and sequence tracking."""
+
+    enc_key: bytes
+    mac_key: bytes
+    next_seq: int = 1
+    highest_seen: int = 0
+    bytes_processed: int = 0
+    messages: int = 0
+
+    def allocate_seq(self) -> int:
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+    def accept_seq(self, seq: int) -> None:
+        """Strictly-increasing replay check (RPC is one-at-a-time per SA)."""
+        if seq <= self.highest_seen:
+            raise IntegrityError(f"replayed or reordered sequence number {seq}")
+        self.highest_seen = seq
+
+
+@dataclass
+class SecurityAssociation:
+    """One established SA between an initiator and a responder.
+
+    ``peer_identity`` is the canonical public-key identifier of the remote
+    peer, as proven during the IKE handshake — this is the principal
+    DisCFS uses for every request arriving on the SA.
+    """
+
+    spi: int
+    peer_identity: str
+    local_identity: str
+    send: DirectionState
+    recv: DirectionState
+    established_at: float = field(default_factory=time.time)
+    lifetime: SALifetime = field(default_factory=SALifetime)
+
+    @classmethod
+    def derive(
+        cls,
+        spi: int,
+        shared_secret: bytes,
+        nonce_i: bytes,
+        nonce_r: bytes,
+        peer_identity: str,
+        local_identity: str,
+        is_initiator: bool,
+        lifetime: SALifetime | None = None,
+    ) -> "SecurityAssociation":
+        """Derive directional keys from the DH secret and nonces.
+
+        Both sides derive the same two key sets; which is "send" depends
+        on the role, so initiator.send pairs with responder.recv.
+        """
+        material = shared_secret + nonce_i + nonce_r
+        i2r = DirectionState(
+            enc_key=derive_key(material, label=b"ipsec-i2r-enc"),
+            mac_key=derive_key(material, label=b"ipsec-i2r-mac"),
+        )
+        r2i = DirectionState(
+            enc_key=derive_key(material, label=b"ipsec-r2i-enc"),
+            mac_key=derive_key(material, label=b"ipsec-r2i-mac"),
+        )
+        send, recv = (i2r, r2i) if is_initiator else (r2i, i2r)
+        return cls(
+            spi=spi,
+            peer_identity=peer_identity,
+            local_identity=local_identity,
+            send=send,
+            recv=recv,
+            lifetime=lifetime if lifetime is not None else SALifetime(),
+        )
+
+    def check_alive(self) -> None:
+        """Raise :class:`SAExpired` if any lifetime bound is exceeded."""
+        life = self.lifetime
+        if time.time() - self.established_at > life.max_seconds:
+            raise SAExpired(f"SA {self.spi:#x} exceeded time lifetime")
+        if self.send.messages + self.recv.messages > life.max_messages:
+            raise SAExpired(f"SA {self.spi:#x} exceeded message lifetime")
+        if self.send.bytes_processed + self.recv.bytes_processed > life.max_bytes:
+            raise SAExpired(f"SA {self.spi:#x} exceeded byte lifetime")
+
+    def account(self, direction: DirectionState, nbytes: int) -> None:
+        direction.messages += 1
+        direction.bytes_processed += nbytes

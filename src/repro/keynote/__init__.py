@@ -1,0 +1,55 @@
+"""A KeyNote trust-management engine (RFC 2704).
+
+DisCFS delegates *all* authorization decisions to KeyNote: policies and
+credentials are KeyNote assertions, and every file operation becomes a
+compliance-checking query ("does this action, requested by these keys,
+accompanied by these credentials, comply with local policy — and at what
+compliance value?").
+
+This package is a from-scratch implementation of the assertion language and
+query semantics of RFC 2704:
+
+* :mod:`repro.keynote.lexer` / :mod:`repro.keynote.parser` — assertion
+  syntax (fields, continuation lines, quoted principals),
+* :mod:`repro.keynote.expr` — the Conditions expression language (string,
+  integer and float expressions, ``@``/``&``/``$`` dereferences, regex
+  matching, nested clause programs, ``->`` compliance values),
+* :mod:`repro.keynote.licensees` — licensee expressions (``&&``, ``||``
+  and ``K-of(...)`` thresholds),
+* :mod:`repro.keynote.compliance` — the query evaluator (depth-first over
+  the delegation graph, minimum across conditions and licensees, maximum
+  across alternative assertions),
+* :mod:`repro.keynote.session` — persistent sessions in the style of the
+  keynote(3) API: add policies, add credentials, add action attributes,
+  query,
+* :mod:`repro.keynote.signing` — signed assertions (credentials) and
+  their verification.
+
+Example
+-------
+>>> from repro.keynote import KeyNoteSession
+>>> session = KeyNoteSession()
+>>> session.add_policy('Authorizer: "POLICY"\\nLicensees: "alice"')
+>>> session.query(
+...     action={"app_domain": "test"},
+...     action_authorizers=["alice"],
+...     values=["false", "true"],
+... )
+'true'
+"""
+
+from repro.keynote.ast import Assertion, POLICY_PRINCIPAL, ComplianceValues
+from repro.keynote.parser import parse_assertion, parse_assertions
+from repro.keynote.session import KeyNoteSession
+from repro.keynote.signing import sign_assertion, verify_assertion
+
+__all__ = [
+    "Assertion",
+    "ComplianceValues",
+    "POLICY_PRINCIPAL",
+    "KeyNoteSession",
+    "parse_assertion",
+    "parse_assertions",
+    "sign_assertion",
+    "verify_assertion",
+]

@@ -1,0 +1,503 @@
+"""The KeyNote Conditions expression language (RFC 2704 section 5).
+
+A Conditions field is a *program*: a sequence of clauses
+
+    test ;
+    test -> "value" ;
+    test -> { nested-program } ;
+
+The program's value is the **maximum** compliance value yielded by any
+satisfied clause (the minimum value if none is satisfied).  A clause with no
+``->`` yields the query's maximum value when its test holds.
+
+Tests combine comparisons with ``&&``, ``||`` and ``!``.  Operands are
+*value expressions* over three types:
+
+* strings — literals, attribute names, ``$expr`` indirect dereference and
+  ``.`` concatenation,
+* integers — literals, arithmetic (``+ - * / % ^``, unary ``-``) and
+  ``@expr`` string-to-integer conversion,
+* floats — literals, the same arithmetic, and ``&expr`` conversion.
+
+Comparisons are typed: ``==  !=  <  >  <=  >=`` apply to two strings or two
+numbers; ``~=`` matches a string against a regular expression.  Undefined
+attributes evaluate to the empty string (RFC 2704 section 7.3).
+
+Error semantics: a type error, bad conversion, division by zero or bad
+regex makes the enclosing *clause* unsatisfied rather than aborting the
+query — mirroring the forgiving behaviour of the reference implementation,
+where a malformed assertion simply fails to contribute authority.  The
+evaluator can be run in strict mode (used by tests) where such errors
+raise :class:`~repro.errors.ExpressionError`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import AssertionSyntaxError, ExpressionError
+from repro.keynote.ast import ComplianceValues
+from repro.keynote.lexer import Token, TokenStream, tokenize
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+Value = str | int | float
+
+
+@dataclass(frozen=True)
+class StrLit:
+    value: str
+
+
+@dataclass(frozen=True)
+class IntLit:
+    value: int
+
+
+@dataclass(frozen=True)
+class FloatLit:
+    value: float
+
+
+@dataclass(frozen=True)
+class Attr:
+    """A bare attribute name, e.g. ``HANDLE``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Deref:
+    """``$expr`` — the attribute whose name is the value of ``expr``."""
+
+    inner: "ValueNode"
+
+
+@dataclass(frozen=True)
+class ToInt:
+    """``@expr`` — string-to-integer conversion."""
+
+    inner: "ValueNode"
+
+
+@dataclass(frozen=True)
+class ToFloat:
+    """``&expr`` — string-to-float conversion."""
+
+    inner: "ValueNode"
+
+
+@dataclass(frozen=True)
+class Neg:
+    inner: "ValueNode"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # + - * / % ^ .
+    left: "ValueNode"
+    right: "ValueNode"
+
+
+ValueNode = StrLit | IntLit | FloatLit | Attr | Deref | ToInt | ToFloat | Neg | BinOp
+
+
+@dataclass(frozen=True)
+class BoolLit:
+    value: bool
+
+
+@dataclass(frozen=True)
+class Compare:
+    op: str  # == != < > <= >= ~=
+    left: ValueNode
+    right: ValueNode
+
+
+@dataclass(frozen=True)
+class Not:
+    inner: "TestNode"
+
+
+@dataclass(frozen=True)
+class And:
+    left: "TestNode"
+    right: "TestNode"
+
+
+@dataclass(frozen=True)
+class Or:
+    left: "TestNode"
+    right: "TestNode"
+
+
+TestNode = BoolLit | Compare | Not | And | Or
+
+
+@dataclass(frozen=True)
+class Clause:
+    test: TestNode
+    #: None = bare test (yields max value); str = explicit value;
+    #: ConditionsProgram = nested program.
+    target: "str | ConditionsProgram | None"
+
+
+@dataclass(frozen=True)
+class ConditionsProgram:
+    clauses: tuple[Clause, ...]
+
+    def evaluate(
+        self,
+        attributes: Mapping[str, str],
+        values: ComplianceValues,
+        strict: bool = False,
+    ) -> str:
+        """Evaluate the program to a compliance value."""
+        env = _Env(attributes, values, strict)
+        return _eval_program(self, env)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def parse_conditions(text: str) -> ConditionsProgram:
+    """Parse a Conditions field body into a program.
+
+    An empty body is the always-true program (RFC 2704: an empty Conditions
+    field means no conditions, i.e. maximum trust for any action).
+    """
+    stream = TokenStream(tokenize(text))
+    program = _parse_program(stream, top_level=True)
+    if not stream.at_end():
+        tok = stream.current
+        raise AssertionSyntaxError(
+            f"trailing garbage in conditions: {tok.value!r}", column=tok.position
+        )
+    return program
+
+
+def _parse_program(stream: TokenStream, top_level: bool = False) -> ConditionsProgram:
+    clauses: list[Clause] = []
+    while not stream.at_end():
+        if stream.current.kind == "OP" and stream.current.value == "}":
+            break
+        clauses.append(_parse_clause(stream))
+        if not stream.match_op(";"):
+            break
+    if not clauses and not top_level:
+        raise AssertionSyntaxError("empty clause block")
+    return ConditionsProgram(tuple(clauses))
+
+
+def _parse_clause(stream: TokenStream) -> Clause:
+    test = _parse_test(stream)
+    if stream.match_op("->"):
+        if stream.match_op("{"):
+            inner = _parse_program(stream)
+            stream.expect_op("}")
+            return Clause(test=test, target=inner)
+        tok = stream.current
+        if tok.kind != "STRING":
+            raise AssertionSyntaxError(
+                "expected compliance value string or '{' after '->'", column=tok.position
+            )
+        stream.advance()
+        return Clause(test=test, target=tok.value)
+    return Clause(test=test, target=None)
+
+
+def _parse_test(stream: TokenStream) -> TestNode:
+    return _parse_or(stream)
+
+
+def _parse_or(stream: TokenStream) -> TestNode:
+    node = _parse_and(stream)
+    while stream.match_op("||"):
+        node = Or(node, _parse_and(stream))
+    return node
+
+
+def _parse_and(stream: TokenStream) -> TestNode:
+    node = _parse_not(stream)
+    while stream.match_op("&&"):
+        node = And(node, _parse_not(stream))
+    return node
+
+
+def _parse_not(stream: TokenStream) -> TestNode:
+    if stream.match_op("!"):
+        return Not(_parse_not(stream))
+    return _parse_primary_test(stream)
+
+
+def _parse_primary_test(stream: TokenStream) -> TestNode:
+    tok = stream.current
+    if tok.kind == "IDENT" and tok.value in ("true", "false"):
+        # Could still be a comparison like `true == x`? `true`/`false` are
+        # reserved words in tests; RFC treats them as boolean literals only.
+        stream.advance()
+        return BoolLit(tok.value == "true")
+    if tok.kind == "OP" and tok.value == "(":
+        # Ambiguous: "(test)" vs "(value-expr) RELOP value-expr".
+        # Try the comparison reading first; backtrack to the test reading.
+        saved = stream._pos
+        try:
+            return _parse_comparison(stream)
+        except AssertionSyntaxError:
+            stream._pos = saved
+        stream.expect_op("(")
+        inner = _parse_or(stream)
+        stream.expect_op(")")
+        return inner
+    return _parse_comparison(stream)
+
+
+_RELOPS = ("==", "!=", "<=", ">=", "<", ">", "~=")
+
+
+def _parse_comparison(stream: TokenStream) -> TestNode:
+    left = _parse_value_expr(stream)
+    tok = stream.current
+    if tok.kind == "OP" and tok.value in _RELOPS:
+        stream.advance()
+        right = _parse_value_expr(stream)
+        return Compare(tok.value, left, right)
+    raise AssertionSyntaxError(
+        f"expected comparison operator, found {tok.value or tok.kind!r}",
+        column=tok.position,
+    )
+
+
+def _parse_value_expr(stream: TokenStream) -> ValueNode:
+    return _parse_additive(stream)
+
+
+def _parse_additive(stream: TokenStream) -> ValueNode:
+    node = _parse_multiplicative(stream)
+    while True:
+        tok = stream.match_op("+", "-", ".")
+        if tok is None:
+            return node
+        node = BinOp(tok.value, node, _parse_multiplicative(stream))
+
+
+def _parse_multiplicative(stream: TokenStream) -> ValueNode:
+    node = _parse_power(stream)
+    while True:
+        tok = stream.match_op("*", "/", "%")
+        if tok is None:
+            return node
+        node = BinOp(tok.value, node, _parse_power(stream))
+
+
+def _parse_power(stream: TokenStream) -> ValueNode:
+    node = _parse_unary(stream)
+    if stream.match_op("^"):
+        # Right-associative.
+        return BinOp("^", node, _parse_power(stream))
+    return node
+
+
+def _parse_unary(stream: TokenStream) -> ValueNode:
+    tok = stream.current
+    if tok.kind == "OP" and tok.value in ("-", "@", "&", "$"):
+        stream.advance()
+        inner = _parse_unary(stream)
+        return {"-": Neg, "@": ToInt, "&": ToFloat, "$": Deref}[tok.value](inner)
+    return _parse_atom(stream)
+
+
+def _parse_atom(stream: TokenStream) -> ValueNode:
+    tok = stream.current
+    if tok.kind == "STRING":
+        stream.advance()
+        return StrLit(tok.value)
+    if tok.kind == "INT":
+        stream.advance()
+        return IntLit(int(tok.value))
+    if tok.kind == "FLOAT":
+        stream.advance()
+        return FloatLit(float(tok.value))
+    if tok.kind == "IDENT":
+        if tok.value in ("true", "false"):
+            raise AssertionSyntaxError(
+                f"{tok.value!r} cannot appear in a value expression", column=tok.position
+            )
+        stream.advance()
+        return Attr(tok.value)
+    if tok.kind == "OP" and tok.value == "(":
+        stream.advance()
+        node = _parse_value_expr(stream)
+        stream.expect_op(")")
+        return node
+    raise AssertionSyntaxError(
+        f"expected value expression, found {tok.value or tok.kind!r}", column=tok.position
+    )
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+class _Env:
+    __slots__ = ("attributes", "values", "strict")
+
+    def __init__(self, attributes: Mapping[str, str], values: ComplianceValues, strict: bool):
+        self.attributes = attributes
+        self.values = values
+        self.strict = strict
+
+
+def _eval_program(program: ConditionsProgram, env: _Env) -> str:
+    result = env.values.minimum
+    for clause in program.clauses:
+        try:
+            satisfied = _eval_test(clause.test, env)
+        except ExpressionError:
+            if env.strict:
+                raise
+            continue  # errored clause contributes nothing
+        if not satisfied:
+            continue
+        if clause.target is None:
+            contribution = env.values.maximum
+        elif isinstance(clause.target, ConditionsProgram):
+            contribution = _eval_program(clause.target, env)
+        else:
+            if clause.target not in env.values:
+                if env.strict:
+                    raise ExpressionError(
+                        f"value {clause.target!r} not in the query's compliance set"
+                    )
+                continue
+            contribution = clause.target
+        result = env.values.max_of(result, contribution)
+    return result
+
+
+def _eval_test(node: TestNode, env: _Env) -> bool:
+    if isinstance(node, BoolLit):
+        return node.value
+    if isinstance(node, Not):
+        return not _eval_test(node.inner, env)
+    if isinstance(node, And):
+        return _eval_test(node.left, env) and _eval_test(node.right, env)
+    if isinstance(node, Or):
+        return _eval_test(node.left, env) or _eval_test(node.right, env)
+    if isinstance(node, Compare):
+        return _eval_compare(node, env)
+    raise ExpressionError(f"unknown test node: {node!r}")
+
+
+def _eval_compare(node: Compare, env: _Env) -> bool:
+    left = _eval_value(node.left, env)
+    if node.op == "~=":
+        right = _eval_value(node.right, env)
+        if not isinstance(left, str) or not isinstance(right, str):
+            raise ExpressionError("~= requires string operands")
+        try:
+            pattern = re.compile(right)
+        except re.error as exc:
+            raise ExpressionError(f"bad regular expression: {exc}") from exc
+        return pattern.search(left) is not None
+    right = _eval_value(node.right, env)
+    left_is_str = isinstance(left, str)
+    right_is_str = isinstance(right, str)
+    if left_is_str != right_is_str:
+        raise ExpressionError(
+            f"type mismatch in comparison: {type(left).__name__} "
+            f"{node.op} {type(right).__name__}"
+        )
+    ops: dict[str, Callable[[Value, Value], bool]] = {
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        ">": lambda a, b: a > b,
+        "<=": lambda a, b: a <= b,
+        ">=": lambda a, b: a >= b,
+    }
+    return ops[node.op](left, right)
+
+
+def _eval_value(node: ValueNode, env: _Env) -> Value:
+    if isinstance(node, StrLit):
+        return node.value
+    if isinstance(node, IntLit):
+        return node.value
+    if isinstance(node, FloatLit):
+        return node.value
+    if isinstance(node, Attr):
+        return env.attributes.get(node.name, "")
+    if isinstance(node, Deref):
+        name = _eval_value(node.inner, env)
+        if not isinstance(name, str):
+            raise ExpressionError("$ requires a string operand")
+        return env.attributes.get(name, "")
+    if isinstance(node, ToInt):
+        raw = _eval_value(node.inner, env)
+        if isinstance(raw, int):
+            return raw
+        if isinstance(raw, float):
+            return int(raw)
+        try:
+            return int(raw.strip() or "0", 10)
+        except ValueError as exc:
+            raise ExpressionError(f"cannot convert {raw!r} to integer") from exc
+    if isinstance(node, ToFloat):
+        raw = _eval_value(node.inner, env)
+        if isinstance(raw, (int, float)):
+            return float(raw)
+        try:
+            return float(raw.strip() or "0")
+        except ValueError as exc:
+            raise ExpressionError(f"cannot convert {raw!r} to float") from exc
+    if isinstance(node, Neg):
+        inner = _eval_value(node.inner, env)
+        if isinstance(inner, str):
+            raise ExpressionError("unary - requires a numeric operand")
+        return -inner
+    if isinstance(node, BinOp):
+        return _eval_binop(node, env)
+    raise ExpressionError(f"unknown value node: {node!r}")
+
+
+def _eval_binop(node: BinOp, env: _Env) -> Value:
+    left = _eval_value(node.left, env)
+    right = _eval_value(node.right, env)
+    if node.op == ".":
+        if not isinstance(left, str) or not isinstance(right, str):
+            raise ExpressionError("'.' concatenation requires string operands")
+        return left + right
+    if isinstance(left, str) or isinstance(right, str):
+        raise ExpressionError(f"operator {node.op!r} requires numeric operands")
+    try:
+        if node.op == "+":
+            return left + right
+        if node.op == "-":
+            return left - right
+        if node.op == "*":
+            return left * right
+        if node.op == "/":
+            if isinstance(left, int) and isinstance(right, int):
+                # C-style truncation toward zero, like the reference engine.
+                return int(left / right)
+            return left / right
+        if node.op == "%":
+            if right == 0:
+                raise ZeroDivisionError
+            result = abs(left) % abs(right)
+            return -result if left < 0 else result
+        if node.op == "^":
+            return left**right
+    except ZeroDivisionError as exc:
+        raise ExpressionError("division by zero") from exc
+    except OverflowError as exc:
+        raise ExpressionError("numeric overflow") from exc
+    raise ExpressionError(f"unknown operator: {node.op!r}")

@@ -1,0 +1,134 @@
+"""Persistent KeyNote sessions, in the style of the keynote(3) C API.
+
+The DisCFS daemon keeps one long-lived session: the administrator's policy
+is installed at startup, users submit credentials over RPC ("successfully
+submitted credential assertions are added to a persistent KeyNote
+session", paper section 5), and every NFS operation triggers a query.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import KeyNoteError, SignatureVerificationError
+from repro.keynote.ast import Assertion, ComplianceValues
+from repro.keynote.compliance import ComplianceChecker
+from repro.keynote.parser import parse_assertion, parse_assertions
+from repro.keynote.signing import verify_assertion
+
+
+class KeyNoteSession:
+    """A mutable set of policies + credentials with a query interface.
+
+    Parameters
+    ----------
+    verify_signatures:
+        When True (default), ``add_credential`` rejects credentials whose
+        signature does not verify, and queries re-check lazily.
+    index_attribute:
+        Optional attribute name for the compliance checker's sound pruning
+        index (see :class:`~repro.keynote.compliance.ComplianceChecker`).
+        DisCFS sessions index on ``HANDLE``.
+    """
+
+    def __init__(self, verify_signatures: bool = True,
+                 index_attribute: str | None = None):
+        self._checker = ComplianceChecker(verify_signatures=verify_signatures,
+                                          index_attribute=index_attribute)
+        self._policies: list[Assertion] = []
+        self._credentials: list[Assertion] = []
+        self._action_attributes: dict[str, str] = {}
+
+    # -- policy & credential management --------------------------------
+
+    def add_policy(self, text: str | Assertion) -> Assertion:
+        """Install a local policy assertion (Authorizer must be POLICY)."""
+        assertion = text if isinstance(text, Assertion) else parse_assertion(text)
+        if not assertion.is_policy:
+            raise KeyNoteError("policy assertions must be authorized by POLICY")
+        self._checker.add_assertion(assertion)
+        self._policies.append(assertion)
+        return assertion
+
+    def add_policies(self, text: str) -> list[Assertion]:
+        """Install every assertion in a blank-line-separated policy file."""
+        added = []
+        for assertion in parse_assertions(text):
+            added.append(self.add_policy(assertion))
+        return added
+
+    def add_credential(self, text: str | Assertion) -> Assertion:
+        """Add a signed credential; raises SignatureVerificationError if bad."""
+        assertion = text if isinstance(text, Assertion) else parse_assertion(text)
+        if assertion.is_policy:
+            raise KeyNoteError("credentials cannot be authorized by POLICY")
+        if self._checker.verify_signatures:
+            verify_assertion(assertion)  # fail fast at submission time
+        self._checker.add_assertion(assertion)
+        self._credentials.append(assertion)
+        return assertion
+
+    def add_credentials(self, text: str) -> list[Assertion]:
+        added = []
+        for assertion in parse_assertions(text):
+            added.append(self.add_credential(assertion))
+        return added
+
+    def remove_credential(self, assertion: Assertion) -> bool:
+        """Remove a credential (e.g. upon revocation); True if it was present."""
+        if assertion in self._credentials:
+            self._credentials.remove(assertion)
+            return self._checker.remove_assertion(assertion)
+        return False
+
+    @property
+    def policies(self) -> list[Assertion]:
+        return list(self._policies)
+
+    @property
+    def credentials(self) -> list[Assertion]:
+        return list(self._credentials)
+
+    # -- action attributes ----------------------------------------------
+
+    def add_action_attribute(self, name: str, value: str) -> None:
+        """Set a session-scoped action attribute (merged into each query)."""
+        if not name or name.startswith("_"):
+            raise KeyNoteError(f"invalid action attribute name: {name!r}")
+        self._action_attributes[name] = str(value)
+
+    def clear_action_attributes(self) -> None:
+        self._action_attributes.clear()
+
+    # -- query -------------------------------------------------------------
+
+    def query(
+        self,
+        action: Mapping[str, str] | None = None,
+        action_authorizers: Iterable[str] = (),
+        values: ComplianceValues | list[str] = ("false", "true"),
+    ) -> str:
+        """Run a compliance query; returns one of ``values``.
+
+        ``action`` is merged over the session's standing attributes.
+        """
+        if not isinstance(values, ComplianceValues):
+            values = ComplianceValues(list(values))
+        merged = dict(self._action_attributes)
+        if action:
+            merged.update({k: str(v) for k, v in action.items()})
+        return self._checker.query(merged, action_authorizers, values)
+
+    def query_with_trace(
+        self,
+        action: Mapping[str, str] | None = None,
+        action_authorizers: Iterable[str] = (),
+        values: ComplianceValues | list[str] = ("false", "true"),
+    ) -> tuple[str, list[Assertion]]:
+        """Query returning the contributing assertions (for audit logs)."""
+        if not isinstance(values, ComplianceValues):
+            values = ComplianceValues(list(values))
+        merged = dict(self._action_attributes)
+        if action:
+            merged.update({k: str(v) for k, v in action.items()})
+        return self._checker.query_with_trace(merged, action_authorizers, values)

@@ -1,0 +1,126 @@
+"""Client-side NFS attribute caching.
+
+Real NFS clients (including OpenBSD 2.8's, which served the paper's
+testbed) cache file attributes for a few seconds to avoid a GETATTR round
+trip per stat.  :class:`CachingNFSClient` layers the standard policy over
+any :class:`~repro.nfs.client.NFSClient`:
+
+* attributes are served from cache within a TTL (default 3 s for files,
+  30 s for directories, like the classic acregmin/acdirmin),
+* every reply that carries fresh attributes (lookup, read, write, create,
+  setattr) repopulates the cache,
+* namespace mutations invalidate the affected entries.
+
+Consistency model: close-to-open-ish, like NFSv2 — staleness within the
+TTL is possible by design; tests pin the exact semantics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.nfs.client import NFSClient
+from repro.nfs.protocol import FAttr, FileHandle, SAttr
+
+
+@dataclass
+class AttrCacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachingNFSClient:
+    """An NFSClient wrapper with attribute caching.
+
+    Exposes the same surface as :class:`NFSClient` (delegating what it
+    does not intercept), so it drops into the benchmark targets.
+    """
+
+    def __init__(self, inner: NFSClient, file_ttl: float = 3.0,
+                 dir_ttl: float = 30.0,
+                 clock=time.monotonic):
+        self._inner = inner
+        self._file_ttl = file_ttl
+        self._dir_ttl = dir_ttl
+        self._clock = clock
+        self._attrs: dict[FileHandle, tuple[FAttr, float]] = {}
+        self.stats = AttrCacheStats()
+
+    # -- cache mechanics --------------------------------------------------
+
+    def _remember(self, fh: FileHandle, attr: FAttr) -> None:
+        self._attrs[fh] = (attr, self._clock())
+
+    def _forget(self, fh: FileHandle) -> None:
+        self._attrs.pop(fh, None)
+
+    def invalidate(self) -> None:
+        """Drop the whole cache (close-to-open: call on open boundaries)."""
+        self._attrs.clear()
+
+    # -- intercepted operations ----------------------------------------------
+
+    def getattr(self, fh: FileHandle) -> FAttr:
+        entry = self._attrs.get(fh)
+        if entry is not None:
+            attr, stored = entry
+            ttl = self._dir_ttl if attr.is_dir else self._file_ttl
+            if self._clock() - stored < ttl:
+                self.stats.hits += 1
+                return attr
+        self.stats.misses += 1
+        attr = self._inner.getattr(fh)
+        self._remember(fh, attr)
+        return attr
+
+    def lookup(self, dir_fh: FileHandle, name: str):
+        fh, attr = self._inner.lookup(dir_fh, name)
+        self._remember(fh, attr)
+        return fh, attr
+
+    def write(self, fh: FileHandle, offset: int, data: bytes) -> FAttr:
+        attr = self._inner.write(fh, offset, data)
+        self._remember(fh, attr)
+        return attr
+
+    def setattr(self, fh: FileHandle, sattr: SAttr) -> FAttr:
+        attr = self._inner.setattr(fh, sattr)
+        self._remember(fh, attr)
+        return attr
+
+    def create(self, dir_fh: FileHandle, name: str, sattr: SAttr | None = None):
+        fh, attr, credential = self._inner.create(dir_fh, name, sattr)
+        self._remember(fh, attr)
+        self._forget(dir_fh)  # directory mtime/size changed
+        return fh, attr, credential
+
+    def mkdir(self, dir_fh: FileHandle, name: str, sattr: SAttr | None = None):
+        fh, attr, credential = self._inner.mkdir(dir_fh, name, sattr)
+        self._remember(fh, attr)
+        self._forget(dir_fh)
+        return fh, attr, credential
+
+    def remove(self, dir_fh: FileHandle, name: str) -> None:
+        self._inner.remove(dir_fh, name)
+        self._forget(dir_fh)
+
+    def rmdir(self, dir_fh: FileHandle, name: str) -> None:
+        self._inner.rmdir(dir_fh, name)
+        self._forget(dir_fh)
+
+    def rename(self, from_dir: FileHandle, from_name: str,
+               to_dir: FileHandle, to_name: str) -> None:
+        self._inner.rename(from_dir, from_name, to_dir, to_name)
+        self._forget(from_dir)
+        self._forget(to_dir)
+
+    # -- passthrough -----------------------------------------------------
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)

@@ -1,0 +1,97 @@
+"""The mount program: export paths -> root file handles (RFC 1094 App. A)."""
+
+from __future__ import annotations
+
+from repro.errors import FSError, NFSError
+from repro.fs.vfs import VFS
+from repro.nfs.protocol import (
+    MAX_PATH,
+    MOUNT_PROGRAM,
+    MOUNT_VERSION,
+    FileHandle,
+    NFSStat,
+    pack_fhandle,
+    stat_for_error,
+    unpack_fhandle,
+)
+from repro.rpc.client import RPCClient
+from repro.rpc.server import CallContext, RPCProgram
+from repro.rpc.transport import Transport
+from repro.rpc.xdr import XDRDecoder, XDREncoder
+
+
+class MountProc:
+    NULL = 0
+    MNT = 1
+    UMNT = 3
+
+
+class MountProgram(RPCProgram):
+    """Maps export paths to file handles over a VFS.
+
+    With ``exports=None`` (the default) every existing path is mountable —
+    the DisCFS configuration, where mounting grants nothing by itself
+    (every subsequent operation is policy-checked, and a freshly attached
+    directory shows permissions 000).  Pass an explicit list to restrict
+    mounting like /etc/exports does.
+    """
+
+    def __init__(self, vfs: VFS, exports: list[str] | None = None):
+        super().__init__(MOUNT_PROGRAM, MOUNT_VERSION, name="mount")
+        self.vfs = vfs
+        self._exports: set[str] | None = (
+            None if exports is None else {self._normalize(p) for p in exports}
+        )
+        self.register(MountProc.MNT, self._proc_mnt)
+        self.register(MountProc.UMNT, self._proc_umnt)
+
+    def add_export(self, path: str) -> None:
+        if self._exports is None:
+            self._exports = set()
+        self._exports.add(self._normalize(path))
+
+    @staticmethod
+    def _normalize(path: str) -> str:
+        return "/" + "/".join(p for p in path.split("/") if p)
+
+    def _proc_mnt(self, dec: XDRDecoder, ctx: CallContext) -> bytes:
+        path = self._normalize(dec.unpack_string(MAX_PATH))
+        enc = XDREncoder()
+        if self._exports is not None and path not in self._exports:
+            enc.pack_enum(NFSStat.NFSERR_ACCES)
+            return enc.getvalue()
+        try:
+            inode = self.vfs.fs.namei(path)
+        except FSError as exc:
+            enc.pack_enum(stat_for_error(exc))
+            return enc.getvalue()
+        enc.pack_enum(NFSStat.NFS_OK)
+        pack_fhandle(enc, FileHandle.of(inode))
+        return enc.getvalue()
+
+    def _proc_umnt(self, dec: XDRDecoder, ctx: CallContext) -> bytes:
+        dec.unpack_string(MAX_PATH)
+        return b""
+
+
+class MountClient:
+    """Client stub for the mount program."""
+
+    def __init__(self, transport: Transport):
+        self._client = RPCClient(transport, MOUNT_PROGRAM, MOUNT_VERSION)
+
+    def mount(self, path: str = "/") -> FileHandle:
+        enc = XDREncoder()
+        enc.pack_string(path)
+        dec = self._client.call(MountProc.MNT, enc.getvalue())
+        status = dec.unpack_enum()
+        if status != NFSStat.NFS_OK:
+            raise NFSError(status, f"mount of {path!r} failed")
+        fh = unpack_fhandle(dec)
+        dec.done()
+        return fh
+
+    def unmount(self, path: str = "/") -> None:
+        enc = XDREncoder()
+        enc.pack_string(path)
+        self._client.call(MountProc.UMNT, enc.getvalue()).done()

@@ -1,0 +1,45 @@
+"""RPC client stub: synchronous calls over any transport."""
+
+from __future__ import annotations
+
+from repro.errors import ProcedureUnavailable, RPCError
+from repro.rpc.message import AcceptStat, CallMessage, ReplyMessage
+from repro.rpc.transport import Transport
+from repro.rpc.xdr import XDRDecoder
+
+
+class RPCClient:
+    """Issues calls for one (program, version) pair over a transport."""
+
+    def __init__(self, transport: Transport, prog: int, vers: int):
+        self.transport = transport
+        self.prog = prog
+        self.vers = vers
+
+    def call(self, proc: int, args: bytes = b"") -> XDRDecoder:
+        """Call a procedure; returns a decoder over the results.
+
+        Raises :class:`ProcedureUnavailable` for PROG/PROC_UNAVAIL and
+        :class:`RPCError` for other non-success statuses or xid mismatches.
+        """
+        request = CallMessage(prog=self.prog, vers=self.vers, proc=proc, args=args)
+        raw = self.transport.call(request.encode())
+        reply = ReplyMessage.decode(raw)
+        if reply.xid != request.xid:
+            raise RPCError(f"xid mismatch: sent {request.xid}, got {reply.xid}")
+        if reply.stat in (AcceptStat.PROG_UNAVAIL, AcceptStat.PROC_UNAVAIL,
+                          AcceptStat.PROG_MISMATCH):
+            raise ProcedureUnavailable(
+                f"server cannot serve prog={self.prog} vers={self.vers} proc={proc} "
+                f"({reply.stat.name})"
+            )
+        if reply.stat != AcceptStat.SUCCESS:
+            raise RPCError(f"call failed with status {reply.stat.name}")
+        return XDRDecoder(reply.results)
+
+    def ping(self) -> None:
+        """Invoke the NULL procedure (used by tests and health checks)."""
+        self.call(0).done()
+
+    def close(self) -> None:
+        self.transport.close()

@@ -1,0 +1,134 @@
+"""RPC call/reply message framing (ONC RPC, RFC 5531 subset).
+
+Message layout::
+
+    CALL:  xid, mtype=0, rpcvers=2, prog, vers, proc, cred, verf, args...
+    REPLY: xid, mtype=1, reply_stat=ACCEPTED, verf, accept_stat, results...
+
+Authentication flavors: ``AUTH_NONE`` and a DisCFS-specific
+``AUTH_CHANNEL`` flavor whose body is empty — the peer identity comes from
+the secure channel, not from per-message credentials (the paper's point:
+"requests coming over the IPsec link can be safely assumed to come from
+the authorized user").
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import RPCError
+from repro.rpc.xdr import XDRDecoder, XDREncoder
+
+RPC_VERSION = 2
+
+
+class MsgType(enum.IntEnum):
+    CALL = 0
+    REPLY = 1
+
+
+class AcceptStat(enum.IntEnum):
+    SUCCESS = 0
+    PROG_UNAVAIL = 1
+    PROG_MISMATCH = 2
+    PROC_UNAVAIL = 3
+    GARBAGE_ARGS = 4
+    SYSTEM_ERR = 5
+
+
+class AuthFlavor(enum.IntEnum):
+    AUTH_NONE = 0
+    AUTH_SYS = 1
+    #: Identity supplied by the secure channel (DisCFS extension).
+    AUTH_CHANNEL = 390000
+
+
+_xid_counter = itertools.count(1)
+_xid_lock = threading.Lock()
+
+
+def next_xid() -> int:
+    with _xid_lock:
+        return next(_xid_counter) & 0xFFFFFFFF
+
+
+@dataclass
+class CallMessage:
+    prog: int
+    vers: int
+    proc: int
+    args: bytes = b""
+    xid: int = field(default_factory=next_xid)
+    auth_flavor: AuthFlavor = AuthFlavor.AUTH_NONE
+    auth_body: bytes = b""
+
+    def encode(self) -> bytes:
+        enc = XDREncoder()
+        enc.pack_uint(self.xid)
+        enc.pack_enum(MsgType.CALL)
+        enc.pack_uint(RPC_VERSION)
+        enc.pack_uint(self.prog)
+        enc.pack_uint(self.vers)
+        enc.pack_uint(self.proc)
+        enc.pack_enum(self.auth_flavor)
+        enc.pack_opaque(self.auth_body)
+        enc.pack_enum(AuthFlavor.AUTH_NONE)  # verifier flavor
+        enc.pack_opaque(b"")
+        return enc.getvalue() + self.args
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CallMessage":
+        dec = XDRDecoder(data)
+        xid = dec.unpack_uint()
+        mtype = dec.unpack_enum()
+        if mtype != MsgType.CALL:
+            raise RPCError(f"expected CALL, got message type {mtype}")
+        rpcvers = dec.unpack_uint()
+        if rpcvers != RPC_VERSION:
+            raise RPCError(f"unsupported RPC version {rpcvers}")
+        prog = dec.unpack_uint()
+        vers = dec.unpack_uint()
+        proc = dec.unpack_uint()
+        flavor = AuthFlavor(dec.unpack_enum())
+        auth_body = dec.unpack_opaque(max_size=400)
+        dec.unpack_enum()  # verifier flavor (ignored)
+        dec.unpack_opaque(max_size=400)
+        args = data[len(data) - dec.remaining :]
+        return cls(prog=prog, vers=vers, proc=proc, args=args, xid=xid,
+                   auth_flavor=flavor, auth_body=auth_body)
+
+
+@dataclass
+class ReplyMessage:
+    xid: int
+    stat: AcceptStat = AcceptStat.SUCCESS
+    results: bytes = b""
+
+    def encode(self) -> bytes:
+        enc = XDREncoder()
+        enc.pack_uint(self.xid)
+        enc.pack_enum(MsgType.REPLY)
+        enc.pack_enum(0)  # reply_stat = MSG_ACCEPTED
+        enc.pack_enum(AuthFlavor.AUTH_NONE)  # verifier
+        enc.pack_opaque(b"")
+        enc.pack_enum(self.stat)
+        return enc.getvalue() + self.results
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ReplyMessage":
+        dec = XDRDecoder(data)
+        xid = dec.unpack_uint()
+        mtype = dec.unpack_enum()
+        if mtype != MsgType.REPLY:
+            raise RPCError(f"expected REPLY, got message type {mtype}")
+        reply_stat = dec.unpack_enum()
+        if reply_stat != 0:
+            raise RPCError(f"RPC message denied (reply_stat={reply_stat})")
+        dec.unpack_enum()  # verifier flavor
+        dec.unpack_opaque(max_size=400)
+        stat = AcceptStat(dec.unpack_enum())
+        results = data[len(data) - dec.remaining :]
+        return cls(xid=xid, stat=stat, results=results)

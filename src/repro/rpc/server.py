@@ -1,0 +1,104 @@
+"""RPC program registration and dispatch."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import RPCError, XDRError
+from repro.rpc.message import AcceptStat, CallMessage, ReplyMessage
+from repro.rpc.xdr import XDRDecoder
+
+#: A procedure takes the XDR-decoded argument stream and per-call context,
+#: returning encoded results.
+Procedure = Callable[[XDRDecoder, "CallContext"], bytes]
+
+
+class CallContext:
+    """Per-call information handed to procedures.
+
+    ``peer_identity`` carries the public-key identifier bound to the
+    transport by the secure channel (None on unauthenticated transports).
+    DisCFS procedures use it as the requesting principal.
+    """
+
+    def __init__(self, call: CallMessage, peer_identity: str | None = None):
+        self.call = call
+        self.peer_identity = peer_identity
+
+
+class RPCProgram:
+    """One versioned RPC program: a table of procedures."""
+
+    def __init__(self, prog: int, vers: int, name: str = ""):
+        self.prog = prog
+        self.vers = vers
+        self.name = name or f"prog-{prog}"
+        self._procedures: dict[int, Procedure] = {0: lambda dec, ctx: b""}  # NULL proc
+
+    def register(self, proc: int, handler: Procedure) -> None:
+        self._procedures[proc] = handler
+
+    def procedure(self, proc: int):
+        """Decorator form of :meth:`register`."""
+
+        def wrap(handler: Procedure) -> Procedure:
+            self.register(proc, handler)
+            return handler
+
+        return wrap
+
+    def dispatch(self, proc: int, decoder: XDRDecoder, ctx: CallContext) -> bytes:
+        handler = self._procedures.get(proc)
+        if handler is None:
+            raise RPCError(f"procedure {proc} unavailable in {self.name}")
+        return handler(decoder, ctx)
+
+    def has_procedure(self, proc: int) -> bool:
+        return proc in self._procedures
+
+
+class RPCServer:
+    """Dispatches encoded call messages to registered programs.
+
+    The server itself is transport-agnostic: its :meth:`handle` is a
+    ``bytes -> bytes`` function pluggable into any transport, including
+    the secure channel (which supplies a per-connection identity via an
+    identity resolver).
+    """
+
+    def __init__(self) -> None:
+        self._programs: dict[tuple[int, int], RPCProgram] = {}
+
+    def register(self, program: RPCProgram) -> None:
+        self._programs[(program.prog, program.vers)] = program
+
+    def handle(self, request: bytes, peer_identity: str | None = None) -> bytes:
+        try:
+            call = CallMessage.decode(request)
+        except (RPCError, XDRError) as exc:
+            # Cannot even recover an xid; answer with xid 0 / GARBAGE_ARGS.
+            return ReplyMessage(xid=0, stat=AcceptStat.GARBAGE_ARGS,
+                                results=str(exc).encode()[:64]).encode()
+
+        program = self._programs.get((call.prog, call.vers))
+        if program is None:
+            return ReplyMessage(xid=call.xid, stat=AcceptStat.PROG_UNAVAIL).encode()
+        if not program.has_procedure(call.proc):
+            return ReplyMessage(xid=call.xid, stat=AcceptStat.PROC_UNAVAIL).encode()
+
+        ctx = CallContext(call, peer_identity=peer_identity)
+        try:
+            results = program.dispatch(call.proc, XDRDecoder(call.args), ctx)
+        except XDRError:
+            return ReplyMessage(xid=call.xid, stat=AcceptStat.GARBAGE_ARGS).encode()
+        except Exception:
+            return ReplyMessage(xid=call.xid, stat=AcceptStat.SYSTEM_ERR).encode()
+        return ReplyMessage(xid=call.xid, stat=AcceptStat.SUCCESS, results=results).encode()
+
+    def handler_for(self, identity: str | None = None):
+        """A ``bytes -> bytes`` closure with a fixed peer identity."""
+
+        def handler(request: bytes) -> bytes:
+            return self.handle(request, peer_identity=identity)
+
+        return handler

@@ -1,0 +1,196 @@
+"""XDR (External Data Representation) encoding — the RFC 4506 subset NFS uses.
+
+All quantities are big-endian and padded to 4-byte alignment.  The decoder
+is strict: short buffers and unconsumed padding bytes raise
+:class:`~repro.errors.XDRError` rather than silently misparsing.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, TypeVar
+
+from repro.errors import XDRError
+
+_U32 = struct.Struct(">I")
+_I32 = struct.Struct(">i")
+_U64 = struct.Struct(">Q")
+_I64 = struct.Struct(">q")
+
+T = TypeVar("T")
+
+
+class XDREncoder:
+    """Append-only XDR writer."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    # -- integers ----------------------------------------------------------
+
+    def pack_uint(self, value: int) -> "XDREncoder":
+        if not 0 <= value < 1 << 32:
+            raise XDRError(f"uint out of range: {value}")
+        self._buf += _U32.pack(value)
+        return self
+
+    def pack_int(self, value: int) -> "XDREncoder":
+        if not -(1 << 31) <= value < 1 << 31:
+            raise XDRError(f"int out of range: {value}")
+        self._buf += _I32.pack(value)
+        return self
+
+    def pack_uhyper(self, value: int) -> "XDREncoder":
+        if not 0 <= value < 1 << 64:
+            raise XDRError(f"uhyper out of range: {value}")
+        self._buf += _U64.pack(value)
+        return self
+
+    def pack_hyper(self, value: int) -> "XDREncoder":
+        if not -(1 << 63) <= value < 1 << 63:
+            raise XDRError(f"hyper out of range: {value}")
+        self._buf += _I64.pack(value)
+        return self
+
+    def pack_bool(self, value: bool) -> "XDREncoder":
+        return self.pack_uint(1 if value else 0)
+
+    def pack_enum(self, value: int) -> "XDREncoder":
+        return self.pack_int(int(value))
+
+    # -- byte strings -------------------------------------------------------
+
+    def pack_fixed_opaque(self, data: bytes, size: int) -> "XDREncoder":
+        if len(data) != size:
+            raise XDRError(f"fixed opaque must be exactly {size} bytes")
+        self._buf += data
+        self._pad(size)
+        return self
+
+    def pack_opaque(self, data: bytes) -> "XDREncoder":
+        self.pack_uint(len(data))
+        self._buf += data
+        self._pad(len(data))
+        return self
+
+    def pack_string(self, text: str) -> "XDREncoder":
+        return self.pack_opaque(text.encode("utf-8"))
+
+    # -- composites -------------------------------------------------------
+
+    def pack_array(self, items: list[T], pack_item: Callable[["XDREncoder", T], None]) -> "XDREncoder":
+        self.pack_uint(len(items))
+        for item in items:
+            pack_item(self, item)
+        return self
+
+    def pack_optional(self, value: T | None, pack_item: Callable[["XDREncoder", T], None]) -> "XDREncoder":
+        if value is None:
+            return self.pack_bool(False)
+        self.pack_bool(True)
+        pack_item(self, value)
+        return self
+
+    def _pad(self, size: int) -> None:
+        if size % 4:
+            self._buf += b"\x00" * (4 - size % 4)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class XDRDecoder:
+    """Cursor-based XDR reader."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise XDRError(
+                f"buffer underrun: need {n} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        out = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return out
+
+    # -- integers ----------------------------------------------------------
+
+    def unpack_uint(self) -> int:
+        return _U32.unpack(self._take(4))[0]
+
+    def unpack_int(self) -> int:
+        return _I32.unpack(self._take(4))[0]
+
+    def unpack_uhyper(self) -> int:
+        return _U64.unpack(self._take(8))[0]
+
+    def unpack_hyper(self) -> int:
+        return _I64.unpack(self._take(8))[0]
+
+    def unpack_bool(self) -> bool:
+        value = self.unpack_uint()
+        if value not in (0, 1):
+            raise XDRError(f"bool must be 0 or 1, got {value}")
+        return bool(value)
+
+    def unpack_enum(self) -> int:
+        return self.unpack_int()
+
+    # -- byte strings -------------------------------------------------------
+
+    def unpack_fixed_opaque(self, size: int) -> bytes:
+        data = self._take(size)
+        self._skip_pad(size)
+        return data
+
+    def unpack_opaque(self, max_size: int | None = None) -> bytes:
+        size = self.unpack_uint()
+        if max_size is not None and size > max_size:
+            raise XDRError(f"opaque of {size} bytes exceeds maximum {max_size}")
+        data = self._take(size)
+        self._skip_pad(size)
+        return data
+
+    def unpack_string(self, max_size: int | None = None) -> str:
+        raw = self.unpack_opaque(max_size)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise XDRError("string is not valid UTF-8") from exc
+
+    # -- composites -------------------------------------------------------
+
+    def unpack_array(self, unpack_item: Callable[["XDRDecoder"], T],
+                     max_items: int | None = None) -> list[T]:
+        count = self.unpack_uint()
+        if max_items is not None and count > max_items:
+            raise XDRError(f"array of {count} items exceeds maximum {max_items}")
+        return [unpack_item(self) for _ in range(count)]
+
+    def unpack_optional(self, unpack_item: Callable[["XDRDecoder"], T]) -> T | None:
+        if self.unpack_bool():
+            return unpack_item(self)
+        return None
+
+    def _skip_pad(self, size: int) -> None:
+        if size % 4:
+            pad = self._take(4 - size % 4)
+            if pad.strip(b"\x00"):
+                raise XDRError("nonzero padding bytes")
+
+    def done(self) -> None:
+        """Assert the whole buffer was consumed."""
+        if self._pos != len(self._data):
+            raise XDRError(
+                f"{len(self._data) - self._pos} unconsumed bytes at end of message"
+            )
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos

@@ -1,0 +1,76 @@
+"""Shared fixtures.
+
+Key generation is seeded and session-scoped: DSA/RSA keypairs are the
+expensive objects in this suite, and every test that needs "Alice's key"
+can share one safely (keys are immutable).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.admin import Administrator
+from repro.crypto.dsa import generate_dsa_keypair
+from repro.crypto.keycodec import encode_public_key
+from repro.crypto.numbers import seeded_random_bits
+from repro.crypto.rsa import generate_rsa_keypair
+
+
+@pytest.fixture(scope="session")
+def admin_key():
+    return generate_dsa_keypair(rand=seeded_random_bits(b"test-admin"))
+
+
+@pytest.fixture(scope="session")
+def bob_key():
+    return generate_dsa_keypair(rand=seeded_random_bits(b"test-bob"))
+
+
+@pytest.fixture(scope="session")
+def alice_key():
+    return generate_dsa_keypair(rand=seeded_random_bits(b"test-alice"))
+
+
+@pytest.fixture(scope="session")
+def carol_key():
+    return generate_dsa_keypair(rand=seeded_random_bits(b"test-carol"))
+
+
+@pytest.fixture(scope="session")
+def rsa_key():
+    return generate_rsa_keypair(768, rand=seeded_random_bits(b"test-rsa"))
+
+
+@pytest.fixture(scope="session")
+def admin_id(admin_key):
+    return encode_public_key(admin_key)
+
+
+@pytest.fixture(scope="session")
+def bob_id(bob_key):
+    return encode_public_key(bob_key)
+
+
+@pytest.fixture(scope="session")
+def alice_id(alice_key):
+    return encode_public_key(alice_key)
+
+
+@pytest.fixture(scope="session")
+def carol_id(carol_key):
+    return encode_public_key(carol_key)
+
+
+@pytest.fixture()
+def administrator(admin_key):
+    return Administrator(admin_key)
+
+
+@pytest.fixture()
+def discfs(administrator):
+    """A ready DisCFS server with the admin's trust chain installed."""
+    from repro.core.server import DisCFSServer
+
+    server = DisCFSServer(admin_identity=administrator.identity)
+    administrator.trust_server(server)
+    return server

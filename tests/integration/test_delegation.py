@@ -1,0 +1,134 @@
+"""Integration: the paper's Figure 1 delegation scenario.
+
+"Bob will be given a credential that binds Bob's key with the files in
+question and is signed by the administrator. ... If Bob then wishes Alice
+to be able to only read these files, he will simply need to create a new
+credential which will grant Alice's key read access. ... Alice's request
+must be accompanied by both credentials in order to be granted."
+"""
+
+import pytest
+
+from repro.core.admin import identity_of
+from repro.core.client import DisCFSClient
+from repro.errors import NFSError
+
+
+@pytest.fixture()
+def setup(discfs, administrator, bob_key, alice_key, carol_key):
+    """testdir with a file, Bob holding an admin credential for it."""
+    testdir = discfs.fs.mkdir(discfs.fs.root_ino, "testdir")
+    paper = discfs.fs.create(testdir.ino, "paper.tex")
+    discfs.fs.write(paper.ino, 0, b"% the DisCFS paper\n" * 100)
+
+    bob_cred = administrator.grant_inode(
+        identity_of(bob_key), testdir, rights="RWX",
+        scheme=discfs.handle_scheme, subtree=True, comment="testdir",
+    )
+    bob = DisCFSClient.connect(discfs, bob_key, secure=False)
+    bob.attach("/testdir")
+    return testdir, bob, bob_cred
+
+
+class TestAdminToBob:
+    def test_first_certificate(self, setup):
+        _testdir, bob, bob_cred = setup
+        bob.submit_credential(bob_cred)
+        assert bob.read_path("/paper.tex").startswith(b"% the DisCFS paper")
+        fh, _ = bob.walk("/paper.tex")
+        bob.write(fh, 0, b"@")  # RWX includes write
+
+    def test_without_credential_nothing_works(self, setup):
+        _testdir, bob, _cred = setup
+        for op in (lambda: bob.readdir(bob.root),
+                   lambda: bob.walk("/paper.tex"),
+                   lambda: bob.create(bob.root, "new")):
+            with pytest.raises(NFSError):
+                op()
+
+
+class TestBobToAlice:
+    def test_second_certificate_read_only(self, setup, discfs, alice_key):
+        _testdir, bob, bob_cred = setup
+        bob.submit_credential(bob_cred)
+
+        # Bob delegates read-only to Alice, entirely client-side.
+        alice_cred = bob.issuer.delegate(bob_cred, identity_of(alice_key),
+                                         rights="RX")
+        alice = DisCFSClient.connect(discfs, alice_key, secure=False)
+        alice.attach("/testdir")
+        with pytest.raises(NFSError):
+            alice.walk("/paper.tex")  # chain incomplete until submission
+        alice.submit_credential(alice_cred)
+
+        assert alice.read_path("/paper.tex")  # read works
+        fh, _ = alice.walk("/paper.tex")
+        with pytest.raises(NFSError):
+            alice.write(fh, 0, b"tamper")  # write denied: RX only
+
+    def test_chain_requires_bobs_credential_on_server(self, discfs,
+                                                      administrator,
+                                                      bob_key, alice_key):
+        """Alice's delegation is useless without Bob's own credential."""
+        testdir = discfs.fs.mkdir(discfs.fs.root_ino, "testdir2")
+        bob_cred = administrator.grant_inode(
+            identity_of(bob_key), testdir, rights="RWX",
+            scheme=discfs.handle_scheme, subtree=True,
+        )
+        from repro.core.credentials import CredentialIssuer
+
+        alice_cred = CredentialIssuer(bob_key).delegate(
+            bob_cred, identity_of(alice_key), rights="RX"
+        )
+        alice = DisCFSClient.connect(discfs, alice_key, secure=False)
+        alice.attach("/testdir2")
+        alice.submit_credential(alice_cred)  # accepted but chain dangles
+        with pytest.raises(NFSError):
+            alice.readdir(alice.root)
+        # Once Bob's credential reaches the server, the chain closes.
+        alice.submit_credential(bob_cred)
+        alice.readdir(alice.root)
+
+
+class TestDeeperChains:
+    def test_three_hop_chain_with_narrowing(self, setup, discfs, alice_key,
+                                            carol_key):
+        _testdir, bob, bob_cred = setup
+        bob.submit_credential(bob_cred)
+
+        alice_cred = bob.issuer.delegate(bob_cred, identity_of(alice_key),
+                                         rights="RX")
+        from repro.core.credentials import CredentialIssuer
+
+        carol_cred = CredentialIssuer(alice_key).delegate(
+            alice_cred, identity_of(carol_key), rights="X"
+        )
+        carol = DisCFSClient.connect(discfs, carol_key, secure=False)
+        carol.attach("/testdir")
+        carol.submit_credential(alice_cred)
+        carol.submit_credential(carol_cred)
+
+        # X lets carol traverse (lookup)...
+        fh, attr = carol.walk("/paper.tex")
+        # ...but not read.
+        with pytest.raises(NFSError):
+            carol.read(fh, 0, 10)
+
+    def test_delegatee_cannot_widen(self, setup, discfs, alice_key, carol_key):
+        """Alice (RX) delegates 'RWX' to Carol — chain min still caps at RX."""
+        _testdir, bob, bob_cred = setup
+        bob.submit_credential(bob_cred)
+        alice_cred = bob.issuer.delegate(bob_cred, identity_of(alice_key),
+                                         rights="RX")
+        from repro.core.credentials import CredentialIssuer
+
+        carol_cred = CredentialIssuer(alice_key).delegate(
+            alice_cred, identity_of(carol_key), rights="RWX"
+        )
+        carol = DisCFSClient.connect(discfs, carol_key, secure=False)
+        carol.attach("/testdir")
+        carol.submit_credentials([alice_cred, carol_cred])
+        fh, _ = carol.walk("/paper.tex")
+        assert carol.read(fh, 0, 5)  # R survives
+        with pytest.raises(NFSError):
+            carol.write(fh, 0, b"no")  # W was never Alice's to give

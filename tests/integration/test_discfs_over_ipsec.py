@@ -1,0 +1,85 @@
+"""Integration: the full paper configuration — DisCFS over the IKE/ESP
+channel (Figures 2-4's three-step flow), plus the TCP distributed setup."""
+
+import pytest
+
+from repro.core.admin import identity_of
+from repro.core.client import DisCFSClient
+from repro.errors import NFSError
+from repro.ipsec.channel import SecureTransport
+from repro.ipsec.ike import IKEInitiator
+from repro.rpc.transport import TCPTransport, serve_tcp
+
+
+class TestSecureChannelFlow:
+    def test_figures_2_3_4_flow(self, discfs, administrator, bob_key, bob_id):
+        """Figure 2: establish IPsec connection.  Figure 3: send
+        credentials, file becomes visible.  Figure 4: read file blocks."""
+        testdir = discfs.fs.mkdir(discfs.fs.root_ino, "testdir")
+        discfs.fs.write_file("/testdir/data.bin", bytes(range(256)) * 64)
+        cred = administrator.grant_inode(
+            bob_id, testdir, rights="RX",
+            scheme=discfs.handle_scheme, subtree=True,
+        )
+
+        # Step 1: IKE handshake binds bob's key to the channel.
+        bob = DisCFSClient.connect(discfs, bob_key, secure=True)
+        bob.attach("/testdir")
+        assert discfs.secure_channel().active_sas[0].peer_identity == bob_id
+
+        # Before credentials: directory is mounted but unusable (mode 000).
+        assert bob.getattr(bob.root).permission_bits == 0
+        with pytest.raises(NFSError):
+            bob.readdir(bob.root)
+
+        # Step 2: submit credential; file appears.
+        bob.submit_credential(cred)
+        names = [n for _i, n in bob.readdir(bob.root)]
+        assert "data.bin" in names
+
+        # Step 3: read file blocks.
+        assert bob.read_path("/data.bin") == bytes(range(256)) * 64
+
+    def test_channel_identity_cannot_be_spoofed(self, discfs, administrator,
+                                                bob_key, alice_key, bob_id):
+        """Alice's channel carries Alice's key; Bob's credential does not
+        help requests arriving on Alice's SA."""
+        testdir = discfs.fs.mkdir(discfs.fs.root_ino, "private")
+        discfs.fs.write_file("/private/secret", b"for bob only")
+        cred = administrator.grant_inode(
+            bob_id, testdir, rights="RX",
+            scheme=discfs.handle_scheme, subtree=True,
+        )
+        alice = DisCFSClient.connect(discfs, alice_key, secure=True)
+        alice.attach("/private")
+        alice.submit_credential(cred)  # submitting bob's credential is fine...
+        with pytest.raises(NFSError):
+            alice.read_path("/secret")  # ...but grants alice nothing
+
+
+class TestDistributedTCP:
+    def test_full_stack_over_sockets(self, discfs, administrator, bob_key,
+                                     bob_id):
+        """Client and server in separate 'hosts' (socket boundary), ESP
+        records on the wire."""
+        testdir = discfs.fs.mkdir(discfs.fs.root_ino, "wan")
+        discfs.fs.write_file("/wan/file.txt", b"over tcp and esp")
+        cred = administrator.grant_inode(
+            bob_id, testdir, rights="RWX",
+            scheme=discfs.handle_scheme, subtree=True,
+        )
+
+        tcp_server = serve_tcp(discfs.secure_channel().handle)
+        try:
+            raw = TCPTransport(*tcp_server.address)
+            transport = SecureTransport(raw, IKEInitiator(bob_key))
+            bob = DisCFSClient(transport, bob_key)
+            bob.attach("/wan")
+            bob.submit_credential(cred)
+            assert bob.read_path("/file.txt") == b"over tcp and esp"
+            fh, _cred2 = bob.create(bob.root, "reply.txt")
+            bob.write(fh, 0, b"roundtrip")
+            assert discfs.fs.read_file("/wan/reply.txt") == b"roundtrip"
+            bob.close()
+        finally:
+            tcp_server.close()

@@ -1,0 +1,81 @@
+"""Integration: a faithful Figure 5 credential end-to-end.
+
+The paper's Figure 5 credential:
+
+    Authorizer: "dsa-hex:3081de0240503ca3..."
+    Licensees: "dsa-hex:3081de02405be60a..."
+    Conditions: (app_domain == "DisCFS") && (HANDLE == "666240") -> "RWX";
+    Comment: "testdir"
+    Signature: "sig-dsa-sha1-hex:302e021500eeb1..."
+
+This test constructs exactly that credential shape (with our keys), checks
+every syntactic element, and drives it through the KeyNote engine and a
+DisCFS server using the prototype's bare-inode handle scheme.
+"""
+
+import re
+
+from repro.core.admin import identity_of
+from repro.core.credentials import issue_credential
+from repro.core.handles import HandleScheme
+from repro.core.permissions import PERMISSION_VALUES
+from repro.keynote.ast import ComplianceValues
+from repro.keynote.parser import parse_assertion
+from repro.keynote.session import KeyNoteSession
+from repro.keynote.signing import verify_assertion
+
+
+class TestFigure5:
+    def test_credential_text_shape(self, admin_key, bob_id):
+        text = issue_credential(admin_key, bob_id, handle="666240",
+                                rights="RWX", comment="testdir")
+        lines = text.strip().splitlines()
+        fields = [line.split(":", 1)[0] for line in lines]
+        assert fields == ["KeyNote-Version", "Authorizer", "Licensees",
+                          "Conditions", "Comment", "Signature"]
+        assert re.search(r'Authorizer: "dsa-hex:[0-9a-f]+"', text)
+        assert re.search(r'Licensees: "dsa-hex:[0-9a-f]+"', text)
+        assert ('Conditions: (app_domain == "DisCFS") && '
+                '(HANDLE == "666240") -> "RWX";') in text
+        assert re.search(r'Signature: "sig-dsa-sha1-hex:[0-9a-f]+"', text)
+
+    def test_credential_verifies_and_authorizes(self, admin_key, admin_id,
+                                                bob_id):
+        text = issue_credential(admin_key, bob_id, handle="666240",
+                                rights="RWX", comment="testdir")
+        assertion = parse_assertion(text)
+        verify_assertion(assertion)
+
+        session = KeyNoteSession()
+        session.add_policy(f'Authorizer: "POLICY"\nLicensees: "{admin_id}"\n')
+        session.add_credential(assertion)
+        values = ComplianceValues(list(PERMISSION_VALUES))
+        result = session.query(
+            {"app_domain": "DisCFS", "HANDLE": "666240"}, [bob_id], values
+        )
+        assert result == "RWX"
+
+    def test_against_server_with_inode_handles(self, administrator, bob_key):
+        """Drive the Figure 5 credential against a real server where the
+        handle IS the inode number, as in the prototype."""
+        from repro.core.client import DisCFSClient
+        from repro.core.server import DisCFSServer
+
+        server = DisCFSServer(admin_identity=administrator.identity,
+                              handle_scheme=HandleScheme.INODE)
+        administrator.trust_server(server)
+        testdir = server.fs.mkdir(server.fs.root_ino, "testdir")
+
+        credential = issue_credential(
+            administrator.key, identity_of(bob_key),
+            handle=str(testdir.ino),  # bare inode, like "666240"
+            rights="RWX", comment="testdir",
+        )
+        bob = DisCFSClient.connect(server, bob_key, secure=False)
+        bob.attach("/testdir")
+        assert bob.getattr(bob.root).permission_bits == 0o000
+        bob.submit_credential(credential)
+        assert bob.getattr(bob.root).permission_bits == 0o700
+        # RWX on the directory allows creating entries in it.
+        fh, _cred = bob.create(bob.root, "newfile")
+        assert fh is not None

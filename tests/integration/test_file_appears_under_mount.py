@@ -1,0 +1,85 @@
+"""Integration: section 4.3's visibility rule.
+
+"Once the user submits the necessary file credentials, the file will
+appear under the DisCFS mount point using the same name it had when its
+credential was created."
+
+A user holding a credential for a *file only* (no directory rights) must
+be able to look it up and use it by name — while the rest of the
+directory stays invisible.
+"""
+
+import pytest
+
+from repro.core.admin import identity_of
+from repro.core.client import DisCFSClient
+from repro.errors import NFSError
+
+
+class TestFileVisibility:
+    def test_file_credential_alone_suffices_for_lookup(self, discfs,
+                                                       administrator,
+                                                       alice_key, alice_id):
+        share = discfs.fs.mkdir(discfs.fs.root_ino, "share")
+        doc = discfs.fs.create(share.ino, "doc.txt")
+        discfs.fs.write(doc.ino, 0, b"just this file")
+        discfs.fs.write_file("/share/other.txt", b"not for alice")
+
+        # Credential covers the FILE handle only — no subtree, no dir.
+        cred = administrator.grant_inode(alice_id, doc, rights="RX",
+                                         scheme=discfs.handle_scheme)
+        alice = DisCFSClient.connect(discfs, alice_key, secure=False)
+        alice.attach("/share")
+        alice.submit_credential(cred)
+
+        # The file appears under the mount point by its name...
+        fh, attr = alice.lookup(alice.root, "doc.txt")
+        assert alice.read(fh, 0, attr.size) == b"just this file"
+        # ...its reported mode shows alice's granted rights...
+        assert attr.permission_bits == 0o500
+        # ...but the directory is not listable...
+        with pytest.raises(NFSError):
+            alice.readdir(alice.root)
+        # ...and the sibling stays invisible.
+        with pytest.raises(NFSError):
+            alice.lookup(alice.root, "other.txt")
+
+    def test_write_still_governed_by_credential_rights(self, discfs,
+                                                       administrator,
+                                                       alice_key, alice_id):
+        share = discfs.fs.mkdir(discfs.fs.root_ino, "share2")
+        doc = discfs.fs.create(share.ino, "rw.txt")
+        cred = administrator.grant_inode(alice_id, doc, rights="RW",
+                                         scheme=discfs.handle_scheme)
+        alice = DisCFSClient.connect(discfs, alice_key, secure=False)
+        alice.attach("/share2")
+        alice.submit_credential(cred)
+        fh, _ = alice.lookup(alice.root, "rw.txt")
+        alice.write(fh, 0, b"updated")
+        assert alice.read(fh, 0, 7) == b"updated"
+
+    def test_multi_component_walk_without_dir_rights_fails(self, discfs,
+                                                           administrator,
+                                                           alice_key,
+                                                           alice_id):
+        """Only the credentialed component is visible; alice cannot
+        traverse *through* directories she has no rights on to reach it
+        by a nested path, unless each lookup is individually justified."""
+        a = discfs.fs.mkdir(discfs.fs.root_ino, "a2")
+        b = discfs.fs.mkdir(a.ino, "b2")
+        doc = discfs.fs.create(b.ino, "leaf.txt")
+        cred = administrator.grant_inode(alice_id, doc, rights="RX",
+                                         scheme=discfs.handle_scheme)
+        alice = DisCFSClient.connect(discfs, alice_key, secure=False)
+        alice.attach("/")
+        alice.submit_credential(cred)
+        # Looking up "a2" in the root: alice holds nothing on a2 -> denied.
+        with pytest.raises(NFSError):
+            alice.walk("/a2/b2/leaf.txt")
+        # Attaching the containing directory directly works (the paper's
+        # model: the mount point is where credentialed content appears).
+        alice2 = DisCFSClient.connect(discfs, alice_key, secure=False)
+        alice2.attach("/a2/b2")
+        alice2.submit_credential(cred)
+        fh, _ = alice2.lookup(alice2.root, "leaf.txt")
+        assert fh is not None

@@ -1,0 +1,118 @@
+"""Integration: anonymous (WWW-style) access via the guest principal.
+
+Paper future work (section 7): "new file sharing policies for unusual
+scenarios, such as the untrusted users characteristic of the WWW".  The
+web's access model is anonymous download without prior registration
+(section 2).  With a guest principal, the administrator *publishes* by
+issuing a credential to an opaque guest name; requests arriving with no
+authenticated identity act as that principal.
+"""
+
+import pytest
+
+from repro.core.admin import identity_of, make_user_keypair
+from repro.core.client import DisCFSClient
+from repro.core.server import DisCFSServer
+from repro.errors import NFSError
+from repro.nfs.client import NFSClient
+from repro.nfs.mount import MountClient
+
+
+def anonymous_client(server, attach="/"):
+    """A client with no channel identity at all."""
+    transport = server.in_process_transport(identity=None)
+    root = MountClient(transport).mount(attach)
+    return NFSClient(transport, root)
+
+
+@pytest.fixture()
+def www(administrator):
+    server = DisCFSServer(admin_identity=administrator.identity,
+                          guest_principal="GUEST")
+    administrator.trust_server(server)
+    public = server.fs.mkdir(server.fs.root_ino, "www")
+    server.fs.write_file("/www/index.html", b"<h1>hello internet</h1>")
+    private = server.fs.mkdir(server.fs.root_ino, "private")
+    server.fs.write_file("/private/payroll", b"secret numbers")
+    # Publish /www to the world: a credential whose licensee is "GUEST".
+    publish_cred = administrator.grant_inode(
+        "GUEST", public, rights="RX",
+        scheme=server.handle_scheme, subtree=True, comment="world-readable",
+    )
+    server.accept_credential(publish_cred)
+    return server, public, private
+
+
+class TestAnonymousBrowsing:
+    def test_guest_reads_published_content(self, www):
+        server, _public, _private = www
+        client = anonymous_client(server, "/www")
+        names = {n for _i, n in client.readdir_all(client.root)}
+        assert "index.html" in names
+        fh, attr = client.lookup(client.root, "index.html")
+        assert client.read(fh, 0, attr.size) == b"<h1>hello internet</h1>"
+
+    def test_guest_cannot_write(self, www):
+        server, _public, _private = www
+        client = anonymous_client(server, "/www")
+        fh, _ = client.lookup(client.root, "index.html")
+        with pytest.raises(NFSError):
+            client.write(fh, 0, b"defaced")
+        with pytest.raises(NFSError):
+            client.create(client.root, "spam.html")
+
+    def test_guest_cannot_reach_private(self, www):
+        server, _public, _private = www
+        client = anonymous_client(server, "/private")
+        with pytest.raises(NFSError):
+            client.readdir_all(client.root)
+
+    def test_guest_mode_reports_granted_rights(self, www):
+        server, _public, _private = www
+        client = anonymous_client(server, "/www")
+        assert client.getattr(client.root).permission_bits == 0o500
+
+    def test_authenticated_users_unaffected(self, www, administrator):
+        """A keyed user still needs (and can use) their own chain."""
+        server, _public, private = www
+        key = make_user_keypair(b"payroll-admin")
+        cred = administrator.grant_inode(
+            identity_of(key), private, rights="RX",
+            scheme=server.handle_scheme, subtree=True,
+        )
+        user = DisCFSClient.connect(server, key, secure=False)
+        user.attach("/private")
+        user.submit_credential(cred)
+        assert user.read_path("/payroll") == b"secret numbers"
+
+    def test_guest_disabled_by_default(self, administrator):
+        server = DisCFSServer(admin_identity=administrator.identity)
+        administrator.trust_server(server)
+        server.fs.write_file("/open.txt", b"x")
+        server.accept_credential(administrator.grant_inode(
+            "GUEST", server.fs.iget(server.fs.root_ino), rights="RX",
+            scheme=server.handle_scheme, subtree=True,
+        ))
+        client = anonymous_client(server, "/")
+        with pytest.raises(NFSError):
+            client.readdir_all(client.root)  # no guest mapping -> denied
+
+
+class TestAnonymousDropbox:
+    def test_guest_uploads_with_wx_grant(self, administrator):
+        """An anonymous upload box: guests may create but not list."""
+        server = DisCFSServer(admin_identity=administrator.identity,
+                              guest_principal="GUEST")
+        administrator.trust_server(server)
+        inbox = server.fs.mkdir(server.fs.root_ino, "inbox")
+        server.accept_credential(administrator.grant_inode(
+            "GUEST", inbox, rights="WX", scheme=server.handle_scheme,
+        ))
+        client = anonymous_client(server, "/inbox")
+        fh, _attr, cred = client.create(client.root, "submission.txt")
+        assert cred is not None  # creator credential minted for GUEST
+        client.write(fh, 0, b"anonymous tip")
+        # ...but listing the inbox needs R, which guests lack.
+        with pytest.raises(NFSError):
+            client.readdir_all(client.root)
+        assert server.fs.read_file("/inbox/submission.txt") == b"anonymous tip"

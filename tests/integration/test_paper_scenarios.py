@@ -1,0 +1,158 @@
+"""Integration: other scenarios described in the paper's text."""
+
+import time
+
+import pytest
+
+from repro.core.admin import Administrator, identity_of, make_user_keypair
+from repro.core.client import DisCFSClient
+from repro.core.server import DisCFSServer
+from repro.errors import NFSError
+
+
+class TestCVSRepositoryAnecdote:
+    """Section 4.2: the authors' CVS repository had no common group; with
+    DisCFS "the owner of the repository would simply need to issue
+    read-write certificates to all the other authors."
+    """
+
+    def test_five_authors_share_repository(self, administrator):
+        server = DisCFSServer(admin_identity=administrator.identity)
+        administrator.trust_server(server)
+
+        # The repository owner is an internal user with a credential from
+        # the administrator.
+        owner_key = make_user_keypair(b"repo-owner")
+        repo = server.fs.mkdir(server.fs.root_ino, "cvsroot")
+        owner_cred = administrator.grant_inode(
+            identity_of(owner_key), repo, rights="RWX",
+            scheme=server.handle_scheme, subtree=True, comment="cvsroot",
+        )
+        owner = DisCFSClient.connect(server, owner_key, secure=False)
+        owner.attach("/cvsroot")
+        owner.submit_credential(owner_cred)
+        fh, _cred = owner.create(owner.root, "paper,v")
+        owner.write(fh, 0, b"head 1.1;\n")
+
+        # No sysadmin involved: the owner mails read-write certificates.
+        authors = []
+        for i in range(5):
+            key = make_user_keypair(f"author{i}".encode())
+            cred = owner.issuer.delegate(owner_cred, identity_of(key),
+                                         rights="RWX")
+            client = DisCFSClient.connect(server, key, secure=False)
+            client.attach("/cvsroot")
+            client.submit_credential(cred)
+            authors.append(client)
+
+        for i, author in enumerate(authors):
+            fh, _ = author.walk("/paper,v")
+            content = author.read(fh, 0, 8192)
+            author.write(fh, len(content), f"1.{i + 2};\n".encode())
+
+        final = owner.read_path("/paper,v")
+        assert final.startswith(b"head 1.1;\n")
+        assert b"1.6;\n" in final
+
+
+class TestTimeOfDayPolicy:
+    """Section 3.1: "the access policy can consider factors such as
+    time-of-day, so that, for example, leisure-related files may not be
+    available during office hours."
+    """
+
+    def _server_at_hour(self, administrator, hour):
+        fixed = time.mktime((2024, 3, 5, hour, 30, 0, 0, 0, -1))
+        server = DisCFSServer(admin_identity=administrator.identity,
+                              clock=lambda: fixed)
+        administrator.trust_server(server)
+        return server
+
+    def test_leisure_file_blocked_during_office_hours(self, administrator,
+                                                      bob_key):
+        for hour, should_work in ((12, False), (20, True), (8, True)):
+            server = self._server_at_hour(administrator, hour)
+            leisure = server.fs.mkdir(server.fs.root_ino, "leisure")
+            server.fs.write_file("/leisure/game.sav", b"save data")
+            # Readable only OUTSIDE 9-17: conditions say hour<9 or hour>=17.
+            cred = administrator.grant_inode(
+                identity_of(bob_key), leisure, rights="RX",
+                scheme=server.handle_scheme, subtree=True,
+                extra_condition="(@hour < 9) || (@hour >= 17)",
+            )
+            bob = DisCFSClient.connect(server, bob_key, secure=False)
+            bob.attach("/leisure")
+            bob.submit_credential(cred)
+            if should_work:
+                assert bob.read_path("/game.sav") == b"save data"
+            else:
+                with pytest.raises(NFSError):
+                    bob.read_path("/game.sav")
+
+
+class TestShortLivedCredentials:
+    """Section 4.1: short-lived credentials simplify revocation."""
+
+    def test_credential_expires(self, administrator, bob_key):
+        now = {"t": 1000.0}
+        server = DisCFSServer(admin_identity=administrator.identity,
+                              clock=lambda: now["t"],
+                              cache_capacity=0)  # no caching across time
+        administrator.trust_server(server)
+        share = server.fs.mkdir(server.fs.root_ino, "share")
+        server.fs.write_file("/share/doc", b"ephemeral")
+        cred = administrator.grant_inode(
+            identity_of(bob_key), share, rights="RX",
+            scheme=server.handle_scheme, subtree=True,
+            expires_at=2000,
+        )
+        bob = DisCFSClient.connect(server, bob_key, secure=False)
+        bob.attach("/share")
+        bob.submit_credential(cred)
+        assert bob.read_path("/doc") == b"ephemeral"
+        now["t"] = 2001.0  # credential lifetime passes
+        with pytest.raises(NFSError):
+            bob.read_path("/doc")
+
+
+class TestExternalUsersUnknownAPriori:
+    """Section 2: external users have no accounts and are unknown to the
+    system until their first request arrives with credentials."""
+
+    def test_fresh_key_gains_access_with_only_credentials(self, administrator):
+        server = DisCFSServer(admin_identity=administrator.identity)
+        administrator.trust_server(server)
+        pub = server.fs.mkdir(server.fs.root_ino, "pub")
+        server.fs.write_file("/pub/brochure.pdf", b"%PDF-1.4 product info")
+
+        # Bob (internal) holds the credential for /pub.
+        bob_key = make_user_keypair(b"salesman-bob")
+        bob_cred = administrator.grant_inode(
+            identity_of(bob_key), pub, rights="RWX",
+            scheme=server.handle_scheme, subtree=True,
+        )
+        # A brand-new client key the server has never seen:
+        client_key = make_user_keypair(b"new-customer")
+        from repro.core.credentials import CredentialIssuer
+
+        customer_cred = CredentialIssuer(bob_key).delegate(
+            bob_cred, identity_of(client_key), rights="RX"
+        )
+        customer = DisCFSClient.connect(server, client_key, secure=False)
+        customer.attach("/pub")
+        customer.submit_credentials([bob_cred, customer_cred])
+        assert customer.read_path("/brochure.pdf").startswith(b"%PDF")
+
+    def test_server_keeps_no_per_user_state_beyond_credentials(self,
+                                                               administrator):
+        """Requirement: 'the system should maintain as little additional
+        state as possible' — the only per-user state is the submitted
+        credentials themselves."""
+        server = DisCFSServer(admin_identity=administrator.identity)
+        administrator.trust_server(server)
+        before = len(server.session.credentials)
+        key = make_user_keypair(b"stateless-user")
+        client = DisCFSClient.connect(server, key, secure=False)
+        client.attach("/")
+        # Connecting and mounting added no state:
+        assert len(server.session.credentials) == before

@@ -1,0 +1,120 @@
+"""Integration: RFC 2704 conformance details that matter end-to-end."""
+
+import pytest
+
+from repro.core.admin import identity_of
+from repro.core.client import DisCFSClient
+from repro.crypto.keycodec import encode_public_key
+from repro.errors import NFSError
+from repro.keynote.session import KeyNoteSession
+from repro.keynote.signing import sign_assertion
+
+
+class TestCrossEncodingPrincipals:
+    """RFC 2704: two encodings of one key are the same principal."""
+
+    def test_base64_licensee_matches_hex_requester(self, admin_key, bob_key):
+        admin_hex = encode_public_key(admin_key, "hex")
+        bob_b64 = encode_public_key(bob_key, "base64")
+        bob_hex = encode_public_key(bob_key, "hex")
+
+        session = KeyNoteSession()
+        session.add_policy(f'Authorizer: "POLICY"\nLicensees: "{admin_hex}"\n')
+        cred = sign_assertion(
+            f'Authorizer: "{admin_hex}"\nLicensees: "{bob_b64}"\n', admin_key
+        )
+        session.add_credential(cred)
+        assert session.query({}, [bob_hex]) == "true"
+
+    def test_base64_authorizer_chains_to_hex_policy(self, admin_key, bob_key):
+        """The authorizer can be written in a different encoding than the
+        policy names it with."""
+        admin_b64 = encode_public_key(admin_key, "base64")
+        admin_hex = encode_public_key(admin_key, "hex")
+        session = KeyNoteSession()
+        session.add_policy(f'Authorizer: "POLICY"\nLicensees: "{admin_hex}"\n')
+        cred = sign_assertion(
+            f'Authorizer: "{admin_b64}"\nLicensees: "carol"\n', admin_key
+        )
+        # sign_assertion normalizes comparison but the *text* keeps b64;
+        # verification must accept it because decoding yields admin's key.
+        session.add_credential(cred)
+        assert session.query({}, ["carol"]) == "true"
+
+    def test_cross_encoding_through_full_discfs_stack(self, discfs,
+                                                      administrator,
+                                                      alice_key):
+        """A credential naming Alice's key in base64 admits her hex-identity
+        channel."""
+        share = discfs.fs.mkdir(discfs.fs.root_ino, "xenc")
+        discfs.fs.write_file("/xenc/f", b"cross encoding")
+        alice_b64 = encode_public_key(alice_key, "base64")
+        cred = administrator.grant_inode(
+            alice_b64, share, rights="RX",
+            scheme=discfs.handle_scheme, subtree=True)
+        alice = DisCFSClient.connect(discfs, alice_key, secure=False)
+        alice.attach("/xenc")
+        alice.submit_credential(cred)
+        assert alice.read_path("/f") == b"cross encoding"
+
+
+class TestLocalConstantsEndToEnd:
+    def test_symbolic_keys_in_credentials(self, admin_key, bob_key):
+        """Local-Constants let assertions name keys symbolically — the
+        style RFC 2704's examples use."""
+        admin_id = encode_public_key(admin_key)
+        bob_id = encode_public_key(bob_key)
+        session = KeyNoteSession()
+        session.add_policy(
+            f'Local-Constants: ADMIN = "{admin_id}"\n'
+            'Authorizer: "POLICY"\n'
+            "Licensees: ADMIN\n"
+        )
+        cred = sign_assertion(
+            f'Local-Constants: ME = "{admin_id}" BOB = "{bob_id}"\n'
+            "Authorizer: ME\n"
+            "Licensees: BOB\n"
+            'Conditions: app_domain == "test";\n',
+            admin_key,
+        )
+        session.add_credential(cred)
+        assert session.query({"app_domain": "test"}, [bob_id]) == "true"
+        assert session.query({"app_domain": "other"}, [bob_id]) == "false"
+
+
+class TestThresholdEndToEnd:
+    def test_two_of_three_through_discfs(self, discfs, administrator,
+                                         bob_key, alice_key, carol_key,
+                                         bob_id, alice_id, carol_id):
+        """A 2-of-3 threshold credential: no single key can act alone.
+
+        DisCFS requests carry one channel identity, so a single user never
+        satisfies the threshold — this is the KeyNote feature working as
+        designed for co-signing policies (the request principal set would
+        need multiple signers, as in an escrow application).
+        """
+        share = discfs.fs.mkdir(discfs.fs.root_ino, "escrow")
+        discfs.fs.write_file("/escrow/secret", b"dual control")
+        licensees = f'2-of("{bob_id}", "{alice_id}", "{carol_id}")'
+        cred = administrator.grant_inode(
+            licensees, share, rights="RX",
+            scheme=discfs.handle_scheme, subtree=True)
+        bob = DisCFSClient.connect(discfs, bob_key, secure=False)
+        bob.attach("/escrow")
+        bob.submit_credential(cred)
+        with pytest.raises(NFSError):
+            bob.read_path("/secret")  # one signer < threshold
+
+        # Direct KeyNote query with two action authorizers passes — the
+        # mechanism is sound; DisCFS's single-identity channel is the
+        # (faithful) restriction.
+        from repro.core.permissions import PERMISSION_VALUES
+        from repro.keynote.ast import ComplianceValues
+
+        handle = discfs.handle_scheme.render_inode(share)
+        value = discfs.session.query(
+            {"app_domain": "DisCFS", "HANDLE": handle},
+            [bob_id, alice_id],
+            ComplianceValues(list(PERMISSION_VALUES)),
+        )
+        assert value == "RX"

@@ -1,0 +1,57 @@
+"""Property tests: cipher round-trips and structural invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.cipher import BlockCipher, StreamCipher, derive_key
+
+KEY = st.binary(min_size=32, max_size=32)
+NONCE = st.binary(min_size=12, max_size=12)
+
+
+@settings(max_examples=100)
+@given(key=KEY, nonce=NONCE, data=st.binary(max_size=4096),
+       offset=st.integers(min_value=0, max_value=1 << 20))
+def test_stream_roundtrip_any_offset(key, nonce, data, offset):
+    cipher = StreamCipher(key, nonce)
+    assert cipher.process(cipher.process(data, offset), offset) == data
+
+
+@settings(max_examples=100)
+@given(key=KEY, nonce=NONCE, data=st.binary(min_size=10, max_size=2000),
+       split=st.integers(min_value=1, max_value=9))
+def test_stream_split_equals_whole(key, nonce, data, split):
+    """Encrypting in two pieces equals encrypting at once (seekability)."""
+    cipher = StreamCipher(key, nonce)
+    split = min(split, len(data) - 1)
+    whole = cipher.process(data, 0)
+    parts = cipher.process(data[:split], 0) + cipher.process(data[split:], split)
+    assert parts == whole
+
+
+@settings(max_examples=100)
+@given(key=st.binary(min_size=16, max_size=48), block=st.binary(min_size=16, max_size=16))
+def test_block_cipher_bijective(key, block):
+    cipher = BlockCipher(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@settings(max_examples=50)
+@given(key=st.binary(min_size=16, max_size=32),
+       blocks=st.integers(min_value=1, max_value=8),
+       iv=st.binary(min_size=16, max_size=16),
+       data=st.data())
+def test_cbc_roundtrip(key, blocks, iv, data):
+    payload = data.draw(st.binary(min_size=16 * blocks, max_size=16 * blocks))
+    cipher = BlockCipher(key)
+    assert cipher.decrypt_cbc(cipher.encrypt_cbc(payload, iv), iv) == payload
+
+
+@settings(max_examples=100)
+@given(parts=st.lists(st.binary(max_size=32), min_size=1, max_size=4),
+       length=st.integers(min_value=1, max_value=64))
+def test_derive_key_deterministic_and_sized(parts, length):
+    a = derive_key(*parts, length=length)
+    b = derive_key(*parts, length=length)
+    assert a == b
+    assert len(a) == length

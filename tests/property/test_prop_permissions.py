@@ -1,0 +1,71 @@
+"""Property tests: the permission lattice and compliance-value ordering."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.permissions import PERMISSION_VALUES, Permission
+from repro.keynote.ast import ComplianceValues
+
+BITS = st.integers(min_value=0, max_value=7)
+
+
+@given(a=BITS, b=BITS)
+def test_covers_iff_bit_subset(a, b):
+    assert Permission(a).covers(Permission(b)) == ((a & b) == b)
+
+
+@given(a=BITS, b=BITS)
+def test_union_is_least_upper_bound(a, b):
+    u = Permission(a).union(Permission(b))
+    assert u.covers(Permission(a)) and u.covers(Permission(b))
+    # least: anything covering both also covers the union
+    for c in range(8):
+        p = Permission(c)
+        if p.covers(Permission(a)) and p.covers(Permission(b)):
+            assert p.covers(u)
+
+
+@given(a=BITS, b=BITS)
+def test_intersect_is_greatest_lower_bound(a, b):
+    i = Permission(a).intersect(Permission(b))
+    assert Permission(a).covers(i) and Permission(b).covers(i)
+    for c in range(8):
+        p = Permission(c)
+        if Permission(a).covers(p) and Permission(b).covers(p):
+            assert i.covers(p)
+
+
+@given(bits=BITS)
+def test_value_roundtrip(bits):
+    p = Permission(bits)
+    assert Permission.from_value(p.value) == p
+    assert p.octal == bits
+
+
+@settings(max_examples=50)
+@given(values=st.permutations(list(PERMISSION_VALUES)))
+def test_compliance_values_order_operations(values):
+    cv = ComplianceValues(values)
+    assert cv.minimum == values[0]
+    assert cv.maximum == values[-1]
+    for i, v in enumerate(values):
+        assert cv.rank(v) == i
+    assert cv.min_of(values[0], values[-1]) == values[0]
+    assert cv.max_of(values[0], values[-1]) == values[-1]
+
+
+@settings(max_examples=100)
+@given(
+    members=st.lists(st.sampled_from(PERMISSION_VALUES), min_size=1, max_size=6),
+    k=st.integers(min_value=1, max_value=6),
+)
+def test_kth_largest_properties(members, k):
+    cv = ComplianceValues(list(PERMISSION_VALUES))
+    result = cv.kth_largest(members, k)
+    if k > len(members):
+        assert result == cv.minimum
+    else:
+        # result is the k-th largest: exactly k members rank >= it... at least.
+        at_least = sum(1 for m in members if cv.rank(m) >= cv.rank(result))
+        assert at_least >= k
+        assert result in members

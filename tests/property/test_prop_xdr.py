@@ -1,0 +1,85 @@
+"""Property tests: XDR round-trips for arbitrary values."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rpc.xdr import XDRDecoder, XDREncoder
+
+
+@settings(max_examples=200)
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_uint_roundtrip(value):
+    enc = XDREncoder()
+    enc.pack_uint(value)
+    dec = XDRDecoder(enc.getvalue())
+    assert dec.unpack_uint() == value
+    dec.done()
+
+
+@settings(max_examples=200)
+@given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+def test_int_roundtrip(value):
+    enc = XDREncoder()
+    enc.pack_int(value)
+    assert XDRDecoder(enc.getvalue()).unpack_int() == value
+
+
+@settings(max_examples=200)
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_uhyper_roundtrip(value):
+    enc = XDREncoder()
+    enc.pack_uhyper(value)
+    assert XDRDecoder(enc.getvalue()).unpack_uhyper() == value
+
+
+@settings(max_examples=200)
+@given(st.binary(max_size=2048))
+def test_opaque_roundtrip(data):
+    enc = XDREncoder()
+    enc.pack_opaque(data)
+    encoded = enc.getvalue()
+    assert len(encoded) % 4 == 0  # always aligned
+    dec = XDRDecoder(encoded)
+    assert dec.unpack_opaque() == data
+    dec.done()
+
+
+@settings(max_examples=200)
+@given(st.text(max_size=512))
+def test_string_roundtrip(text):
+    enc = XDREncoder()
+    enc.pack_string(text)
+    assert XDRDecoder(enc.getvalue()).unpack_string() == text
+
+
+@settings(max_examples=100)
+@given(st.lists(st.binary(max_size=64), max_size=32))
+def test_array_roundtrip(items):
+    enc = XDREncoder()
+    enc.pack_array(items, lambda e, b: e.pack_opaque(b))
+    assert XDRDecoder(enc.getvalue()).unpack_array(
+        lambda d: d.unpack_opaque()
+    ) == items
+
+
+@settings(max_examples=100)
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("uint"), st.integers(0, (1 << 32) - 1)),
+            st.tuples(st.just("string"), st.text(max_size=64)),
+            st.tuples(st.just("opaque"), st.binary(max_size=64)),
+            st.tuples(st.just("bool"), st.booleans()),
+        ),
+        max_size=20,
+    )
+)
+def test_heterogeneous_sequence_roundtrip(fields):
+    """Any interleaving of types round-trips (alignment invariant)."""
+    enc = XDREncoder()
+    for kind, value in fields:
+        getattr(enc, f"pack_{kind}")(value)
+    dec = XDRDecoder(enc.getvalue())
+    for kind, value in fields:
+        assert getattr(dec, f"unpack_{kind}")() == value
+    dec.done()

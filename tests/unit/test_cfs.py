@@ -1,0 +1,137 @@
+"""Unit tests for the CFS baseline (encrypting layer + server assembly)."""
+
+import pytest
+
+from repro.cfs.cipher_layer import EncryptingVFS
+from repro.cfs.client import cfs_attach
+from repro.cfs.server import CFSServer
+from repro.errors import InvalidArgument
+from repro.fs.ffs import FFS
+from repro.fs.vfs import FileId, VFS
+
+
+@pytest.fixture()
+def evfs():
+    return EncryptingVFS(FFS(), master_key=b"0123456789abcdef")
+
+
+class TestDataEncryption:
+    def test_roundtrip(self, evfs):
+        f = evfs.create(evfs.root, "secret.txt")
+        fid = FileId.of(f)
+        evfs.write(fid, 0, b"top secret data")
+        assert evfs.read(fid, 0, 15) == b"top secret data"
+
+    def test_ciphertext_on_disk(self, evfs):
+        f = evfs.create(evfs.root, "secret.txt")
+        fid = FileId.of(f)
+        evfs.write(fid, 0, b"plaintext-marker")
+        raw = evfs.fs.read(f.ino, 0, 16)
+        assert raw != b"plaintext-marker"
+
+    def test_random_access_reads(self, evfs):
+        f = evfs.create(evfs.root, "f")
+        fid = FileId.of(f)
+        data = bytes(i & 0xFF for i in range(20000))
+        evfs.write(fid, 0, data)
+        assert evfs.read(fid, 9000, 500) == data[9000:9500]
+        evfs.write(fid, 100, b"PATCH")
+        assert evfs.read(fid, 98, 9) == data[98:100] + b"PATCH" + data[105:107]
+
+    def test_per_file_keys_differ(self, evfs):
+        a = evfs.create(evfs.root, "a")
+        b = evfs.create(evfs.root, "b")
+        evfs.write(FileId.of(a), 0, b"same plaintext!!")
+        evfs.write(FileId.of(b), 0, b"same plaintext!!")
+        raw_a = evfs.fs.read(a.ino, 0, 16)
+        raw_b = evfs.fs.read(b.ino, 0, 16)
+        assert raw_a != raw_b
+
+    def test_wrong_key_garbles(self):
+        fs = FFS()
+        good = EncryptingVFS(fs, master_key=b"correct-key-1234")
+        f = good.create(good.root, "f")
+        good.write(FileId.of(f), 0, b"readable")
+        bad = EncryptingVFS(fs, master_key=b"wrong-key-999999")
+        # name is encrypted too, so go via raw inode read
+        assert bad.read(FileId.of(f), 0, 8) != b"readable"
+
+    def test_short_key_rejected(self):
+        with pytest.raises(InvalidArgument):
+            EncryptingVFS(FFS(), master_key=b"short")
+
+
+class TestNameEncryption:
+    def test_names_hidden_on_disk(self, evfs):
+        evfs.create(evfs.root, "visible-name.txt")
+        raw_names = [n for n, _ in evfs.fs.readdir(evfs.fs.root_ino)]
+        assert "visible-name.txt" not in raw_names
+
+    def test_readdir_decrypts(self, evfs):
+        evfs.create(evfs.root, "visible-name.txt")
+        names = [n for n, _ in evfs.readdir(evfs.root)]
+        assert "visible-name.txt" in names
+        assert "." in names and ".." in names
+
+    def test_lookup_remove_rename(self, evfs):
+        evfs.create(evfs.root, "a.txt")
+        assert evfs.lookup(evfs.root, "a.txt").is_regular
+        evfs.rename(evfs.root, "a.txt", evfs.root, "b.txt")
+        assert evfs.lookup(evfs.root, "b.txt").is_regular
+        evfs.remove(evfs.root, "b.txt")
+        names = [n for n, _ in evfs.readdir(evfs.root)]
+        assert names == [".", ".."]
+
+    def test_mkdir_and_nested(self, evfs):
+        d = evfs.mkdir(evfs.root, "subdir")
+        evfs.create(FileId.of(d), "inner.c")
+        assert evfs.lookup(FileId.of(d), "inner.c").is_regular
+
+    def test_symlink_target_encrypted(self, evfs):
+        link = evfs.symlink(evfs.root, "ln", "/real/path")
+        assert evfs.readlink(FileId.of(link)) == "/real/path"
+        raw_target = evfs.fs.readlink(link.ino)
+        assert raw_target != "/real/path"
+
+    def test_long_names(self, evfs):
+        # Encrypted names double in length (hex); 100 chars stays legal.
+        name = "x" * 100 + ".c"
+        evfs.create(evfs.root, name)
+        assert evfs.lookup(evfs.root, name).is_regular
+
+
+class TestCFSServer:
+    def test_cfsne_is_plain_vfs(self):
+        server = CFSServer(encrypt=False)
+        assert type(server.vfs) is VFS
+
+    def test_cfs_is_encrypting(self):
+        server = CFSServer(encrypt=True)
+        assert isinstance(server.vfs, EncryptingVFS)
+
+    def test_end_to_end_cfsne(self):
+        server = CFSServer(encrypt=False)
+        client = cfs_attach(server.in_process_transport("u"))
+        fh, _, _ = client.create(client.root, "f")
+        client.write(fh, 0, b"data")
+        assert client.read(fh, 0, 4) == b"data"
+        # plaintext on the substrate
+        assert server.fs.read_file("/f") == b"data"
+
+    def test_end_to_end_cfs_encrypting(self):
+        server = CFSServer(encrypt=True, master_key=b"k" * 16)
+        client = cfs_attach(server.in_process_transport("u"))
+        fh, _, _ = client.create(client.root, "f")
+        client.write(fh, 0, b"data")
+        assert client.read(fh, 0, 4) == b"data"
+        # ciphertext on the substrate: no readable /f, names encrypted
+        raw_names = [n for n, _ in server.fs.readdir(server.fs.root_ino)]
+        assert "f" not in raw_names
+
+    def test_shared_fs_injection(self):
+        fs = FFS()
+        fs.write_file("/seed", b"existing")
+        server = CFSServer(fs=fs, encrypt=False)
+        client = cfs_attach(server.in_process_transport())
+        fh, _ = client.walk("/seed")
+        assert client.read(fh, 0, 8) == b"existing"

@@ -1,0 +1,211 @@
+"""End-to-end tests for the ``discfs`` CLI.
+
+Each test drives ``repro.cli.main`` in-process.  The server tests start a
+real TCP server in a background thread via the library (the CLI ``serve``
+command's blocking loop is exercised only in --oneshot form) and then run
+client commands against it.
+"""
+
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.core.admin import Administrator
+from repro.core.server import DisCFSServer
+from repro.crypto.keycodec import decode_key
+from repro.rpc.transport import serve_tcp
+
+
+def run(argv):
+    return main(argv)
+
+
+@pytest.fixture()
+def keyfile(tmp_path):
+    path = str(tmp_path / "user.key")
+    assert run(["keygen", "--out", path, "--seed", "cli-user"]) == 0
+    return path
+
+
+@pytest.fixture()
+def admin_keyfile(tmp_path):
+    path = str(tmp_path / "admin.key")
+    assert run(["keygen", "--out", path, "--seed", "cli-admin"]) == 0
+    return path
+
+
+def identity_of_file(path, capsys):
+    assert run(["identity", "--key", path]) == 0
+    return capsys.readouterr().out.strip()
+
+
+class TestKeyCommands:
+    def test_keygen_writes_private_key(self, keyfile):
+        key = decode_key(open(keyfile).read().strip())
+        assert hasattr(key, "sign")
+
+    def test_keygen_rsa(self, tmp_path):
+        path = str(tmp_path / "rsa.key")
+        assert run(["keygen", "--out", path, "--algorithm", "rsa",
+                    "--bits", "768", "--seed", "cli-rsa"]) == 0
+        key = decode_key(open(path).read().strip())
+        assert key.algorithm == "rsa"
+
+    def test_identity(self, keyfile, capsys):
+        identity = identity_of_file(keyfile, capsys)
+        assert identity.startswith("dsa-hex:")
+
+    def test_identity_missing_file(self, tmp_path):
+        assert run(["identity", "--key", str(tmp_path / "nope.key")]) == 1
+
+
+class TestCredentialCommands:
+    def test_issue_inspect_verify(self, admin_keyfile, keyfile, tmp_path,
+                                  capsys):
+        user_id = identity_of_file(keyfile, capsys)
+        cred = str(tmp_path / "cred.txt")
+        assert run(["issue", "--key", admin_keyfile, "--licensee", user_id,
+                    "--handle", "42.1", "--rights", "RX",
+                    "--comment", "testdir", "--out", cred]) == 0
+        assert run(["verify", "--credential", cred]) == 0
+        assert run(["inspect", "--credential", cred]) == 0
+        out = capsys.readouterr().out
+        assert "handle     : 42.1" in out
+        assert "rights     : RX" in out
+        assert "comment    : testdir" in out
+
+    def test_issue_licensee_from_file(self, admin_keyfile, keyfile, tmp_path,
+                                      capsys):
+        user_id = identity_of_file(keyfile, capsys)
+        id_file = tmp_path / "user.id"
+        id_file.write_text(user_id + "\n")
+        cred = str(tmp_path / "cred.txt")
+        assert run(["issue", "--key", admin_keyfile,
+                    "--licensee", str(id_file),
+                    "--handle", "1", "--out", cred]) == 0
+        assert run(["verify", "--credential", cred]) == 0
+
+    def test_issue_subtree_and_hours(self, admin_keyfile, keyfile, tmp_path,
+                                     capsys):
+        user_id = identity_of_file(keyfile, capsys)
+        cred = str(tmp_path / "cred.txt")
+        assert run(["issue", "--key", admin_keyfile, "--licensee", user_id,
+                    "--handle", "7.1", "--subtree", "--hours", "9-17",
+                    "--out", cred]) == 0
+        text = open(cred).read()
+        assert "ANCESTORS" in text and "@hour" in text
+
+    def test_delegate(self, admin_keyfile, keyfile, tmp_path, capsys):
+        user_id = identity_of_file(keyfile, capsys)
+        original = str(tmp_path / "orig.txt")
+        run(["issue", "--key", admin_keyfile, "--licensee", user_id,
+             "--handle", "5.1", "--rights", "RWX", "--out", original])
+        delegated = str(tmp_path / "deleg.txt")
+        assert run(["delegate", "--key", keyfile, "--credential", original,
+                    "--licensee", "some-principal", "--rights", "RX",
+                    "--out", delegated]) == 0
+        capsys.readouterr()
+        assert run(["inspect", "--credential", delegated]) == 0
+        assert "rights     : RX" in capsys.readouterr().out
+
+    def test_verify_tampered(self, admin_keyfile, keyfile, tmp_path, capsys):
+        user_id = identity_of_file(keyfile, capsys)
+        cred = tmp_path / "cred.txt"
+        run(["issue", "--key", admin_keyfile, "--licensee", user_id,
+             "--handle", "1", "--rights", "RX", "--out", str(cred)])
+        cred.write_text(cred.read_text().replace('"RX"', '"RWX"'))
+        assert run(["verify", "--credential", str(cred)]) == 1
+
+    def test_issue_with_public_key_fails(self, admin_keyfile, keyfile,
+                                         tmp_path, capsys):
+        user_id = identity_of_file(keyfile, capsys)
+        pub_file = tmp_path / "pub.key"
+        pub_file.write_text(user_id)
+        assert run(["issue", "--key", str(pub_file), "--licensee", user_id,
+                    "--handle", "1"]) == 1
+
+
+class TestServeOneshot:
+    def test_serve_starts_and_exits(self, admin_keyfile, tmp_path, capsys):
+        run(["identity", "--key", admin_keyfile])
+        admin_id = capsys.readouterr().out.strip()
+        src = tmp_path / "content"
+        src.mkdir()
+        (src / "a.txt").write_text("imported")
+        (src / "sub").mkdir()
+        (src / "sub" / "b.txt").write_text("nested")
+        assert run(["serve", "--admin-identity", admin_id,
+                    "--trust-key", admin_keyfile,
+                    "--import-dir", str(src), "--oneshot"]) == 0
+        out = capsys.readouterr().out
+        assert "imported 2 files" in out
+        assert "DisCFS serving on" in out
+
+
+@pytest.fixture()
+def live_server(admin_keyfile, keyfile, tmp_path, capsys):
+    """A real DisCFS TCP server plus an issued credential for the user."""
+    admin = Administrator(decode_key(open(admin_keyfile).read().strip()))
+    server = DisCFSServer(admin_identity=admin.identity)
+    admin.trust_server(server)
+    share = server.fs.mkdir(server.fs.root_ino, "share")
+    server.fs.write_file("/share/hello.txt", b"hi from the server\n")
+
+    user_id = identity_of_file(keyfile, capsys)
+    cred_path = str(tmp_path / "share.cred")
+    open(cred_path, "w").write(admin.grant_inode(
+        user_id, share, rights="RWX", scheme=server.handle_scheme,
+        subtree=True,
+    ))
+    tcp = serve_tcp(server.secure_channel().handle)
+    yield f"{tcp.address[0]}:{tcp.address[1]}", cred_path, server, admin_keyfile
+    tcp.close()
+
+
+class TestClientCommands:
+    def test_ls_cat_put_rm_stat(self, live_server, keyfile, tmp_path, capsys):
+        address, cred, _server, _admin = live_server
+        base = ["--server", address, "--key", keyfile,
+                "--attach", "/share", "--credential", cred]
+
+        assert run(["ls", *base, "/"]) == 0
+        assert "hello.txt" in capsys.readouterr().out
+
+        assert run(["cat", *base, "/hello.txt"]) == 0
+        assert "hi from the server" in capsys.readouterr().out
+
+        local = tmp_path / "upload.bin"
+        local.write_bytes(b"uploaded bytes")
+        saved = str(tmp_path / "creator.cred")
+        assert run(["put", *base, str(local), "/upload.bin",
+                    "--save-credential", saved]) == 0
+        assert "creator credential saved" in capsys.readouterr().out
+        assert "Signature" in open(saved).read()
+
+        assert run(["stat", *base, "/upload.bin"]) == 0
+        out = capsys.readouterr().out
+        assert "handle     :" in out and "size       : 14" in out
+
+        assert run(["rm", *base, "/upload.bin"]) == 0
+
+    def test_submit_command(self, live_server, keyfile, capsys):
+        address, cred, _server, _admin = live_server
+        assert run(["submit", "--server", address, "--key", keyfile,
+                    "--attach", "/share", cred]) == 0
+        assert "credential accepted" in capsys.readouterr().out
+
+    def test_access_denied_without_credential(self, live_server, keyfile):
+        address, _cred, _server, _admin = live_server
+        assert run(["ls", "--server", address, "--key", keyfile,
+                    "--attach", "/share", "/"]) == 1
+
+    def test_admin_revoke_key(self, live_server, keyfile, tmp_path, capsys):
+        address, cred, _server, admin_keyfile = live_server
+        user_id = identity_of_file(keyfile, capsys)
+        # Revocation must come from the admin's channel.
+        assert run(["revoke", "--server", address, "--key", admin_keyfile,
+                    "key", user_id]) == 0
+        assert "revoked key" in capsys.readouterr().out
+        assert run(["ls", "--server", address, "--key", keyfile,
+                    "--attach", "/share", "--credential", cred, "/"]) == 1

@@ -1,0 +1,107 @@
+"""Unit tests for administrator utilities and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.core.admin import Administrator, identity_of, make_user_keypair
+from repro.core.server import DisCFSServer
+from repro.crypto.keycodec import encode_public_key
+from repro.keynote.parser import parse_assertion
+from repro.keynote.signing import verify_assertion
+
+
+class TestAdministrator:
+    def test_generate_seeded_is_deterministic(self):
+        a = Administrator.generate(seed=b"same-seed")
+        b = Administrator.generate(seed=b"same-seed")
+        assert a.identity == b.identity
+
+    def test_generate_unseeded_is_fresh(self):
+        assert Administrator.generate().identity != Administrator.generate().identity
+
+    def test_trust_server_installs_chain(self, administrator):
+        server = DisCFSServer(admin_identity=administrator.identity)
+        text = administrator.trust_server(server)
+        assertion = parse_assertion(text)
+        verify_assertion(assertion)
+        assert assertion.authorizer == administrator.identity
+        assert server.issuer_identity in assertion.licensee_principals()
+        assert any(a.source_text == text or a.signature == assertion.signature
+                   for a in server.session.credentials)
+
+    def test_grant_inode_renders_scheme(self, administrator):
+        from repro.core.handles import HandleScheme
+        from repro.fs.ffs import FFS
+
+        fs = FFS()
+        inode = fs.create(fs.root_ino, "f")
+        bare = administrator.grant_inode("someone", inode, rights="R",
+                                         scheme=HandleScheme.INODE)
+        assert f'HANDLE == "{inode.ino}"' in bare
+        gen = administrator.grant_inode("someone", inode, rights="R")
+        assert f'HANDLE == "{inode.ino}.{inode.generation}"' in gen
+
+    def test_helpers(self, bob_key):
+        assert identity_of(bob_key) == encode_public_key(bob_key)
+        assert make_user_keypair(b"x").x == make_user_keypair(b"x").x
+
+
+class TestErrorHierarchy:
+    def test_everything_is_reproerror(self):
+        leaf_classes = [
+            errors.InvalidSignature, errors.InvalidKey,
+            errors.AssertionSyntaxError, errors.ExpressionError,
+            errors.SignatureVerificationError, errors.FileNotFound,
+            errors.FileExists, errors.NotADirectory, errors.IsADirectory,
+            errors.DirectoryNotEmpty, errors.NoSpace, errors.StaleHandle,
+            errors.XDRError, errors.TransportError,
+            errors.ProcedureUnavailable, errors.HandshakeError,
+            errors.IntegrityError, errors.SAExpired, errors.AccessDenied,
+            errors.CredentialError, errors.RevokedError, errors.NotAttached,
+        ]
+        for cls in leaf_classes:
+            assert issubclass(cls, errors.ReproError), cls
+
+    def test_fs_errors_carry_errno_names(self):
+        assert errors.FileNotFound("x").errno_name == "ENOENT"
+        assert errors.StaleHandle("x").errno_name == "ESTALE"
+        assert errors.FSError("x").errno_name == "EIO"
+
+    def test_nfs_error_carries_status(self):
+        exc = errors.NFSError(70)
+        assert exc.status == 70
+        assert "70" in str(exc)
+
+    def test_assertion_syntax_error_location(self):
+        exc = errors.AssertionSyntaxError("bad token", line=3, column=14)
+        assert "line 3" in str(exc) and "column 14" in str(exc)
+
+    def test_family_catching(self):
+        with pytest.raises(errors.KeyNoteError):
+            raise errors.AssertionSyntaxError("x")
+        with pytest.raises(errors.FSError):
+            raise errors.DirectoryNotEmpty("x")
+        with pytest.raises(errors.ChannelError):
+            raise errors.IntegrityError("x")
+        with pytest.raises(errors.DisCFSError):
+            raise errors.RevokedError("x")
+
+
+class TestReportModule:
+    def test_run_evaluation_tiny(self, capsys):
+        from repro.bench.report import print_report, run_evaluation
+        from repro.bench.workloads import SourceTreeSpec
+
+        results = run_evaluation(
+            systems=("FFS", "CFS-NE"),
+            file_size=32 * 1024,
+            char_size=4 * 1024,
+            tree_spec=SourceTreeSpec(directories=2, files_per_directory=2,
+                                     min_file_bytes=300, max_file_bytes=600),
+        )
+        assert set(results["bonnie"]) == {"FFS", "CFS-NE"}
+        assert results["search"]["FFS"].files_scanned == 4
+        print_report(results)
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "Figure 12" in out
+        assert "FFS" in out and "CFS-NE" in out

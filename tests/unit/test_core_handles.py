@@ -1,0 +1,68 @@
+"""Unit tests for handle schemes and ancestor chains."""
+
+from repro.core.handles import HandleScheme, ancestor_chain
+from repro.fs.ffs import FFS
+from repro.nfs.protocol import FileHandle
+
+
+class TestSchemes:
+    def test_inode_scheme_matches_paper(self):
+        # Figure 5: HANDLE == "666240" — a bare decimal inode number.
+        fh = FileHandle(ino=666240, generation=3)
+        assert HandleScheme.INODE.render(fh) == "666240"
+
+    def test_inode_generation_scheme(self):
+        fh = FileHandle(ino=666240, generation=3)
+        assert HandleScheme.INODE_GENERATION.render(fh) == "666240.3"
+
+    def test_render_inode(self):
+        fs = FFS()
+        inode = fs.create(fs.root_ino, "f")
+        rendered = HandleScheme.INODE_GENERATION.render_inode(inode)
+        assert rendered == f"{inode.ino}.{inode.generation}"
+
+    def test_inode_scheme_collides_on_reuse(self):
+        """The prototype weakness the paper flags: recycled inodes alias."""
+        fs = FFS()
+        a = fs.create(fs.root_ino, "a")
+        handle_a = HandleScheme.INODE.render_inode(a)
+        fs.remove(fs.root_ino, "a")
+        b = fs.create(fs.root_ino, "b")
+        if b.ino == a.ino:
+            # bare-inode handles collide...
+            assert HandleScheme.INODE.render_inode(b) == handle_a
+            # ...generation handles do not
+            assert (HandleScheme.INODE_GENERATION.render_inode(b)
+                    != f"{a.ino}.{a.generation}")
+
+
+class TestAncestorChain:
+    def test_root_chain(self):
+        fs = FFS()
+        chain = ancestor_chain(fs, fs.root_ino, HandleScheme.INODE)
+        assert chain == str(fs.root_ino)
+
+    def test_nested_chain_order(self):
+        fs = FFS()
+        a = fs.mkdir(fs.root_ino, "a")
+        b = fs.mkdir(a.ino, "b")
+        chain = ancestor_chain(fs, b.ino, HandleScheme.INODE)
+        assert chain.split(" ") == [str(fs.root_ino), str(a.ino), str(b.ino)]
+
+    def test_chain_with_generation_scheme(self):
+        fs = FFS()
+        a = fs.mkdir(fs.root_ino, "a")
+        chain = ancestor_chain(fs, a.ino, HandleScheme.INODE_GENERATION)
+        assert f"{a.ino}.{a.generation}" in chain
+
+    def test_chain_updates_after_rename(self):
+        fs = FFS()
+        a = fs.mkdir(fs.root_ino, "a")
+        b = fs.mkdir(fs.root_ino, "b")
+        sub = fs.mkdir(a.ino, "sub")
+        before = ancestor_chain(fs, sub.ino, HandleScheme.INODE)
+        assert str(a.ino) in before.split()
+        fs.rename(a.ino, "sub", b.ino, "sub")
+        after = ancestor_chain(fs, sub.ino, HandleScheme.INODE)
+        assert str(b.ino) in after.split()
+        assert str(a.ino) not in after.split()

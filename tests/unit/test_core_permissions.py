@@ -1,0 +1,114 @@
+"""Unit tests for the permission lattice."""
+
+import pytest
+
+from repro.core.permissions import (
+    PERMISSION_VALUES,
+    Permission,
+    required_permission,
+)
+from repro.errors import DisCFSError
+
+
+class TestConstruction:
+    def test_value_order_is_octal(self):
+        assert PERMISSION_VALUES == ("false", "X", "W", "WX", "R", "RX", "RW", "RWX")
+        for i, name in enumerate(PERMISSION_VALUES):
+            assert Permission.from_value(name).octal == i
+
+    def test_from_string(self):
+        assert Permission.from_string("rwx").bits == 7
+        assert Permission.from_string("RX").bits == 5
+        assert Permission.from_string("").bits == 0
+        assert Permission.from_string("xwr").bits == 7  # order-insensitive
+
+    def test_from_string_invalid(self):
+        with pytest.raises(DisCFSError):
+            Permission.from_string("rq")
+
+    def test_from_value_invalid(self):
+        with pytest.raises(DisCFSError):
+            Permission.from_value("READ")
+
+    def test_bits_range_enforced(self):
+        with pytest.raises(DisCFSError):
+            Permission(8)
+        with pytest.raises(DisCFSError):
+            Permission(-1)
+
+    def test_value_view(self):
+        assert Permission(5).value == "RX"
+        assert Permission(0).value == "false"
+        assert str(Permission(7)) == "RWX"
+
+
+class TestPredicates:
+    def test_flags(self):
+        p = Permission.from_string("RX")
+        assert p.can_read and p.can_execute and not p.can_write
+
+    def test_none_and_all(self):
+        assert Permission.none().bits == 0
+        assert Permission.all().bits == 7
+
+
+class TestLattice:
+    def test_covers_reflexive(self):
+        for bits in range(8):
+            p = Permission(bits)
+            assert p.covers(p)
+
+    def test_covers_subsets(self):
+        rwx = Permission.all()
+        for bits in range(8):
+            assert rwx.covers(Permission(bits))
+
+    def test_covers_antisymmetry(self):
+        r = Permission.from_string("R")
+        w = Permission.from_string("W")
+        assert not r.covers(w)
+        assert not w.covers(r)
+
+    def test_octal_order_is_not_the_lattice(self):
+        # R (octal 4) > W (octal 2) in the KeyNote order, but R does not
+        # bitwise-cover W — the paper's bitwise check matters.
+        r = Permission.from_value("R")
+        w = Permission.from_value("W")
+        assert r.octal > w.octal
+        assert not r.covers(w)
+
+    def test_intersect_union(self):
+        rw = Permission.from_string("RW")
+        wx = Permission.from_string("WX")
+        assert rw.intersect(wx).value == "W"
+        assert rw.union(wx).value == "RWX"
+
+    def test_everything_covers_none(self):
+        for bits in range(8):
+            assert Permission(bits).covers(Permission.none())
+
+
+class TestOperationRequirements:
+    def test_read_operations(self):
+        assert required_permission("read").value == "R"
+        assert required_permission("readdir").value == "R"
+        assert required_permission("readlink").value == "R"
+
+    def test_write_operations(self):
+        assert required_permission("write").value == "W"
+        assert required_permission("setattr").value == "W"
+
+    def test_namespace_operations_need_wx(self):
+        for op in ("create", "mkdir", "remove", "rmdir", "rename", "symlink",
+                   "link"):
+            assert required_permission(op).value == "WX"
+
+    def test_lookup_needs_x(self):
+        assert required_permission("lookup").value == "X"
+
+    def test_free_operations(self):
+        for op in ("getattr", "statfs", "null"):
+            assert required_permission(op).bits == 0
+
+    def test_unknown_operation_requires_all(self):
+        assert required_permission("format_disk").value == "RWX"

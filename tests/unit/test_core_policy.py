@@ -1,0 +1,84 @@
+"""Unit tests for the policy engine (attribute set construction + queries)."""
+
+import time
+
+from repro.core.credentials import issue_credential
+from repro.core.policy import PolicyEngine
+from repro.crypto.keycodec import encode_public_key
+from repro.keynote.session import KeyNoteSession
+
+
+def engine_with(admin_key, *credentials, clock=time.time):
+    session = KeyNoteSession()
+    session.add_policy(
+        f'Authorizer: "POLICY"\nLicensees: "{encode_public_key(admin_key)}"\n'
+    )
+    for cred in credentials:
+        session.add_credential(cred)
+    return PolicyEngine(session, clock=clock)
+
+
+class TestEvaluation:
+    def test_granted_rights(self, admin_key, bob_id):
+        cred = issue_credential(admin_key, bob_id, handle="42.1", rights="RX")
+        engine = engine_with(admin_key, cred)
+        assert engine.evaluate(bob_id, "42.1", "read").value == "RX"
+        assert engine.evaluate(bob_id, "43.1", "read").value == "false"
+
+    def test_unknown_principal(self, admin_key, alice_id):
+        engine = engine_with(admin_key)
+        assert engine.evaluate(alice_id, "1", "read").bits == 0
+
+    def test_operation_attribute_visible(self, admin_key, bob_id):
+        cred = issue_credential(admin_key, bob_id, handle="1", rights="RW",
+                                extra_condition='OPERATION == "read"')
+        engine = engine_with(admin_key, cred)
+        assert engine.evaluate(bob_id, "1", "read").value == "RW"
+        assert engine.evaluate(bob_id, "1", "write").value == "false"
+
+    def test_extra_attributes_merged(self, admin_key, bob_id):
+        cred = issue_credential(admin_key, bob_id, handle="child",
+                                rights="R", subtree=False)
+        sub = issue_credential(admin_key, bob_id, handle="top", rights="R",
+                               subtree=True)
+        engine = engine_with(admin_key, cred, sub)
+        p = engine.evaluate(bob_id, "other", "read",
+                            {"ANCESTORS": "root top mid"})
+        assert p.value == "R"
+
+    def test_query_counter(self, admin_key, bob_id):
+        engine = engine_with(admin_key)
+        engine.evaluate(bob_id, "1", "read")
+        engine.evaluate(bob_id, "1", "read")
+        assert engine.queries == 2
+
+
+class TestClockInjection:
+    def test_expired_credential(self, admin_key, bob_id):
+        cred = issue_credential(admin_key, bob_id, handle="1", rights="R",
+                                expires_at=1000)
+        early = engine_with(admin_key, cred, clock=lambda: 999.0)
+        late = engine_with(admin_key, cred, clock=lambda: 1001.0)
+        assert early.evaluate(bob_id, "1", "read").value == "R"
+        assert late.evaluate(bob_id, "1", "read").value == "false"
+
+    def test_hour_window(self, admin_key, bob_id):
+        cred = issue_credential(admin_key, bob_id, handle="1", rights="R",
+                                hours=(9, 17))
+        # Clock fixed to 12:00 vs 20:00 local time on 2020-06-01.
+        noon = time.mktime((2020, 6, 1, 12, 0, 0, 0, 0, -1))
+        evening = time.mktime((2020, 6, 1, 20, 0, 0, 0, 0, -1))
+        assert engine_with(admin_key, cred, clock=lambda: noon).evaluate(
+            bob_id, "1", "read").value == "R"
+        assert engine_with(admin_key, cred, clock=lambda: evening).evaluate(
+            bob_id, "1", "read").value == "false"
+
+    def test_attribute_set_contents(self, admin_key):
+        engine = engine_with(admin_key, clock=lambda: 0.0)
+        attrs = engine._action_attributes("7.1", "read")
+        assert attrs["app_domain"] == "DisCFS"
+        assert attrs["HANDLE"] == "7.1"
+        assert attrs["OPERATION"] == "read"
+        assert attrs["now"] == "0"
+        assert 0 <= int(attrs["hour"]) < 24
+        assert 0 <= int(attrs["weekday"]) < 7

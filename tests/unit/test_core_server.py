@@ -1,0 +1,195 @@
+"""Unit tests for the DisCFS server (controller, minting, revocation)."""
+
+import pytest
+
+from repro.core.admin import identity_of, make_user_keypair
+from repro.core.client import DisCFSClient
+from repro.core.handles import HandleScheme
+from repro.core.permissions import Permission
+from repro.core.server import DisCFSServer
+from repro.errors import NFSError
+from repro.nfs.protocol import FileHandle, NFSStat
+
+
+@pytest.fixture()
+def bob(discfs, bob_key):
+    client = DisCFSClient.connect(discfs, bob_key, secure=False)
+    client.attach("/")
+    return client
+
+
+class TestAccessControl:
+    def test_everything_denied_without_credentials(self, discfs, bob):
+        root = bob.root
+        with pytest.raises(NFSError) as excinfo:
+            bob.readdir(root)
+        assert excinfo.value.status == NFSStat.NFSERR_ACCES
+        with pytest.raises(NFSError):
+            bob.create(root, "f")
+
+    def test_getattr_always_allowed_but_shows_rights(self, discfs, bob,
+                                                     administrator, bob_id):
+        attr = bob.getattr(bob.root)
+        assert attr.permission_bits == 0  # paper: perms are 000 pre-credential
+        cred = administrator.grant_inode(
+            bob_id, discfs.fs.iget(discfs.fs.root_ino), rights="RX",
+            scheme=discfs.handle_scheme)
+        bob.submit_credential(cred)
+        assert bob.getattr(bob.root).permission_bits == 0o500
+
+    def test_rights_enforced_per_operation(self, discfs, bob, administrator,
+                                           bob_id):
+        root_inode = discfs.fs.iget(discfs.fs.root_ino)
+        cred = administrator.grant_inode(bob_id, root_inode, rights="RX",
+                                         scheme=discfs.handle_scheme,
+                                         subtree=True)
+        bob.submit_credential(cred)
+        bob.readdir(bob.root)  # R on dir: ok
+        with pytest.raises(NFSError):
+            bob.create(bob.root, "f")  # needs WX
+
+    def test_no_identity_denied(self, discfs):
+        from repro.nfs.client import NFSClient
+        from repro.nfs.mount import MountClient
+
+        transport = discfs.in_process_transport(identity=None)
+        root = MountClient(transport).mount("/")
+        client = NFSClient(transport, root)
+        with pytest.raises(NFSError):
+            client.readdir_all(root)
+
+    def test_cache_populated(self, discfs, bob, administrator, bob_id):
+        cred = administrator.grant_inode(
+            bob_id, discfs.fs.iget(discfs.fs.root_ino), rights="RWX",
+            scheme=discfs.handle_scheme, subtree=True)
+        bob.submit_credential(cred)
+        discfs.cache.stats.reset()
+        for _ in range(5):
+            bob.readdir(bob.root)
+        assert discfs.cache.stats.hits >= 4
+
+
+class TestCreatorCredentials:
+    def _grant_root(self, discfs, administrator, who):
+        cred = administrator.grant_inode(
+            who, discfs.fs.iget(discfs.fs.root_ino), rights="RWX",
+            scheme=discfs.handle_scheme, subtree=True)
+        return cred
+
+    def test_create_returns_credential(self, discfs, bob, administrator, bob_id):
+        bob.submit_credential(self._grant_root(discfs, administrator, bob_id))
+        fh, cred = bob.create(bob.root, "mine.txt")
+        assert cred is not None
+        assert "creator credential" in cred
+        from repro.keynote.parser import parse_assertion
+        assertion = parse_assertion(cred)
+        assert assertion.authorizer == discfs.issuer_identity
+        assert bob_id in assertion.licensee_principals()
+
+    def test_mkdir_returns_credential(self, discfs, bob, administrator, bob_id):
+        bob.submit_credential(self._grant_root(discfs, administrator, bob_id))
+        _fh, cred = bob.mkdir(bob.root, "dir")
+        assert cred is not None
+
+    def test_creator_can_use_file_immediately(self, discfs, bob, administrator,
+                                              bob_id):
+        bob.submit_credential(self._grant_root(discfs, administrator, bob_id))
+        fh, _cred = bob.create(bob.root, "f")
+        bob.write(fh, 0, b"mine")
+        assert bob.read(fh, 0, 4) == b"mine"
+
+
+class TestRevocationRPC:
+    def test_only_admin_may_revoke(self, discfs, bob, bob_id):
+        with pytest.raises(NFSError):
+            bob.nfs.revoke(f"key {bob_id}")
+
+    def test_admin_revokes_key(self, discfs, administrator, bob, bob_key, bob_id):
+        cred = administrator.grant_inode(
+            bob_id, discfs.fs.iget(discfs.fs.root_ino), rights="RWX",
+            scheme=discfs.handle_scheme, subtree=True)
+        bob.submit_credential(cred)
+        bob.readdir(bob.root)
+
+        admin_client = DisCFSClient.connect(discfs, administrator.key, secure=False)
+        admin_client.attach("/")
+        admin_client.nfs.revoke(f"key {bob_id}")
+
+        with pytest.raises(NFSError):
+            bob.readdir(bob.root)
+        # resubmission also refused
+        with pytest.raises(NFSError):
+            bob.submit_credential(cred)
+
+    def test_revoke_single_credential(self, discfs, administrator, bob, bob_id):
+        from repro.keynote.parser import parse_assertion
+
+        cred = administrator.grant_inode(
+            bob_id, discfs.fs.iget(discfs.fs.root_ino), rights="RWX",
+            scheme=discfs.handle_scheme, subtree=True)
+        bob.submit_credential(cred)
+        bob.readdir(bob.root)
+        signature = parse_assertion(cred).signature
+
+        admin_client = DisCFSClient.connect(discfs, administrator.key, secure=False)
+        admin_client.attach("/")
+        admin_client.nfs.revoke(f"credential {signature}")
+        with pytest.raises(NFSError):
+            bob.readdir(bob.root)
+
+    def test_bad_payloads(self, discfs, administrator):
+        admin_client = DisCFSClient.connect(discfs, administrator.key, secure=False)
+        admin_client.attach("/")
+        with pytest.raises(NFSError):
+            admin_client.nfs.revoke("frobnicate xyz")
+        with pytest.raises(NFSError):
+            admin_client.nfs.revoke("key ")
+
+
+class TestCredentialSubmission:
+    def test_malformed_rejected(self, discfs, bob):
+        with pytest.raises(NFSError):
+            bob.nfs.submit_credential("this is not keynote")
+
+    def test_bad_signature_rejected(self, discfs, bob, administrator, bob_id):
+        cred = administrator.grant_inode(
+            bob_id, discfs.fs.iget(discfs.fs.root_ino), rights="RWX",
+            scheme=discfs.handle_scheme)
+        tampered = cred.replace('"RWX"', '"RW"')  # changes signed bytes? no—
+        # conditions RWX appears in rights value; replace changes text
+        with pytest.raises(NFSError):
+            bob.nfs.submit_credential(tampered)
+
+    def test_list_credentials(self, discfs, bob, administrator, bob_id):
+        baseline = len(bob.nfs.list_credentials())  # server-trust credential
+        cred = administrator.grant_inode(
+            bob_id, discfs.fs.iget(discfs.fs.root_ino), rights="RWX",
+            scheme=discfs.handle_scheme)
+        bob.submit_credential(cred)
+        assert len(bob.nfs.list_credentials()) == baseline + 1
+
+
+class TestHandleSchemes:
+    def test_inode_scheme_server(self, administrator, bob_key):
+        server = DisCFSServer(admin_identity=administrator.identity,
+                              handle_scheme=HandleScheme.INODE)
+        administrator.trust_server(server)
+        client = DisCFSClient.connect(server, bob_key, secure=False)
+        client.attach("/")
+        cred = administrator.grant_inode(
+            identity_of(bob_key), server.fs.iget(server.fs.root_ino),
+            rights="RWX", scheme=HandleScheme.INODE, subtree=True)
+        client.submit_credential(cred)
+        fh, _ = client.create(client.root, "f")
+        client.write(fh, 0, b"x")
+        assert client.read(fh, 0, 1) == b"x"
+
+
+class TestRightsForCorners:
+    def test_revoked_identity_gets_nothing(self, discfs, administrator, bob_id):
+        discfs.revocations.revoke_key(bob_id)
+        fh = FileHandle(ino=discfs.fs.root_ino,
+                        generation=discfs.fs.iget(discfs.fs.root_ino).generation)
+        granted = discfs.rights_for(bob_id, fh, "read",
+                                    discfs.fs.iget(discfs.fs.root_ino))
+        assert granted == Permission.none()

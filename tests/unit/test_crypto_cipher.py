@@ -1,0 +1,133 @@
+"""Unit tests for the symmetric ciphers and KDF."""
+
+import pytest
+
+from repro.crypto.cipher import BlockCipher, StreamCipher, derive_key
+from repro.errors import CryptoError
+
+
+class TestStreamCipher:
+    def make(self, key=b"k" * 32, nonce=b"n" * 12):
+        return StreamCipher(key, nonce)
+
+    def test_roundtrip(self):
+        sc = self.make()
+        pt = b"the quick brown fox" * 100
+        assert sc.process(sc.process(pt)) == pt
+
+    def test_random_access_consistency(self):
+        sc = self.make()
+        full = sc.keystream(0, 1000)
+        assert sc.keystream(137, 200) == full[137:337]
+        assert sc.keystream(999, 1) == full[999:1000]
+
+    def test_offset_encryption_matches_slices(self):
+        sc = self.make()
+        pt = bytes(range(256)) * 4
+        whole = sc.process(pt, offset=0)
+        assert sc.process(pt[100:200], offset=100) == whole[100:200]
+
+    def test_different_keys_differ(self):
+        a = self.make(key=b"a" * 32).process(b"\x00" * 64)
+        b = self.make(key=b"b" * 32).process(b"\x00" * 64)
+        assert a != b
+
+    def test_different_nonces_differ(self):
+        a = self.make(nonce=b"a" * 12).process(b"\x00" * 64)
+        b = self.make(nonce=b"b" * 12).process(b"\x00" * 64)
+        assert a != b
+
+    def test_keystream_not_trivially_weak(self):
+        ks = self.make().keystream(0, 4096)
+        assert len(set(ks)) > 200  # all byte values essentially present
+
+    def test_key_size_enforced(self):
+        with pytest.raises(CryptoError):
+            StreamCipher(b"short", b"n" * 12)
+
+    def test_nonce_size_enforced(self):
+        with pytest.raises(CryptoError):
+            StreamCipher(b"k" * 32, b"short")
+
+    def test_empty_input(self):
+        assert self.make().process(b"") == b""
+
+
+class TestBlockCipher:
+    def make(self):
+        return BlockCipher(derive_key(b"bc-test-key"))
+
+    def test_roundtrip_single_block(self):
+        bc = self.make()
+        block = bytes(range(16))
+        assert bc.decrypt_block(bc.encrypt_block(block)) == block
+
+    def test_roundtrip_many_blocks(self):
+        bc = self.make()
+        for i in range(64):
+            block = bytes((i * j) & 0xFF for j in range(16))
+            assert bc.decrypt_block(bc.encrypt_block(block)) == block
+
+    def test_permutation_property(self):
+        bc = self.make()
+        blocks = {bytes((i,)) + bytes(15) for i in range(256)}
+        images = {bc.encrypt_block(b) for b in blocks}
+        assert len(images) == 256  # injective on this set
+
+    def test_avalanche(self):
+        bc = self.make()
+        a = bc.encrypt_block(bytes(16))
+        b = bc.encrypt_block(b"\x01" + bytes(15))
+        differing = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert differing > 30  # ~half of 128 bits expected
+
+    def test_wrong_block_size(self):
+        bc = self.make()
+        with pytest.raises(CryptoError):
+            bc.encrypt_block(b"short")
+        with pytest.raises(CryptoError):
+            bc.decrypt_block(b"x" * 17)
+
+    def test_key_size_enforced(self):
+        with pytest.raises(CryptoError):
+            BlockCipher(b"tiny")
+
+    def test_cbc_roundtrip(self):
+        bc = self.make()
+        data = bytes(range(128))
+        iv = b"\x42" * 16
+        assert bc.decrypt_cbc(bc.encrypt_cbc(data, iv), iv) == data
+
+    def test_cbc_iv_matters(self):
+        bc = self.make()
+        data = bytes(32)
+        assert bc.encrypt_cbc(data, b"\x00" * 16) != bc.encrypt_cbc(data, b"\x01" * 16)
+
+    def test_cbc_chaining(self):
+        bc = self.make()
+        # Identical plaintext blocks must encrypt differently under CBC.
+        ct = bc.encrypt_cbc(bytes(32), b"\x07" * 16)
+        assert ct[:16] != ct[16:]
+
+    def test_cbc_alignment_enforced(self):
+        bc = self.make()
+        with pytest.raises(CryptoError):
+            bc.encrypt_cbc(b"x" * 15, b"\x00" * 16)
+        with pytest.raises(CryptoError):
+            bc.decrypt_cbc(b"x" * 16, b"\x00" * 8)
+
+
+class TestDeriveKey:
+    def test_length(self):
+        assert len(derive_key(b"a")) == 32
+        assert len(derive_key(b"a", length=64)) == 64
+        assert len(derive_key(b"a", length=7)) == 7
+
+    def test_deterministic(self):
+        assert derive_key(b"x", b"y") == derive_key(b"x", b"y")
+
+    def test_part_boundaries_matter(self):
+        assert derive_key(b"ab", b"c") != derive_key(b"a", b"bc")
+
+    def test_label_separates_domains(self):
+        assert derive_key(b"k", label=b"one") != derive_key(b"k", label=b"two")

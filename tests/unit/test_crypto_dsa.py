@@ -1,0 +1,110 @@
+"""Unit tests for DSA signatures."""
+
+import pytest
+
+from repro.crypto.dsa import (
+    DEFAULT_PARAMETERS,
+    DSAParameters,
+    generate_dsa_keypair,
+    generate_parameters,
+)
+from repro.crypto.numbers import seeded_random_bits
+from repro.errors import InvalidKey, InvalidSignature
+
+
+class TestParameters:
+    def test_default_parameters_valid(self):
+        DEFAULT_PARAMETERS.validate()
+
+    def test_default_sizes(self):
+        assert DEFAULT_PARAMETERS.p.bit_length() == 1024
+        assert DEFAULT_PARAMETERS.q.bit_length() == 160
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidKey):
+            DSAParameters(p=23, q=7, g=2).validate()  # 7 does not divide 22
+
+    def test_bad_generator_rejected(self):
+        params = DSAParameters(p=DEFAULT_PARAMETERS.p, q=DEFAULT_PARAMETERS.q, g=1)
+        with pytest.raises(InvalidKey):
+            params.validate()
+
+    def test_generate_small_parameters(self):
+        params = generate_parameters(
+            pbits=256, qbits=80, rand=seeded_random_bits(b"small-params")
+        )
+        params.validate()
+        assert params.p.bit_length() == 256
+
+
+class TestSignatures:
+    @pytest.fixture(scope="class")
+    def keypair(self):
+        return generate_dsa_keypair(rand=seeded_random_bits(b"dsa-sign"))
+
+    def test_sign_verify_roundtrip(self, keypair):
+        sig = keypair.sign(b"message")
+        keypair.public.verify(b"message", sig)
+
+    def test_wrong_message_rejected(self, keypair):
+        sig = keypair.sign(b"message")
+        with pytest.raises(InvalidSignature):
+            keypair.public.verify(b"massage", sig)
+
+    def test_wrong_key_rejected(self, keypair):
+        other = generate_dsa_keypair(rand=seeded_random_bits(b"other"))
+        sig = keypair.sign(b"message")
+        with pytest.raises(InvalidSignature):
+            other.public.verify(b"message", sig)
+
+    def test_deterministic_signatures(self, keypair):
+        assert keypair.sign(b"same input") == keypair.sign(b"same input")
+
+    def test_distinct_messages_distinct_nonces(self, keypair):
+        r1, _ = keypair.sign(b"one")
+        r2, _ = keypair.sign(b"two")
+        assert r1 != r2  # same r would mean a reused nonce
+
+    def test_signature_components_in_range(self, keypair):
+        r, s = keypair.sign(b"range")
+        q = keypair.params.q
+        assert 0 < r < q and 0 < s < q
+
+    def test_out_of_range_signature_rejected(self, keypair):
+        q = keypair.params.q
+        with pytest.raises(InvalidSignature):
+            keypair.public.verify(b"x", (0, 1))
+        with pytest.raises(InvalidSignature):
+            keypair.public.verify(b"x", (1, q))
+
+    def test_sha256_hash_variant(self, keypair):
+        sig = keypair.sign(b"m", hash_name="sha256")
+        keypair.public.verify(b"m", sig, hash_name="sha256")
+        with pytest.raises(InvalidSignature):
+            keypair.public.verify(b"m", sig, hash_name="sha1")
+
+    def test_empty_message(self, keypair):
+        sig = keypair.sign(b"")
+        keypair.public.verify(b"", sig)
+
+    def test_large_message(self, keypair):
+        msg = b"x" * 1_000_000
+        keypair.public.verify(msg, keypair.sign(msg))
+
+
+class TestKeyGeneration:
+    def test_seeded_keygen_deterministic(self):
+        k1 = generate_dsa_keypair(rand=seeded_random_bits(b"kg"))
+        k2 = generate_dsa_keypair(rand=seeded_random_bits(b"kg"))
+        assert k1.x == k2.x and k1.y == k2.y
+
+    def test_public_consistency(self):
+        kp = generate_dsa_keypair(rand=seeded_random_bits(b"pc"))
+        assert pow(kp.params.g, kp.x, kp.params.p) == kp.y
+        assert kp.public.y == kp.y
+
+    def test_fingerprint_stable_and_distinct(self):
+        k1 = generate_dsa_keypair(rand=seeded_random_bits(b"f1"))
+        k2 = generate_dsa_keypair(rand=seeded_random_bits(b"f2"))
+        assert k1.public.fingerprint() == k1.public.fingerprint()
+        assert k1.public.fingerprint() != k2.public.fingerprint()

@@ -1,0 +1,65 @@
+"""Unit tests for hash helpers."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.hashes import (
+    constant_time_equal,
+    digest,
+    digest_size,
+    hmac_digest,
+)
+from repro.errors import CryptoError
+
+
+class TestDigest:
+    def test_sha1_known_value(self):
+        assert digest("sha1", b"abc").hex() == "a9993e364706816aba3e25717850c26c9cd0d89d"
+
+    def test_md5_known_value(self):
+        assert digest("md5", b"abc").hex() == "900150983cd24fb0d6963f7d28e17f72"
+
+    def test_sha256_matches_hashlib(self):
+        assert digest("sha256", b"data") == hashlib.sha256(b"data").digest()
+
+    def test_case_insensitive(self):
+        assert digest("SHA1", b"x") == digest("sha1", b"x")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(CryptoError):
+            digest("sha512", b"x")
+
+    def test_digest_sizes(self):
+        assert digest_size("sha1") == 20
+        assert digest_size("md5") == 16
+        assert digest_size("sha256") == 32
+
+    def test_digest_size_unknown(self):
+        with pytest.raises(CryptoError):
+            digest_size("whirlpool")
+
+
+class TestHMAC:
+    def test_known_answer(self):
+        # RFC 4231 test case 2 (sha256).
+        mac = hmac_digest(b"Jefe", b"what do ya want for nothing?", "sha256")
+        assert mac.hex() == (
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        )
+
+    def test_key_matters(self):
+        assert hmac_digest(b"k1", b"m") != hmac_digest(b"k2", b"m")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(CryptoError):
+            hmac_digest(b"k", b"m", "sha3")
+
+
+class TestConstantTimeEqual:
+    def test_equal(self):
+        assert constant_time_equal(b"same", b"same")
+
+    def test_unequal(self):
+        assert not constant_time_equal(b"same", b"diff")
+        assert not constant_time_equal(b"short", b"longer")

@@ -1,0 +1,136 @@
+"""Unit tests for KeyNote key/signature encodings."""
+
+import pytest
+
+from repro.crypto.dsa import DSAKeyPair, DSAPublicKey
+from repro.crypto.keycodec import (
+    decode_key,
+    decode_signature,
+    encode_private_key,
+    encode_public_key,
+    encode_signature,
+    is_key_identifier,
+    signature_scheme,
+)
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
+from repro.errors import InvalidKey, InvalidSignature
+
+
+class TestKeyEncoding:
+    def test_dsa_public_roundtrip(self, bob_key):
+        identifier = encode_public_key(bob_key)
+        assert identifier.startswith("dsa-hex:")
+        decoded = decode_key(identifier)
+        assert isinstance(decoded, DSAPublicKey)
+        assert decoded.y == bob_key.y
+
+    def test_dsa_private_roundtrip(self, bob_key):
+        decoded = decode_key(encode_private_key(bob_key))
+        assert isinstance(decoded, DSAKeyPair)
+        assert decoded.x == bob_key.x
+
+    def test_rsa_roundtrips(self, rsa_key):
+        pub = decode_key(encode_public_key(rsa_key))
+        assert isinstance(pub, RSAPublicKey)
+        assert pub.n == rsa_key.n
+        priv = decode_key(encode_private_key(rsa_key))
+        assert isinstance(priv, RSAKeyPair)
+        assert priv.d == rsa_key.d
+
+    def test_base64_encoding(self, bob_key):
+        identifier = encode_public_key(bob_key, encoding="base64")
+        assert identifier.startswith("dsa-base64:")
+        assert decode_key(identifier).y == bob_key.y
+
+    def test_hex_and_base64_decode_to_same_key(self, bob_key):
+        k1 = decode_key(encode_public_key(bob_key, "hex"))
+        k2 = decode_key(encode_public_key(bob_key, "base64"))
+        assert k1 == k2
+
+    def test_keypair_encodes_public_half(self, bob_key):
+        assert encode_public_key(bob_key) == encode_public_key(bob_key.public)
+
+    def test_malformed_inputs(self):
+        for bad in ("", "nocolon", "dsa:abc", "dsa-hex:zz", "elg-hex:00",
+                    "dsa-rot13:00"):
+            with pytest.raises(InvalidKey):
+                decode_key(bad)
+
+    def test_truncated_payload(self, bob_key):
+        identifier = encode_public_key(bob_key)
+        with pytest.raises(InvalidKey):
+            decode_key(identifier[:-10])
+
+    def test_wrong_algorithm_label(self, bob_key):
+        payload = encode_public_key(bob_key).split(":", 1)[1]
+        with pytest.raises(InvalidKey):
+            decode_key(f"rsa-hex:{payload}")
+
+    def test_unsupported_encoding(self, bob_key):
+        with pytest.raises(InvalidKey):
+            encode_public_key(bob_key, encoding="utf7")
+
+    def test_encode_wrong_type(self):
+        with pytest.raises(InvalidKey):
+            encode_public_key("not a key")  # type: ignore[arg-type]
+
+
+class TestIsKeyIdentifier:
+    def test_positive(self, bob_key):
+        assert is_key_identifier(encode_public_key(bob_key))
+        assert is_key_identifier("rsa-base64:QUJD")
+
+    def test_negative(self):
+        for text in ("POLICY", "alice", "sig-dsa-sha1-hex:00", "dsa-hex",
+                     "md5-hex:00", "dsa-ascii:00"):
+            assert not is_key_identifier(text)
+
+
+class TestSignatureEncoding:
+    def test_dsa_roundtrip(self):
+        identifier = encode_signature("dsa", "sha1", (123456789, 987654321))
+        assert identifier.startswith("sig-dsa-sha1-hex:")
+        assert decode_signature(identifier) == (123456789, 987654321)
+
+    def test_rsa_roundtrip(self):
+        identifier = encode_signature("rsa", "sha256", 2**512 + 17)
+        assert decode_signature(identifier) == 2**512 + 17
+
+    def test_scheme_parsing(self):
+        assert signature_scheme("sig-dsa-sha1-hex:00") == ("dsa", "sha1", "hex")
+        assert signature_scheme("sig-rsa-md5-base64:AA==") == ("rsa", "md5", "base64")
+
+    def test_malformed_scheme(self):
+        for bad in ("dsa-sha1-hex:00", "sig-dsa-hex:00", "nocolon"):
+            with pytest.raises(InvalidSignature):
+                signature_scheme(bad)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(InvalidSignature):
+            encode_signature("ecdsa", "sha1", (1, 2))
+
+    def test_dsa_payload_arity_enforced(self):
+        rsa_sig = encode_signature("rsa", "sha1", 42)
+        dsa_looking = rsa_sig.replace("sig-rsa", "sig-dsa")
+        with pytest.raises(InvalidSignature):
+            decode_signature(dsa_looking)
+
+
+class TestMalformedSignaturePayloads:
+    """Regression: any malformed signature payload must raise
+    InvalidSignature (never InvalidKey), so verification paths catch it."""
+
+    def test_bad_hex_char(self):
+        sig = encode_signature("dsa", "sha1", (12345, 67890))
+        tampered = sig[:-1] + ("g" if sig[-1] != "g" else "z")
+        with pytest.raises(InvalidSignature):
+            decode_signature(tampered)
+
+    def test_truncated_payload(self):
+        sig = encode_signature("rsa", "sha1", 999999)
+        with pytest.raises(InvalidSignature):
+            decode_signature(sig[:-6])
+
+    def test_odd_length_hex(self):
+        with pytest.raises(InvalidSignature):
+            decode_signature("sig-dsa-sha1-hex:abc")

@@ -1,0 +1,103 @@
+"""Unit tests for number theory helpers."""
+
+import pytest
+
+from repro.crypto import numbers
+from repro.crypto.numbers import (
+    bytes_to_int,
+    generate_prime,
+    generate_safe_prime,
+    int_to_bytes,
+    is_probable_prime,
+    modinv,
+    seeded_random_bits,
+)
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101, 257, 65537):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 6, 9, 15, 91, 561, 1105, 65536):
+            assert not is_probable_prime(n)
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat liars; Miller-Rabin must still reject them.
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911):
+            assert not is_probable_prime(n)
+
+    def test_large_known_prime(self):
+        # 2^127 - 1 is a Mersenne prime.
+        assert is_probable_prime((1 << 127) - 1)
+
+    def test_large_known_composite(self):
+        # 2^128 + 1 is composite (F7 factors known).
+        assert not is_probable_prime((1 << 128) + 1)
+
+    def test_negative(self):
+        assert not is_probable_prime(-7)
+
+
+class TestGeneration:
+    def test_generate_prime_size_and_primality(self):
+        rand = seeded_random_bits(b"t1")
+        p = generate_prime(128, rand=rand)
+        assert p.bit_length() == 128
+        assert is_probable_prime(p)
+
+    def test_generate_prime_deterministic_with_seed(self):
+        p1 = generate_prime(96, rand=seeded_random_bits(b"same"))
+        p2 = generate_prime(96, rand=seeded_random_bits(b"same"))
+        assert p1 == p2
+
+    def test_generate_prime_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            generate_prime(4)
+
+    def test_safe_prime(self):
+        p = generate_safe_prime(64, rand=seeded_random_bits(b"sp"))
+        assert is_probable_prime(p)
+        assert is_probable_prime((p - 1) // 2)
+
+
+class TestModularArithmetic:
+    def test_modinv_basic(self):
+        assert (3 * modinv(3, 7)) % 7 == 1
+        assert (10 * modinv(10, 17)) % 17 == 1
+
+    def test_modinv_noninvertible(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+    def test_int_bytes_roundtrip(self):
+        for value in (0, 1, 255, 256, 1 << 64, 1234567890123456789):
+            assert bytes_to_int(int_to_bytes(value)) == value
+
+    def test_int_to_bytes_fixed_length(self):
+        assert int_to_bytes(1, 4) == b"\x00\x00\x00\x01"
+        assert len(int_to_bytes(1, 20)) == 20
+
+    def test_int_to_bytes_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(-1)
+
+    def test_zero_encodes_to_one_byte(self):
+        assert int_to_bytes(0) == b"\x00"
+
+
+class TestSeededRandom:
+    def test_respects_bit_budget(self):
+        rand = seeded_random_bits(b"bits")
+        for bits in (1, 7, 8, 9, 63, 64, 65, 1024):
+            assert rand(bits) < (1 << bits)
+
+    def test_different_seeds_differ(self):
+        a = seeded_random_bits(b"a")(256)
+        b = seeded_random_bits(b"b")(256)
+        assert a != b
+
+    def test_default_random_in_range(self):
+        v = numbers.default_random_bits(128)
+        assert 0 <= v < (1 << 128)

@@ -1,0 +1,76 @@
+"""Unit tests for inodes and the inode table."""
+
+import pytest
+
+from repro.errors import StaleHandle
+from repro.fs.inode import FileType, InodeTable
+
+
+class TestAllocation:
+    def test_allocate_distinct_numbers(self):
+        table = InodeTable()
+        a = table.allocate(FileType.REGULAR, 0o644)
+        b = table.allocate(FileType.DIRECTORY, 0o755)
+        assert a.ino != b.ino
+        assert a.ino in table and b.ino in table
+
+    def test_types_and_modes(self):
+        table = InodeTable()
+        d = table.allocate(FileType.DIRECTORY, 0o750, uid=7, gid=8)
+        assert d.is_dir and not d.is_regular and not d.is_symlink
+        assert d.mode == 0o750 and d.uid == 7 and d.gid == 8
+
+    def test_free_and_lookup(self):
+        table = InodeTable()
+        inode = table.allocate(FileType.REGULAR, 0o644)
+        table.free(inode.ino)
+        with pytest.raises(StaleHandle):
+            table.get(inode.ino)
+
+    def test_len(self):
+        table = InodeTable()
+        for _ in range(5):
+            table.allocate(FileType.REGULAR, 0o644)
+        assert len(table) == 5
+
+
+class TestGenerations:
+    def test_reuse_bumps_generation(self):
+        table = InodeTable()
+        first = table.allocate(FileType.REGULAR, 0o644)
+        ino, gen = first.ino, first.generation
+        table.free(ino)
+        second = table.allocate(FileType.REGULAR, 0o644)
+        assert second.ino == ino  # number recycled
+        assert second.generation == gen + 1
+
+    def test_get_checked_detects_stale(self):
+        table = InodeTable()
+        first = table.allocate(FileType.REGULAR, 0o644)
+        ino, gen = first.ino, first.generation
+        table.free(ino)
+        table.allocate(FileType.REGULAR, 0o644)
+        with pytest.raises(StaleHandle):
+            table.get_checked(ino, gen)
+
+    def test_get_checked_accepts_current(self):
+        table = InodeTable()
+        inode = table.allocate(FileType.REGULAR, 0o644)
+        assert table.get_checked(inode.ino, inode.generation) is inode
+
+
+class TestTimes:
+    def test_touch_mtime_moves_ctime(self):
+        table = InodeTable()
+        inode = table.allocate(FileType.REGULAR, 0o644)
+        before = inode.mtime
+        inode.touch_mtime()
+        assert inode.mtime >= before
+        assert inode.ctime == inode.mtime
+
+    def test_touch_atime(self):
+        table = InodeTable()
+        inode = table.allocate(FileType.REGULAR, 0o644)
+        old_mtime = inode.mtime
+        inode.touch_atime()
+        assert inode.mtime == old_mtime

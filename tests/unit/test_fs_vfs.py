@@ -1,0 +1,100 @@
+"""Unit tests for the VFS layer (generation-checked vnode operations)."""
+
+import pytest
+
+from repro.errors import StaleHandle
+from repro.fs.ffs import FFS
+from repro.fs.vfs import FileId, VFS
+
+
+@pytest.fixture()
+def vfs():
+    return VFS(FFS())
+
+
+def fid_of(vfs, inode):
+    return FileId.of(inode)
+
+
+class TestBasicOps:
+    def test_root(self, vfs):
+        root = vfs.root
+        assert vfs.getattr(root).is_dir
+
+    def test_create_write_read(self, vfs):
+        inode = vfs.create(vfs.root, "f")
+        fid = FileId.of(inode)
+        vfs.write(fid, 0, b"data")
+        assert vfs.read(fid, 0, 4) == b"data"
+
+    def test_mkdir_lookup_readdir(self, vfs):
+        d = vfs.mkdir(vfs.root, "d")
+        dfid = FileId.of(d)
+        vfs.create(dfid, "inner")
+        assert vfs.lookup(dfid, "inner").is_regular
+        names = [n for n, _ in vfs.readdir(dfid)]
+        assert "inner" in names
+
+    def test_symlink_readlink(self, vfs):
+        link = vfs.symlink(vfs.root, "l", "/target")
+        assert vfs.readlink(FileId.of(link)) == "/target"
+
+    def test_link(self, vfs):
+        f = vfs.create(vfs.root, "a")
+        vfs.link(vfs.root, "b", FileId.of(f))
+        assert vfs.lookup(vfs.root, "b").ino == f.ino
+
+    def test_remove_rmdir_rename(self, vfs):
+        vfs.create(vfs.root, "f")
+        vfs.remove(vfs.root, "f")
+        vfs.mkdir(vfs.root, "d")
+        vfs.rename(vfs.root, "d", vfs.root, "d2")
+        vfs.rmdir(vfs.root, "d2")
+        assert [n for n, _ in vfs.readdir(vfs.root)] == [".", ".."]
+
+    def test_setattr_truncate(self, vfs):
+        f = vfs.create(vfs.root, "f")
+        fid = FileId.of(f)
+        vfs.write(fid, 0, b"0123456789")
+        vfs.truncate(fid, 5)
+        assert vfs.getattr(fid).size == 5
+        vfs.setattr(fid, mode=0o600)
+        assert vfs.getattr(fid).mode == 0o600
+
+    def test_statfs(self, vfs):
+        info = vfs.statfs()
+        assert info["total_blocks"] > 0
+        assert 0 < info["free_blocks"] <= info["total_blocks"]
+        assert info["block_size"] == vfs.fs.block_size
+
+
+class TestStaleHandles:
+    def test_read_after_remove(self, vfs):
+        f = vfs.create(vfs.root, "f")
+        fid = FileId.of(f)
+        vfs.remove(vfs.root, "f")
+        with pytest.raises(StaleHandle):
+            vfs.read(fid, 0, 1)
+
+    def test_recycled_inode_detected(self, vfs):
+        f = vfs.create(vfs.root, "victim")
+        old_fid = FileId.of(f)
+        vfs.remove(vfs.root, "victim")
+        newer = vfs.create(vfs.root, "squatter")
+        if newer.ino == old_fid.ino:  # recycled the number
+            assert newer.generation != old_fid.generation
+        with pytest.raises(StaleHandle):
+            vfs.getattr(old_fid)
+
+    def test_wrong_generation_rejected_everywhere(self, vfs):
+        f = vfs.create(vfs.root, "f")
+        bogus = FileId(ino=f.ino, generation=f.generation + 7)
+        for call in (
+            lambda: vfs.getattr(bogus),
+            lambda: vfs.read(bogus, 0, 1),
+            lambda: vfs.write(bogus, 0, b"x"),
+            lambda: vfs.truncate(bogus, 0),
+            lambda: vfs.readdir(bogus),
+        ):
+            with pytest.raises(StaleHandle):
+                call()

@@ -1,0 +1,150 @@
+"""Unit tests for assertion parsing."""
+
+import pytest
+
+from repro.errors import AssertionSyntaxError
+from repro.keynote.parser import parse_assertion, parse_assertions
+
+
+class TestBasicParsing:
+    def test_minimal_policy(self):
+        a = parse_assertion('Authorizer: "POLICY"\nLicensees: "alice"\n')
+        assert a.is_policy
+        assert a.licensee_principals() == {"alice"}
+        assert a.signature is None
+
+    def test_unquoted_policy(self):
+        assert parse_assertion("Authorizer: POLICY\n").is_policy
+
+    def test_all_fields(self):
+        a = parse_assertion(
+            "KeyNote-Version: 2\n"
+            'Local-Constants: A = "key-a"\n'
+            'Authorizer: "POLICY"\n'
+            "Licensees: A\n"
+            'Conditions: x == "1" -> "true";\n'
+            "Comment: a test assertion\n"
+        )
+        assert a.version == "2"
+        assert a.comment == "a test assertion"
+        assert a.local_constants == {"A": "key-a"}
+        assert a.licensee_principals() == {"key-a"}
+        assert a.conditions is not None
+
+    def test_continuation_lines(self):
+        a = parse_assertion(
+            'Authorizer: "POLICY"\n'
+            "Licensees: \"alice\" ||\n"
+            "   \"bob\"\n"
+        )
+        assert a.licensee_principals() == {"alice", "bob"}
+
+    def test_field_names_case_insensitive(self):
+        a = parse_assertion('AUTHORIZER: "POLICY"\nlicensees: "x"\n')
+        assert a.is_policy
+
+    def test_comment_preserved_verbatim(self):
+        a = parse_assertion('Authorizer: "POLICY"\nComment: testdir\n')
+        assert a.comment == "testdir"
+
+
+class TestFieldOrdering:
+    def test_version_must_be_first(self):
+        with pytest.raises(AssertionSyntaxError):
+            parse_assertion('Authorizer: "POLICY"\nKeyNote-Version: 2\n')
+
+    def test_signature_must_be_last(self):
+        with pytest.raises(AssertionSyntaxError):
+            parse_assertion(
+                'Authorizer: "k"\nSignature: "sig-dsa-sha1-hex:00"\nComment: x\n'
+            )
+
+    def test_missing_authorizer(self):
+        with pytest.raises(AssertionSyntaxError):
+            parse_assertion('Licensees: "alice"\n')
+
+    def test_duplicate_field(self):
+        with pytest.raises(AssertionSyntaxError):
+            parse_assertion('Authorizer: "POLICY"\nAuthorizer: "POLICY"\n')
+
+    def test_unknown_field(self):
+        with pytest.raises(AssertionSyntaxError):
+            parse_assertion('Authorizer: "POLICY"\nFrobnicator: yes\n')
+
+    def test_malformed_line(self):
+        with pytest.raises(AssertionSyntaxError):
+            parse_assertion('Authorizer: "POLICY"\nthis is not a field\n')
+
+    def test_empty_assertion(self):
+        with pytest.raises(AssertionSyntaxError):
+            parse_assertion("\n\n")
+
+
+class TestLocalConstants:
+    def test_multiple_bindings(self):
+        a = parse_assertion(
+            'Local-Constants: A = "ka" B = "kb"\n'
+            "Authorizer: A\nLicensees: B\n"
+        )
+        assert a.authorizer == "ka"
+        assert a.licensee_principals() == {"kb"}
+
+    def test_duplicate_constant(self):
+        with pytest.raises(AssertionSyntaxError):
+            parse_assertion(
+                'Local-Constants: A = "x" A = "y"\nAuthorizer: "POLICY"\n'
+            )
+
+    def test_unquoted_value_rejected(self):
+        with pytest.raises(AssertionSyntaxError):
+            parse_assertion("Local-Constants: A = ka\nAuthorizer: \"POLICY\"\n")
+
+    def test_missing_equals(self):
+        with pytest.raises(AssertionSyntaxError):
+            parse_assertion('Local-Constants: A "ka"\nAuthorizer: "POLICY"\n')
+
+    def test_unknown_authorizer_name(self):
+        with pytest.raises(AssertionSyntaxError):
+            parse_assertion("Authorizer: MYSTERY\n")
+
+
+class TestMultipleAssertions:
+    def test_blank_line_separation(self):
+        text = (
+            'Authorizer: "POLICY"\nLicensees: "a"\n'
+            "\n\n"
+            'Authorizer: "POLICY"\nLicensees: "b"\n'
+        )
+        assertions = parse_assertions(text)
+        assert len(assertions) == 2
+        assert assertions[0].licensee_principals() == {"a"}
+        assert assertions[1].licensee_principals() == {"b"}
+
+    def test_empty_text(self):
+        assert parse_assertions("") == []
+        assert parse_assertions("\n  \n") == []
+
+
+class TestSignedTextTracking:
+    def test_signed_text_covers_up_to_signature_label(self, bob_key):
+        from repro.keynote.signing import sign_assertion
+        from repro.crypto.keycodec import encode_public_key
+
+        body = (
+            f'Authorizer: "{encode_public_key(bob_key)}"\n'
+            'Licensees: "alice"\n'
+        )
+        text = sign_assertion(body, bob_key)
+        parsed = parse_assertion(text)
+        assert parsed.signed_text.endswith("Signature:")
+        assert parsed.signed_text.startswith("Authorizer:")
+
+    def test_signature_value_unquoted(self):
+        a = parse_assertion(
+            'Authorizer: "k"\nSignature: "sig-dsa-sha1-hex:0011"\n'
+        )
+        assert a.signature == "sig-dsa-sha1-hex:0011"
+
+    def test_signature_must_look_like_signature(self):
+        with pytest.raises(AssertionSyntaxError):
+            parse_assertion('Authorizer: "k"\nSignature: "banana"\n')

@@ -1,0 +1,122 @@
+"""Unit tests for KeyNote sessions."""
+
+import pytest
+
+from repro.crypto.keycodec import encode_public_key
+from repro.errors import KeyNoteError, SignatureVerificationError
+from repro.keynote.session import KeyNoteSession
+from repro.keynote.signing import sign_assertion
+
+
+class TestPolicyManagement:
+    def test_add_policy(self):
+        s = KeyNoteSession()
+        s.add_policy('Authorizer: "POLICY"\nLicensees: "alice"\n')
+        assert len(s.policies) == 1
+        assert s.query({}, ["alice"]) == "true"
+
+    def test_non_policy_rejected_as_policy(self, bob_id):
+        s = KeyNoteSession()
+        with pytest.raises(KeyNoteError):
+            s.add_policy(f'Authorizer: "{bob_id}"\nLicensees: "x"\n')
+
+    def test_add_policies_multi(self):
+        s = KeyNoteSession()
+        added = s.add_policies(
+            'Authorizer: "POLICY"\nLicensees: "a"\n'
+            "\n"
+            'Authorizer: "POLICY"\nLicensees: "b"\n'
+        )
+        assert len(added) == 2
+        assert s.query({}, ["b"]) == "true"
+
+
+class TestCredentialManagement:
+    def test_add_valid_credential(self, bob_key, bob_id):
+        s = KeyNoteSession()
+        s.add_policy(f'Authorizer: "POLICY"\nLicensees: "{bob_id}"\n')
+        cred = sign_assertion(
+            f'Authorizer: "{bob_id}"\nLicensees: "alice"\n', bob_key
+        )
+        s.add_credential(cred)
+        assert s.query({}, ["alice"]) == "true"
+
+    def test_invalid_signature_rejected_at_add(self, bob_key, bob_id):
+        s = KeyNoteSession()
+        cred = sign_assertion(
+            f'Authorizer: "{bob_id}"\nLicensees: "alice"\n', bob_key
+        )
+        with pytest.raises(SignatureVerificationError):
+            s.add_credential(cred.replace('"alice"', '"eve"'))
+
+    def test_policy_rejected_as_credential(self):
+        s = KeyNoteSession()
+        with pytest.raises(KeyNoteError):
+            s.add_credential('Authorizer: "POLICY"\nLicensees: "x"\n')
+
+    def test_remove_credential(self, bob_key, bob_id):
+        s = KeyNoteSession()
+        s.add_policy(f'Authorizer: "POLICY"\nLicensees: "{bob_id}"\n')
+        cred = s.add_credential(
+            sign_assertion(f'Authorizer: "{bob_id}"\nLicensees: "alice"\n', bob_key)
+        )
+        assert s.query({}, ["alice"]) == "true"
+        assert s.remove_credential(cred)
+        assert s.query({}, ["alice"]) == "false"
+        assert not s.remove_credential(cred)
+
+    def test_unverified_mode(self, bob_id):
+        s = KeyNoteSession(verify_signatures=False)
+        s.add_policy(f'Authorizer: "POLICY"\nLicensees: "{bob_id}"\n')
+        s.add_credential(f'Authorizer: "{bob_id}"\nLicensees: "alice"\n')
+        assert s.query({}, ["alice"]) == "true"
+
+
+class TestActionAttributes:
+    def test_session_attributes_merged(self):
+        s = KeyNoteSession()
+        s.add_policy(
+            'Authorizer: "POLICY"\nLicensees: "a"\n'
+            'Conditions: app_domain == "DisCFS";\n'
+        )
+        s.add_action_attribute("app_domain", "DisCFS")
+        assert s.query({}, ["a"]) == "true"
+
+    def test_query_attributes_override_session(self):
+        s = KeyNoteSession()
+        s.add_policy(
+            'Authorizer: "POLICY"\nLicensees: "a"\nConditions: x == "q";\n'
+        )
+        s.add_action_attribute("x", "session")
+        assert s.query({"x": "q"}, ["a"]) == "true"
+        assert s.query({}, ["a"]) == "false"
+
+    def test_reserved_names_rejected(self):
+        s = KeyNoteSession()
+        with pytest.raises(KeyNoteError):
+            s.add_action_attribute("_MAX_TRUST", "true")
+        with pytest.raises(KeyNoteError):
+            s.add_action_attribute("", "x")
+
+    def test_clear_attributes(self):
+        s = KeyNoteSession()
+        s.add_action_attribute("k", "v")
+        s.clear_action_attributes()
+        s.add_policy('Authorizer: "POLICY"\nLicensees: "a"\nConditions: k == "v";\n')
+        assert s.query({}, ["a"]) == "false"
+
+
+class TestQueryDefaults:
+    def test_default_values_are_boolean(self):
+        s = KeyNoteSession()
+        s.add_policy('Authorizer: "POLICY"\nLicensees: "a"\n')
+        assert s.query(action_authorizers=["a"]) == "true"
+        assert s.query(action_authorizers=["b"]) == "false"
+
+    def test_custom_value_order(self, bob_id):
+        s = KeyNoteSession()
+        s.add_policy(
+            'Authorizer: "POLICY"\nLicensees: "a"\nConditions: true -> "W";\n'
+        )
+        octal = ["false", "X", "W", "WX", "R", "RX", "RW", "RWX"]
+        assert s.query({}, ["a"], octal) == "W"

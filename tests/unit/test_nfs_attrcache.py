@@ -1,0 +1,113 @@
+"""Unit tests for the client-side attribute cache."""
+
+import pytest
+
+from repro.cfs.client import cfs_attach
+from repro.cfs.server import CFSServer
+from repro.nfs.attrcache import CachingNFSClient
+from repro.nfs.protocol import SAttr
+
+
+@pytest.fixture()
+def stack():
+    server = CFSServer(encrypt=False)
+    transport = server.in_process_transport("cache-user")
+    inner = cfs_attach(transport, "/")
+    clock = {"now": 0.0}
+    client = CachingNFSClient(inner, file_ttl=3.0, dir_ttl=30.0,
+                              clock=lambda: clock["now"])
+    return server, transport, inner, client, clock
+
+
+class TestCaching:
+    def test_getattr_served_from_cache(self, stack):
+        _server, transport, _inner, client, _clock = stack
+        fh, _attr, _ = client.create(client.root, "f")
+        calls = transport.stats.calls
+        client.getattr(fh)  # miss (create primed it, but exercise the path)
+        first = transport.stats.calls
+        for _ in range(5):
+            client.getattr(fh)
+        assert transport.stats.calls == first  # all hits, no RPCs
+        assert client.stats.hits >= 5
+
+    def test_create_primes_cache(self, stack):
+        _server, transport, _inner, client, _clock = stack
+        fh, _attr, _ = client.create(client.root, "primed")
+        calls = transport.stats.calls
+        client.getattr(fh)
+        assert transport.stats.calls == calls  # no GETATTR went out
+
+    def test_ttl_expiry_forces_refresh(self, stack):
+        _server, transport, _inner, client, clock = stack
+        fh, _attr, _ = client.create(client.root, "f")
+        client.getattr(fh)
+        clock["now"] += 4.0  # past file TTL
+        calls = transport.stats.calls
+        client.getattr(fh)
+        assert transport.stats.calls == calls + 1
+
+    def test_directory_ttl_longer(self, stack):
+        _server, transport, _inner, client, clock = stack
+        client.getattr(client.root)  # prime (dir)
+        clock["now"] += 10.0  # beyond file TTL, within dir TTL
+        calls = transport.stats.calls
+        client.getattr(client.root)
+        assert transport.stats.calls == calls
+
+    def test_write_refreshes_attributes(self, stack):
+        _server, _transport, _inner, client, _clock = stack
+        fh, _attr, _ = client.create(client.root, "f")
+        client.write(fh, 0, b"12345")
+        assert client.getattr(fh).size == 5  # from cache, but fresh
+
+    def test_setattr_refreshes(self, stack):
+        _server, _transport, _inner, client, _clock = stack
+        fh, _attr, _ = client.create(client.root, "f")
+        client.write(fh, 0, b"0123456789")
+        client.setattr(fh, SAttr(size=4))
+        assert client.getattr(fh).size == 4
+
+    def test_namespace_ops_invalidate_directory(self, stack):
+        _server, transport, _inner, client, _clock = stack
+        client.getattr(client.root)
+        client.create(client.root, "newfile")
+        calls = transport.stats.calls
+        client.getattr(client.root)  # must refetch: dir changed
+        assert transport.stats.calls == calls + 1
+
+    def test_staleness_within_ttl_is_by_design(self, stack):
+        """Documents the NFSv2 consistency model: a second client's write
+        is invisible until the TTL lapses."""
+        server, _transport, inner, client, clock = stack
+        fh, _attr, _ = client.create(client.root, "shared")
+        client.write(fh, 0, b"version-1")
+        assert client.getattr(fh).size == 9
+        # Out-of-band change (another client / server-side):
+        server.fs.truncate(inner.getattr(fh).fileid, 2)
+        assert client.getattr(fh).size == 9  # stale but within TTL
+        clock["now"] += 4.0
+        assert client.getattr(fh).size == 2  # TTL lapsed: truth restored
+
+    def test_invalidate_clears_everything(self, stack):
+        _server, transport, _inner, client, _clock = stack
+        fh, _attr, _ = client.create(client.root, "f")
+        client.getattr(fh)
+        client.invalidate()
+        calls = transport.stats.calls
+        client.getattr(fh)
+        assert transport.stats.calls == calls + 1
+
+    def test_passthrough_operations(self, stack):
+        _server, _transport, _inner, client, _clock = stack
+        fh, _attr, _ = client.create(client.root, "f")
+        client.write(fh, 0, b"payload")
+        assert client.read(fh, 0, 7) == b"payload"  # read passes through
+        assert client.statfs()["bsize"] == 8192
+
+    def test_hit_rate_statistic(self, stack):
+        _server, _transport, _inner, client, _clock = stack
+        fh, _attr, _ = client.create(client.root, "f")
+        for _ in range(9):
+            client.getattr(fh)
+        assert client.stats.hit_rate == pytest.approx(1.0)

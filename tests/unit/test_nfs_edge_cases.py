@@ -1,0 +1,144 @@
+"""NFS edge cases: boundary sizes, cookie stability, error surfaces."""
+
+import pytest
+
+from repro.errors import NFSError
+from repro.fs.ffs import FFS
+from repro.fs.vfs import VFS
+from repro.nfs.client import NFSClient
+from repro.nfs.mount import MountClient, MountProgram
+from repro.nfs.protocol import MAX_DATA, FileHandle, NFSStat, SAttr
+from repro.nfs.server import NFSProgram
+from repro.rpc.server import RPCServer
+from repro.rpc.transport import InProcessTransport
+
+
+@pytest.fixture()
+def stack():
+    fs = FFS()
+    vfs = VFS(fs)
+    server = RPCServer()
+    server.register(NFSProgram(vfs))
+    server.register(MountProgram(vfs))
+    transport = InProcessTransport(server.handler_for("edge"))
+    return fs, NFSClient(transport, MountClient(transport).mount("/"))
+
+
+class TestBoundarySizes:
+    def test_exactly_max_data_write_and_read(self, stack):
+        _fs, client = stack
+        fh, _, _ = client.create(client.root, "max")
+        blob = bytes(range(256)) * (MAX_DATA // 256)
+        assert len(blob) == MAX_DATA
+        client.write(fh, 0, blob)
+        assert client.read(fh, 0, MAX_DATA) == blob
+
+    def test_zero_byte_read(self, stack):
+        _fs, client = stack
+        fh, _, _ = client.create(client.root, "z")
+        client.write(fh, 0, b"abc")
+        assert client.read(fh, 0, 0) == b""
+
+    def test_zero_byte_write(self, stack):
+        _fs, client = stack
+        fh, _, _ = client.create(client.root, "z")
+        attr = client.write(fh, 100, b"")
+        assert attr.size == 0  # empty writes don't extend
+
+    def test_write_at_large_offset_creates_hole(self, stack):
+        _fs, client = stack
+        fh, _, _ = client.create(client.root, "sparse")
+        client.write(fh, 100_000, b"tail")
+        assert client.getattr(fh).size == 100_004
+        assert client.read(fh, 0, 8) == bytes(8)
+        assert client.read(fh, 100_000, 4) == b"tail"
+
+    def test_empty_file_name_rejected(self, stack):
+        _fs, client = stack
+        with pytest.raises(NFSError) as excinfo:
+            client.create(client.root, "")
+        assert excinfo.value.status == NFSStat.NFSERR_INVAL
+
+    def test_255_byte_name_accepted_256_rejected(self, stack):
+        from repro.errors import RPCError
+
+        _fs, client = stack
+        client.create(client.root, "n" * 255)
+        # A 256-byte filename exceeds the protocol's MAX_NAME, so it dies
+        # at the XDR layer (GARBAGE_ARGS) before reaching the filesystem —
+        # the same place a real NFS stack rejects it.
+        with pytest.raises((NFSError, RPCError)):
+            client.create(client.root, "n" * 256)
+
+
+class TestReaddirCookies:
+    def test_cookie_resume_is_consistent(self, stack):
+        _fs, client = stack
+        names = {f"entry{i:03}" for i in range(40)}
+        for name in names:
+            client.create(client.root, name)
+        # Fetch in small pages, joining via cookies.
+        seen = []
+        cookie = 0
+        while True:
+            entries, eof = client.readdir(client.root, cookie, count=200)
+            seen.extend(n for _i, n, _c in entries)
+            if eof or not entries:
+                break
+            cookie = entries[-1][2]
+        assert set(seen) >= names
+        assert len(seen) == len(set(seen))  # no duplicates across pages
+
+    def test_cookie_past_end_yields_eof(self, stack):
+        _fs, client = stack
+        entries, eof = client.readdir(client.root, cookie=9999)
+        assert eof and entries == []
+
+
+class TestExclusiveCreate:
+    def test_create_existing_fails(self, stack):
+        _fs, client = stack
+        client.create(client.root, "once")
+        with pytest.raises(NFSError) as excinfo:
+            client.create(client.root, "once")
+        assert excinfo.value.status == NFSStat.NFSERR_EXIST
+
+    def test_create_with_size_zero_truncates_nothing_new(self, stack):
+        _fs, client = stack
+        fh, attr, _ = client.create(client.root, "fresh", SAttr(size=0))
+        assert attr.size == 0
+
+
+class TestStaleHandleSurfaces:
+    def test_all_data_ops_stale_after_remove(self, stack):
+        _fs, client = stack
+        fh, _, _ = client.create(client.root, "gone")
+        client.remove(client.root, "gone")
+        for call in (
+            lambda: client.getattr(fh),
+            lambda: client.read(fh, 0, 1),
+            lambda: client.write(fh, 0, b"x"),
+            lambda: client.setattr(fh, SAttr(size=0)),
+        ):
+            with pytest.raises(NFSError) as excinfo:
+                call()
+            assert excinfo.value.status == NFSStat.NFSERR_STALE
+
+    def test_forged_handle_is_stale(self, stack):
+        _fs, client = stack
+        forged = FileHandle(ino=424242, generation=1)
+        with pytest.raises(NFSError) as excinfo:
+            client.getattr(forged)
+        assert excinfo.value.status == NFSStat.NFSERR_STALE
+
+
+class TestUnimplementedProcedures:
+    def test_root_and_writecache_unavailable(self, stack):
+        """RFC 1094 procs 3 (ROOT) and 7 (WRITECACHE) are obsolete; the
+        server answers PROC_UNAVAIL rather than pretending."""
+        from repro.errors import ProcedureUnavailable
+
+        _fs, client = stack
+        for proc in (3, 7):
+            with pytest.raises(ProcedureUnavailable):
+                client._rpc.call(proc)

@@ -1,0 +1,110 @@
+"""Unit tests for RPC transports."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.rpc.transport import (
+    InProcessTransport,
+    LatencyModel,
+    SimulatedLatencyTransport,
+    TCPTransport,
+    serve_tcp,
+)
+
+
+class TestInProcessTransport:
+    def test_echo(self):
+        t = InProcessTransport(lambda req: req.upper())
+        assert t.call(b"hello") == b"HELLO"
+
+    def test_stats(self):
+        t = InProcessTransport(lambda req: b"1234")
+        t.call(b"ab")
+        t.call(b"cd")
+        assert t.stats.calls == 2
+        assert t.stats.bytes_sent == 4
+        assert t.stats.bytes_received == 8
+
+    def test_closed_transport_rejects(self):
+        t = InProcessTransport(lambda req: req)
+        t.close()
+        with pytest.raises(TransportError):
+            t.call(b"x")
+
+
+class TestLatencyModel:
+    def test_charge_accumulates(self):
+        model = LatencyModel(rtt_seconds=0.001,
+                             bandwidth_bytes_per_second=1_000_000)
+        cost = model.charge(1000, 1000)
+        assert cost == pytest.approx(0.001 + 0.002)
+        model.charge(0, 0)
+        assert model.virtual_time == pytest.approx(0.004)
+
+    def test_reset(self):
+        model = LatencyModel()
+        model.charge(100, 100)
+        model.reset()
+        assert model.virtual_time == 0.0
+
+    def test_simulated_transport_charges(self):
+        inner = InProcessTransport(lambda req: b"resp")
+        model = LatencyModel(rtt_seconds=0.5, bandwidth_bytes_per_second=1e9)
+        t = SimulatedLatencyTransport(inner, model)
+        t.call(b"req")
+        t.call(b"req")
+        assert model.virtual_time >= 1.0
+        assert t.stats.calls == 2
+
+
+class TestTCPTransport:
+    def test_roundtrip(self):
+        server = serve_tcp(lambda req: b"pong:" + req)
+        try:
+            client = TCPTransport(*server.address)
+            assert client.call(b"ping") == b"pong:ping"
+            client.close()
+        finally:
+            server.close()
+
+    def test_multiple_calls_one_connection(self):
+        server = serve_tcp(lambda req: req[::-1])
+        try:
+            client = TCPTransport(*server.address)
+            for payload in (b"a", b"bb" * 5000, b"ccc"):
+                assert client.call(payload) == payload[::-1]
+            client.close()
+        finally:
+            server.close()
+
+    def test_concurrent_clients(self):
+        server = serve_tcp(lambda req: req + b"!")
+        try:
+            clients = [TCPTransport(*server.address) for _ in range(4)]
+            for i, c in enumerate(clients):
+                assert c.call(f"c{i}".encode()) == f"c{i}!".encode()
+            for c in clients:
+                c.close()
+        finally:
+            server.close()
+
+    def test_large_payload(self):
+        server = serve_tcp(lambda req: req)
+        try:
+            client = TCPTransport(*server.address)
+            blob = bytes(range(256)) * 4096  # 1 MiB
+            assert client.call(blob) == blob
+            client.close()
+        finally:
+            server.close()
+
+    def test_call_after_server_close(self):
+        server = serve_tcp(lambda req: req)
+        client = TCPTransport(*server.address)
+        server.close()
+        with pytest.raises(TransportError):
+            # First call may succeed if the record was in flight; retry
+            # until the closed socket surfaces.
+            for _ in range(10):
+                client.call(b"x")
+        client.close()

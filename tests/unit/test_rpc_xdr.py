@@ -1,0 +1,159 @@
+"""Unit tests for XDR encoding/decoding."""
+
+import pytest
+
+from repro.errors import XDRError
+from repro.rpc.xdr import XDRDecoder, XDREncoder
+
+
+def roundtrip(pack, unpack, value):
+    enc = XDREncoder()
+    pack(enc, value)
+    dec = XDRDecoder(enc.getvalue())
+    result = unpack(dec)
+    dec.done()
+    return result
+
+
+class TestIntegers:
+    def test_uint_roundtrip(self):
+        for v in (0, 1, 0xFFFFFFFF):
+            assert roundtrip(lambda e, x: e.pack_uint(x),
+                             lambda d: d.unpack_uint(), v) == v
+
+    def test_uint_range(self):
+        enc = XDREncoder()
+        with pytest.raises(XDRError):
+            enc.pack_uint(-1)
+        with pytest.raises(XDRError):
+            enc.pack_uint(1 << 32)
+
+    def test_int_roundtrip(self):
+        for v in (-(1 << 31), -1, 0, (1 << 31) - 1):
+            assert roundtrip(lambda e, x: e.pack_int(x),
+                             lambda d: d.unpack_int(), v) == v
+
+    def test_hyper_roundtrip(self):
+        for v in (0, 1 << 40, (1 << 64) - 1):
+            assert roundtrip(lambda e, x: e.pack_uhyper(x),
+                             lambda d: d.unpack_uhyper(), v) == v
+        for v in (-(1 << 63), -1, (1 << 63) - 1):
+            assert roundtrip(lambda e, x: e.pack_hyper(x),
+                             lambda d: d.unpack_hyper(), v) == v
+
+    def test_bool(self):
+        assert roundtrip(lambda e, x: e.pack_bool(x),
+                         lambda d: d.unpack_bool(), True) is True
+        assert roundtrip(lambda e, x: e.pack_bool(x),
+                         lambda d: d.unpack_bool(), False) is False
+
+    def test_bool_strictness(self):
+        enc = XDREncoder()
+        enc.pack_uint(2)
+        with pytest.raises(XDRError):
+            XDRDecoder(enc.getvalue()).unpack_bool()
+
+    def test_big_endian_wire_format(self):
+        enc = XDREncoder()
+        enc.pack_uint(1)
+        assert enc.getvalue() == b"\x00\x00\x00\x01"
+
+
+class TestOpaque:
+    def test_variable_opaque_padding(self):
+        enc = XDREncoder()
+        enc.pack_opaque(b"abcde")  # 5 bytes -> padded to 8 + 4 length
+        assert len(enc.getvalue()) == 12
+        dec = XDRDecoder(enc.getvalue())
+        assert dec.unpack_opaque() == b"abcde"
+        dec.done()
+
+    def test_aligned_opaque_no_padding(self):
+        enc = XDREncoder()
+        enc.pack_opaque(b"abcd")
+        assert len(enc.getvalue()) == 8
+
+    def test_fixed_opaque(self):
+        enc = XDREncoder()
+        enc.pack_fixed_opaque(b"12345", 5)
+        dec = XDRDecoder(enc.getvalue())
+        assert dec.unpack_fixed_opaque(5) == b"12345"
+        dec.done()
+
+    def test_fixed_opaque_size_enforced(self):
+        with pytest.raises(XDRError):
+            XDREncoder().pack_fixed_opaque(b"123", 5)
+
+    def test_max_size_enforced(self):
+        enc = XDREncoder()
+        enc.pack_opaque(b"x" * 100)
+        with pytest.raises(XDRError):
+            XDRDecoder(enc.getvalue()).unpack_opaque(max_size=50)
+
+    def test_nonzero_padding_rejected(self):
+        # 1-byte opaque followed by nonzero pad bytes.
+        data = b"\x00\x00\x00\x01" + b"a\x01\x00\x00"
+        with pytest.raises(XDRError):
+            XDRDecoder(data).unpack_opaque()
+
+    def test_underrun(self):
+        with pytest.raises(XDRError):
+            XDRDecoder(b"\x00\x00\x00\x10abc").unpack_opaque()
+
+
+class TestStrings:
+    def test_roundtrip(self):
+        for s in ("", "hello", "ünïcødé", "x" * 1000):
+            assert roundtrip(lambda e, x: e.pack_string(x),
+                             lambda d: d.unpack_string(), s) == s
+
+    def test_invalid_utf8_rejected(self):
+        enc = XDREncoder()
+        enc.pack_opaque(b"\xff\xfe")
+        with pytest.raises(XDRError):
+            XDRDecoder(enc.getvalue()).unpack_string()
+
+
+class TestComposites:
+    def test_array(self):
+        enc = XDREncoder()
+        enc.pack_array([1, 2, 3], lambda e, v: e.pack_uint(v))
+        dec = XDRDecoder(enc.getvalue())
+        assert dec.unpack_array(lambda d: d.unpack_uint()) == [1, 2, 3]
+
+    def test_array_max_items(self):
+        enc = XDREncoder()
+        enc.pack_array(list(range(10)), lambda e, v: e.pack_uint(v))
+        with pytest.raises(XDRError):
+            XDRDecoder(enc.getvalue()).unpack_array(
+                lambda d: d.unpack_uint(), max_items=5
+            )
+
+    def test_optional_present(self):
+        enc = XDREncoder()
+        enc.pack_optional("value", lambda e, v: e.pack_string(v))
+        assert XDRDecoder(enc.getvalue()).unpack_optional(
+            lambda d: d.unpack_string()
+        ) == "value"
+
+    def test_optional_absent(self):
+        enc = XDREncoder()
+        enc.pack_optional(None, lambda e, v: e.pack_string(v))
+        assert XDRDecoder(enc.getvalue()).unpack_optional(
+            lambda d: d.unpack_string()
+        ) is None
+
+    def test_done_catches_leftovers(self):
+        enc = XDREncoder()
+        enc.pack_uint(1)
+        enc.pack_uint(2)
+        dec = XDRDecoder(enc.getvalue())
+        dec.unpack_uint()
+        with pytest.raises(XDRError):
+            dec.done()
+
+    def test_remaining(self):
+        dec = XDRDecoder(b"\x00" * 8)
+        assert dec.remaining == 8
+        dec.unpack_uint()
+        assert dec.remaining == 4
