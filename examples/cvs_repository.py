@@ -11,8 +11,16 @@ certificates to all the other authors."
 This example does exactly that: five authors, one repository owner, zero
 administrator tickets — and a sixth "reviewer" who gets read-only access.
 
-Run:  python examples/cvs_repository.py
+Run:  python examples/cvs_repository.py [--backend URI]
+
+``--backend`` picks the storage layer the repository lives on (default
+``mem://``).  For a repository that survives restarts, combine a durable
+backend with checkpointing: ``repro.fs.persist.sync``/``load``, or
+``discfs serve --backend file:///path``, which checkpoints on shutdown
+and restores on start.
 """
+
+import argparse
 
 from repro.core import Administrator, DisCFSClient, DisCFSServer
 from repro.core.admin import identity_of, make_user_keypair
@@ -21,10 +29,11 @@ from repro.errors import NFSError
 AUTHORS = ("miltchev", "prevelakis", "sotiris", "angelos", "jms")
 
 
-def main() -> None:
+def main(backend: str = "mem://") -> None:
     admin = Administrator.generate(seed=b"host-admin")
-    server = DisCFSServer(admin_identity=admin.identity)
+    server = DisCFSServer(admin_identity=admin.identity, backend=backend)
     admin.trust_server(server)
+    print(f"repository storage backend: {backend}")
 
     # The owner sets up the repository under a one-time admin delegation.
     owner_key = make_user_keypair(b"repo-owner")
@@ -78,4 +87,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", default="mem://", metavar="URI",
+                        help="storage backend URI (default mem://)")
+    main(parser.parse_args().backend)

@@ -10,18 +10,25 @@ Demonstrates the core loop of the paper in ~40 lines:
 4. the administrator's credential (emailed, in the paper's story) is
    submitted, and the files appear.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--backend URI]
+
+``--backend`` picks the storage layer the server's filesystem lives on
+(default ``mem://``; try ``sqlite:///tmp/quickstart.db`` or
+``cached://shard://4``).
 """
+
+import argparse
 
 from repro.core import Administrator, DisCFSClient, DisCFSServer
 from repro.core.admin import identity_of, make_user_keypair
 
 
-def main() -> None:
+def main(backend: str = "mem://") -> None:
     # --- server bootstrap (one-time administrator involvement) ---------
     admin = Administrator.generate(seed=b"quickstart-admin")
-    server = DisCFSServer(admin_identity=admin.identity)
+    server = DisCFSServer(admin_identity=admin.identity, backend=backend)
     admin.trust_server(server)
+    print(f"server storage backend: {backend}")
 
     # Seed some content server-side.
     testdir = server.fs.mkdir(server.fs.root_ino, "testdir")
@@ -55,4 +62,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", default="mem://", metavar="URI",
+                        help="storage backend URI (default mem://)")
+    main(parser.parse_args().backend)

@@ -1,5 +1,5 @@
-"""Setup shim: enables `python setup.py develop` and legacy editable
-installs in offline environments lacking the `wheel` package."""
+"""Legacy shim for offline environments lacking ``wheel``: enables
+``python setup.py develop``.  All metadata lives in pyproject.toml."""
 from setuptools import setup
 
 setup()

@@ -29,9 +29,10 @@ from repro.core.admin import Administrator, identity_of, make_user_keypair
 from repro.core.client import DisCFSClient
 from repro.core.permissions import Permission
 from repro.core.server import DisCFSServer
-from repro.fs.blockdev import MemoryBlockDevice
+from repro.fs.blockdev import BlockDevice, MemoryBlockDevice
 from repro.fs.ffs import FFS
 from repro.rpc.transport import LatencyModel, SimulatedLatencyTransport
+from repro.storage import open_device
 
 SYSTEMS = ("FFS", "CFS-NE", "CFS", "DisCFS", "DisCFS-IPsec")
 
@@ -63,8 +64,10 @@ class BuiltSystem:
         return None
 
 
-def _fresh_fs(device_blocks: int) -> FFS:
-    return FFS(MemoryBlockDevice(num_blocks=device_blocks))
+def _fresh_device(device_blocks: int, backend: str | None) -> BlockDevice:
+    if backend is None:
+        return MemoryBlockDevice(num_blocks=device_blocks)
+    return open_device(backend, num_blocks=device_blocks)
 
 
 def make_target(
@@ -72,8 +75,13 @@ def make_target(
     cache_capacity: int = 128,
     device_blocks: int = DEFAULT_DEVICE_BLOCKS,
     network_model: LatencyModel | None = None,
+    backend: str | None = None,
 ) -> BuiltSystem:
-    """Build a named system on a fresh in-memory filesystem.
+    """Build a named system on a fresh filesystem.
+
+    ``backend``: storage URI the filesystem's device is opened from
+    (default in-memory).  The backend ablation sweeps this axis while
+    everything above the block layer stays identical.
 
     ``network_model``: wrap the network systems' transports in a
     virtual-time :class:`SimulatedLatencyTransport` charging the model for
@@ -81,12 +89,12 @@ def make_target(
     is unaffected).  The model lands in ``extras["network_model"]``.
     """
     if system == "FFS":
-        fs = _fresh_fs(device_blocks)
+        fs = FFS(_fresh_device(device_blocks, backend))
         return BuiltSystem(name=system, target=LocalFFSTarget(fs, name=system), fs=fs)
 
     if system in ("CFS-NE", "CFS"):
         server = CFSServer(
-            device=MemoryBlockDevice(num_blocks=device_blocks),
+            device=_fresh_device(device_blocks, backend),
             encrypt=(system == "CFS"),
         )
         transport = server.in_process_transport("cfs-user")
@@ -108,7 +116,7 @@ def make_target(
         admin = Administrator.generate(seed=b"bench-admin")
         server = DisCFSServer(
             admin_identity=admin.identity,
-            device=MemoryBlockDevice(num_blocks=device_blocks),
+            device=_fresh_device(device_blocks, backend),
             cache_capacity=cache_capacity,
         )
         admin.trust_server(server)

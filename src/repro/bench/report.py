@@ -44,6 +44,78 @@ def run_evaluation(
     return results
 
 
+#: The backend sweep the storage ablation reports by default.
+DEFAULT_BACKENDS = (
+    "mem://",
+    "shard://2",
+    "shard://4",
+    "shard://8",
+    "cached://mem://#capacity=256",
+)
+
+
+def run_backend_ablation(
+    backends: tuple[str, ...] = DEFAULT_BACKENDS,
+    system: str = "FFS",
+    file_size: int = 1 << 20,
+    char_size: int = 1 << 16,
+) -> dict:
+    """Bonnie phases for one system across storage backends.
+
+    Same workload, same system, only the block layer changes — the
+    counterpart of ``run_evaluation``'s system sweep, for the storage
+    axis (``benchmarks/test_ablation_storage_backend.py``).
+    """
+    results: dict = {"system": system, "bonnie": {}, "device": {}}
+    for uri in backends:
+        built = make_target(system, backend=uri)
+        results["bonnie"][uri] = run_bonnie(
+            built.target, file_size=file_size, char_size=char_size
+        )
+        stats = built.device_stats
+        # Logical traffic (what FFS issued) is workload-determined and so
+        # identical across backends; the physical traffic that reached
+        # the leaf stores is where cached:// and shard:// differ.
+        store = getattr(built.fs.device, "store", None)
+        leaves = store.leaf_stores() if store is not None else []
+        results["device"][uri] = {
+            "reads": stats.reads,
+            "writes": stats.writes,
+            "seeks": stats.seeks,
+            "physical_reads": sum(leaf.stats.reads for leaf in leaves)
+            if leaves else stats.reads,
+            "physical_writes": sum(leaf.stats.writes for leaf in leaves)
+            if leaves else stats.writes,
+            "leaves": len(leaves) or 1,
+        }
+        built.fs.device.close()
+    return results
+
+
+def print_backend_report(results: dict) -> None:
+    """Per-backend comparison table (throughput per Bonnie phase)."""
+    backends = list(results["bonnie"])
+    print(f"\nStorage backend ablation — system: {results['system']}")
+    header = f"  {'Backend':<32}" + "".join(f"{p:>14}" for p in PHASES)
+    print(header)
+    print(f"  {'(throughput K/sec)':<32}")
+    for uri in backends:
+        row = results["bonnie"][uri]
+        cells = "".join(f"{row.kps(p):>14.0f}" for p in PHASES)
+        print(f"  {uri:<32}{cells}")
+    print(
+        f"\n  {'Backend':<32}{'log.reads':>10}{'log.writes':>11}"
+        f"{'phys.reads':>11}{'phys.writes':>12}{'leaves':>8}"
+    )
+    for uri in backends:
+        dev = results["device"][uri]
+        print(
+            f"  {uri:<32}{dev['reads']:>10}{dev['writes']:>11}"
+            f"{dev['physical_reads']:>11}{dev['physical_writes']:>12}"
+            f"{dev['leaves']:>8}"
+        )
+
+
 def print_report(results: dict) -> None:
     systems = list(results["bonnie"])
     for phase in PHASES:
@@ -68,6 +140,9 @@ def main() -> None:
     parser.add_argument("--systems", nargs="*", default=list(PAPER_SYSTEMS))
     parser.add_argument("--cache", type=int, default=128,
                         help="DisCFS policy cache capacity")
+    parser.add_argument("--backends", nargs="*", metavar="URI",
+                        help="also run the storage-backend ablation over "
+                             "these URIs (no URIs = the default sweep)")
     args = parser.parse_args()
     results = run_evaluation(
         systems=tuple(args.systems),
@@ -76,6 +151,11 @@ def main() -> None:
         cache_capacity=args.cache,
     )
     print_report(results)
+    if args.backends is not None:
+        backends = tuple(args.backends) if args.backends else DEFAULT_BACKENDS
+        print_backend_report(run_backend_ablation(
+            backends, file_size=args.file_size, char_size=args.char_size,
+        ))
 
 
 if __name__ == "__main__":

@@ -28,8 +28,14 @@ class CFSServer:
         device: BlockDevice | None = None,
         encrypt: bool = False,
         master_key: bytes = b"cfs-default-master-key",
+        backend: str | None = None,
     ):
-        self.fs = fs if fs is not None else FFS(device)
+        # ``backend`` is a storage URI (mem://, sqlite://, shard://, ...)
+        # resolved through the repro.storage registry; ``device``/``fs``
+        # take precedence for callers that construct their own.
+        self.fs = fs if fs is not None else FFS(
+            device if device is not None else backend
+        )
         self.encrypt = encrypt
         if encrypt:
             self.vfs: VFS = EncryptingVFS(self.fs, master_key)

@@ -15,7 +15,9 @@ Commands
 ``inspect``         pretty-print a credential's fields
 ``verify``          check a credential's signature
 ``serve``           run a DisCFS server on a TCP port, optionally
-                    importing a host directory into its filesystem
+                    importing a host directory into its filesystem;
+                    ``--backend URI`` picks the storage backend
+``backends``        list the registered storage-backend URI schemes
 ``ls/cat/put/rm``   client operations against a running server
 ``stat``            print a remote file's handle and granted rights
 ``submit``          submit credential files to a server
@@ -189,10 +191,24 @@ def _import_host_tree(server: DisCFSServer, host_dir: str) -> int:
 
 
 def cmd_serve(args) -> int:
+    from repro.fs import persist
+    from repro.fs.ffs import FFS
+    from repro.storage import open_device
+
     admin_identity = _read(args.admin_identity).strip() \
         if os.path.exists(args.admin_identity) else args.admin_identity
+    # Restore a previous checkpoint when the backend holds one (what makes
+    # `--backend file:///var/lib/discfs.img` survive restarts); otherwise
+    # build a fresh filesystem on the backend.
+    device = open_device(args.backend)
+    try:
+        fs = persist.load(device)
+        print(f"restored filesystem checkpoint from {args.backend}")
+    except ReproError:
+        fs = FFS(device)
     server = DisCFSServer(admin_identity=admin_identity,
-                          cache_capacity=args.cache)
+                          cache_capacity=args.cache,
+                          fs=fs)
     if args.trust_key:
         # Convenience for single-host demos: holding the admin's private
         # key lets the CLI install the server-issuer delegation directly.
@@ -204,8 +220,14 @@ def cmd_serve(args) -> int:
                     host=args.host, port=args.port)
     host, port = tcp.address
     print(f"DisCFS serving on {host}:{port} "
-          f"(issuer identity {server.issuer_identity[:40]}...)")
+          f"(issuer identity {server.issuer_identity[:40]}..., "
+          f"backend {args.backend})")
+    def checkpoint() -> None:
+        persist.sync(server.fs)
+        server.fs.device.flush()
+
     if args.oneshot:  # used by the tests: exit instead of blocking
+        checkpoint()
         tcp.close()
         return 0
     try:  # pragma: no cover - interactive path
@@ -213,7 +235,25 @@ def cmd_serve(args) -> int:
 
         threading.Event().wait()
     except KeyboardInterrupt:  # pragma: no cover
+        checkpoint()
         tcp.close()
+    return 0
+
+
+def cmd_backends(args) -> int:
+    """List storage schemes and a usage example for each."""
+    from repro.storage import registered_schemes
+
+    examples = {
+        "mem": "mem://  (options: ?blocks=N&bs=N)",
+        "file": "file:///var/lib/discfs.img",
+        "sqlite": "sqlite:///var/lib/discfs.db",
+        "shard": "shard://4  |  shard://4?base=sqlite&dir=/data  |  "
+                 "shard://mem://;mem://",
+        "cached": "cached://sqlite:///var/lib/discfs.db#capacity=512",
+    }
+    for scheme in registered_schemes():
+        print(f"{scheme:<8} {examples.get(scheme, f'{scheme}://')}")
     return 0
 
 
@@ -401,8 +441,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0)
     p.add_argument("--cache", type=int, default=128)
+    p.add_argument("--backend", default="mem://", metavar="URI",
+                   help="storage backend URI: mem://, file://PATH, "
+                        "sqlite://PATH, shard://N, cached://URI "
+                        "(default mem://)")
     p.add_argument("--oneshot", action="store_true", help=argparse.SUPPRESS)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("backends", help="list storage-backend URI schemes")
+    p.set_defaults(func=cmd_backends)
 
     p = sub.add_parser("ls", help="list a remote directory")
     _add_client_args(p)

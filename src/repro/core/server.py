@@ -177,6 +177,11 @@ class DisCFSServer:
         before those credentials carry authority.
     handle_scheme:
         INODE_GENERATION (default) or the prototype's bare INODE.
+    backend:
+        Storage-backend URI (``mem://``, ``file://``, ``sqlite://``,
+        ``shard://``, ``cached://``) the server's filesystem is built on
+        when neither ``fs`` nor ``device`` is given; resolved through
+        :func:`repro.storage.open_device`.
     cache_capacity / cache_ttl:
         Policy cache parameters (paper evaluation: 128 entries).
     clock:
@@ -204,8 +209,14 @@ class DisCFSServer:
         clock: Callable[[], float] = time.time,
         guest_principal: str | None = None,
         audit_capacity: int = 10_000,
+        backend: str | None = None,
     ):
-        self.fs = fs if fs is not None else FFS(device)
+        # ``backend`` is a storage URI (mem://, sqlite://, shard://, ...)
+        # resolved through the repro.storage registry; ``device``/``fs``
+        # take precedence for callers that construct their own.
+        self.fs = fs if fs is not None else FFS(
+            device if device is not None else backend
+        )
         self.vfs = VFS(self.fs)
         self.admin_identity = normalize_principal(admin_identity)
         self.handle_scheme = handle_scheme

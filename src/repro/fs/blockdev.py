@@ -1,6 +1,6 @@
 """Block devices backing the FFS substrate.
 
-Two implementations share one interface:
+Two legacy implementations share one interface:
 
 * :class:`MemoryBlockDevice` — blocks live in a dict; fast, the default
   for tests and benchmarks,
@@ -10,6 +10,12 @@ Two implementations share one interface:
 Both count operations in a :class:`BlockDeviceStats`, which the benchmark
 harness uses to attribute simulated disk time (seek + transfer) when
 reporting paper-scale numbers.
+
+New code should prefer the URI-driven registry in :mod:`repro.storage`
+(``mem://``, ``file://``, ``sqlite://``, ``shard://``, ``cached://``);
+:func:`device_from_uri` below is the bridge.  Anything satisfying this
+module's :class:`BlockDevice` contract — including
+:class:`repro.storage.StoreBlockDevice` — plugs into FFS unchanged.
 """
 
 from __future__ import annotations
@@ -101,6 +107,31 @@ class BlockDevice:
     @property
     def capacity_bytes(self) -> int:
         return self.num_blocks * self.block_size
+
+    # -- lifecycle (no-ops for devices without buffered/owned state) ------
+
+    def flush(self) -> None:
+        """Push buffered writes toward durable storage."""
+
+    def close(self) -> None:
+        """Release any resources the device owns."""
+
+
+def device_from_uri(uri: str, num_blocks: int | None = None,
+                    block_size: int = DEFAULT_BLOCK_SIZE) -> BlockDevice:
+    """Construct a device through the :mod:`repro.storage` registry.
+
+    Thin convenience so fs-layer callers need not import ``repro.storage``
+    themselves; imported lazily because the storage package builds on the
+    stats and error types defined here.
+    """
+    from repro.storage import DEFAULT_NUM_BLOCKS, open_device
+
+    return open_device(
+        uri,
+        num_blocks=num_blocks if num_blocks is not None else DEFAULT_NUM_BLOCKS,
+        block_size=block_size,
+    )
 
 
 class MemoryBlockDevice(BlockDevice):

@@ -27,7 +27,7 @@ from repro.errors import (
     NoSpace,
     NotADirectory,
 )
-from repro.fs.blockdev import BlockDevice, MemoryBlockDevice
+from repro.fs.blockdev import BlockDevice, MemoryBlockDevice, device_from_uri
 from repro.fs.inode import FileType, Inode, InodeTable
 
 MAX_NAME_LEN = 255
@@ -44,7 +44,11 @@ class FFS:
     metadata change, atime on read).
     """
 
-    def __init__(self, device: BlockDevice | None = None):
+    def __init__(self, device: BlockDevice | str | None = None):
+        # A string is a storage-backend URI ("mem://", "sqlite:///fs.db",
+        # "cached://shard://4", ...) resolved through repro.storage.
+        if isinstance(device, str):
+            device = device_from_uri(device)
         self.device = device if device is not None else MemoryBlockDevice()
         self.block_size = self.device.block_size
         self._inodes = InodeTable()

@@ -144,6 +144,10 @@ def sync(fs: FFS) -> int:
     if len(header) + len(listing) > block_size:
         raise FSError("metadata block list does not fit in the superblock")
     fs.device.write_block(0, header + listing)
+    # Push write-back layers (cached://) and buffered backends (sqlite://)
+    # to durable storage — a checkpoint that only reaches a cache is not
+    # a checkpoint.
+    fs.device.flush()
     return len(payload)
 
 
@@ -167,8 +171,16 @@ def _read_checkpoint_blocks(device: BlockDevice) -> list[int]:
     ]
 
 
-def load(device: BlockDevice) -> FFS:
-    """Rebuild a filesystem from a checkpointed device."""
+def load(device: BlockDevice | str) -> FFS:
+    """Rebuild a filesystem from a checkpointed device.
+
+    ``device`` may be a backend URI (``file:///path``, ``sqlite:///path``,
+    ``shard://...``); it is resolved through the storage registry.
+    """
+    if isinstance(device, str):
+        from repro.fs.blockdev import device_from_uri
+
+        device = device_from_uri(device)
     super_block = device.read_block(0)
     magic, length, count, digest = _SUPER.unpack_from(super_block)
     if magic != MAGIC:

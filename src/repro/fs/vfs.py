@@ -36,8 +36,10 @@ class VFS:
     instead of silently touching a recycled inode.
     """
 
-    def __init__(self, fs: FFS):
-        self.fs = fs
+    def __init__(self, fs: FFS | str):
+        # A string is a storage-backend URI: build a fresh FFS on that
+        # backend (VFS("sqlite:///fs.db") mirrors FFS("sqlite:///fs.db")).
+        self.fs = FFS(fs) if isinstance(fs, str) else fs
 
     # -- identity ----------------------------------------------------------
 

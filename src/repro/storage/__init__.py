@@ -1,0 +1,47 @@
+"""Pluggable storage backends for the DisCFS substrate.
+
+The block layer under FFS is chosen by URI::
+
+    from repro.storage import open_device
+
+    device = open_device("sqlite:///var/lib/discfs.db")
+    fs = FFS(device)
+
+Backends compose: ``cached://shard://4#capacity=512`` is a write-back
+LRU in front of four consistent-hashed memory shards.  See
+:mod:`repro.storage.registry` for the URI grammar and README "Storage
+backends" for worked examples.
+"""
+
+from repro.storage.adapter import StoreBlockDevice
+from repro.storage.base import BlockStore
+from repro.storage.cache import CachedBlockStore, CacheStats
+from repro.storage.filestore import FileBlockStore
+from repro.storage.memory import MemoryBlockStore
+from repro.storage.registry import (
+    DEFAULT_NUM_BLOCKS,
+    open_device,
+    open_store,
+    register_scheme,
+    registered_schemes,
+    split_uri,
+)
+from repro.storage.shard import ShardedBlockStore
+from repro.storage.sqlitestore import SQLiteBlockStore
+
+__all__ = [
+    "BlockStore",
+    "CacheStats",
+    "CachedBlockStore",
+    "DEFAULT_NUM_BLOCKS",
+    "FileBlockStore",
+    "MemoryBlockStore",
+    "ShardedBlockStore",
+    "SQLiteBlockStore",
+    "StoreBlockDevice",
+    "open_device",
+    "open_store",
+    "register_scheme",
+    "registered_schemes",
+    "split_uri",
+]

@@ -1,0 +1,47 @@
+"""Adapter presenting a :class:`BlockStore` behind the ``BlockDevice`` API.
+
+The fs/nfs/cli layers were written against
+:class:`repro.fs.blockdev.BlockDevice`; this shim lets them run unchanged
+on any registry backend while callers migrate incrementally.  Device-level
+stats (what the bench cost models read via ``fs.device.stats``) are
+recorded here exactly as the legacy devices did; the wrapped store (and
+any stores *it* wraps) keep their own per-layer counters.
+"""
+
+from __future__ import annotations
+
+from repro.fs.blockdev import BlockDevice
+from repro.storage.base import BlockStore
+
+
+class StoreBlockDevice(BlockDevice):
+    """A ``BlockDevice`` view over any :class:`BlockStore`."""
+
+    def __init__(self, store: BlockStore, uri: str | None = None):
+        super().__init__(store.num_blocks, store.block_size)
+        self.store = store
+        self.uri = uri
+
+    def _read(self, block_no: int) -> bytes:
+        return self.store.read(block_no)
+
+    def _write(self, block_no: int, data: bytes) -> None:
+        self.store.write(block_no, data)
+
+    def flush(self) -> None:
+        self.store.flush()
+
+    def close(self) -> None:
+        self.store.close()
+
+    def used_blocks(self) -> int:
+        return self.store.used_blocks()
+
+    def __enter__(self) -> "StoreBlockDevice":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"StoreBlockDevice({self.store.describe()})"

@@ -1,0 +1,115 @@
+"""The abstract block store: what every storage backend implements.
+
+A :class:`BlockStore` is a flat array of fixed-size blocks addressed by
+integer block number, the same contract :class:`repro.fs.blockdev.BlockDevice`
+exposes — but stores are *composable* (``shard://`` and ``cached://`` wrap
+other stores) and *URI-addressable* (see :mod:`repro.storage.registry`).
+
+Every store counts its operations in a
+:class:`~repro.fs.blockdev.BlockDeviceStats`, so the benchmark cost models
+that attribute simulated disk time keep working no matter which backend
+(or stack of backends) sits underneath, and composite stores can report
+per-layer and per-shard traffic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidArgument, NoSpace
+from repro.fs.blockdev import DEFAULT_BLOCK_SIZE, BlockDeviceStats
+
+
+class BlockStore:
+    """Abstract fixed-size-block store.
+
+    Subclasses implement :meth:`_get` / :meth:`_put`; the public
+    :meth:`read` / :meth:`write` wrappers validate ranges, zero-fill
+    unwritten blocks, pad short writes, and record stats — mirroring the
+    semantics callers already rely on from ``BlockDevice``.
+    """
+
+    #: URI scheme this store registers under (set by subclasses).
+    scheme: str = ""
+
+    def __init__(self, num_blocks: int, block_size: int = DEFAULT_BLOCK_SIZE):
+        if num_blocks <= 0:
+            raise InvalidArgument("store must have at least one block")
+        if block_size <= 0 or block_size % 512:
+            raise InvalidArgument("block size must be a positive multiple of 512")
+        self.num_blocks = num_blocks
+        self.block_size = block_size
+        self.stats = BlockDeviceStats()
+        self._zero = bytes(block_size)
+
+    # -- subclass interface ------------------------------------------------
+
+    def _get(self, block_no: int) -> bytes | None:
+        """Return the stored block, or None if never written."""
+        raise NotImplementedError
+
+    def _put(self, block_no: int, data: bytes) -> None:
+        """Store ``data`` (exactly ``block_size`` bytes)."""
+        raise NotImplementedError
+
+    # -- public API --------------------------------------------------------
+
+    def read(self, block_no: int) -> bytes:
+        self._check_range(block_no)
+        self.stats.record_read(block_no, self.block_size)
+        data = self._get(block_no)
+        return data if data is not None else self._zero
+
+    def write(self, block_no: int, data: bytes) -> None:
+        self._check_range(block_no)
+        if len(data) > self.block_size:
+            raise InvalidArgument(
+                f"data ({len(data)} bytes) exceeds block size ({self.block_size})"
+            )
+        if len(data) < self.block_size:
+            data = data + b"\x00" * (self.block_size - len(data))
+        self.stats.record_write(block_no, self.block_size)
+        self._put(block_no, data)
+
+    def _check_range(self, block_no: int) -> None:
+        if not 0 <= block_no < self.num_blocks:
+            raise NoSpace(
+                f"block {block_no} out of range (store has {self.num_blocks})"
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """Push buffered state to durable/child storage (no-op by default)."""
+
+    def close(self) -> None:
+        """Release resources; the store must not be used afterwards."""
+
+    def __enter__(self) -> "BlockStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- introspection -----------------------------------------------------
+
+    def used_blocks(self) -> int:
+        """Number of distinct blocks ever written, where knowable."""
+        raise NotImplementedError
+
+    def leaf_stores(self) -> list["BlockStore"]:
+        """The physical stores at the bottom of this stack.
+
+        Composite stores (``shard://``, ``cached://``) override this to
+        descend; a leaf returns itself.  Summing ``leaf.stats`` over the
+        result gives the *physical* I/O that reached backing storage, as
+        opposed to the logical traffic counted at the top of the stack —
+        the difference is what cache/shard ablations measure.
+        """
+        return [self]
+
+    def describe(self) -> str:
+        """One-line human description (used by CLI and reports)."""
+        return f"{self.scheme}://  {self.num_blocks}x{self.block_size}B"
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_blocks * self.block_size

@@ -1,0 +1,79 @@
+"""Host-file block store (``file://<path>``).
+
+Blocks are laid out at ``block_no * block_size`` in a single host file
+(sparse where the OS allows), so a store reopened on the same path sees
+the blocks a previous process wrote — the persistence story behind
+``discfs serve --backend file:///var/lib/discfs.img``.
+
+Geometry lives in a ``<path>.meta`` sidecar: reopening with a different
+block size is rejected (it would silently shift every block), and a
+reopened store never shrinks below the capacity it was created with —
+the same guarantees :class:`~repro.storage.sqlitestore.SQLiteBlockStore`
+gets from its meta table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import InvalidArgument
+from repro.fs.blockdev import DEFAULT_BLOCK_SIZE
+from repro.storage.base import BlockStore
+
+
+class FileBlockStore(BlockStore):
+    """Blocks stored in one host file; never-written regions read as zeros."""
+
+    scheme = "file"
+
+    def __init__(
+        self, path: str, num_blocks: int = 16384, block_size: int = DEFAULT_BLOCK_SIZE
+    ):
+        self.path = path
+        self._meta_path = path + ".meta"
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        if os.path.exists(self._meta_path):
+            with open(self._meta_path, "r", encoding="utf-8") as f:
+                meta = json.load(f)
+            if meta["block_size"] != block_size:
+                raise InvalidArgument(
+                    f"{path} was created with block size {meta['block_size']}, "
+                    f"not {block_size}"
+                )
+            num_blocks = max(num_blocks, meta["num_blocks"])
+        super().__init__(num_blocks, block_size)
+        with open(self._meta_path, "w", encoding="utf-8") as f:
+            json.dump({"block_size": block_size, "num_blocks": num_blocks}, f)
+        self._fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o600)
+
+    def _get(self, block_no: int) -> bytes | None:
+        data = os.pread(self._fd, self.block_size, block_no * self.block_size)
+        if not data:
+            return None
+        if len(data) < self.block_size:
+            data = data + b"\x00" * (self.block_size - len(data))
+        return data
+
+    def _put(self, block_no: int, data: bytes) -> None:
+        os.pwrite(self._fd, data, block_no * self.block_size)
+
+    def flush(self) -> None:
+        if self._fd >= 0:
+            os.fsync(self._fd)
+
+    def close(self) -> None:
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1
+
+    def used_blocks(self) -> int:
+        """Blocks covered by the file's current extent (upper bound)."""
+        if self._fd < 0:
+            return 0
+        return (os.fstat(self._fd).st_size + self.block_size - 1) // self.block_size
+
+    def describe(self) -> str:
+        return f"file://{self.path}  {self.num_blocks}x{self.block_size}B"

@@ -1,0 +1,109 @@
+"""Sharded block store (``shard://``): consistent hashing over child stores.
+
+Block numbers are placed on a consistent-hash ring of virtual nodes
+(:data:`VNODES_PER_SHARD` per child), so:
+
+* placement is **deterministic** — the same block always lands on the
+  same shard across processes and runs (no randomness, no dict-order
+  dependence), which persistence and the conformance suite rely on;
+* adding a shard moves only ~1/(n+1) of the keyspace, the property that
+  makes ``shard://`` the substrate later resharding/replication PRs
+  build on (ROADMAP "Open items").
+
+Each child keeps its own :class:`~repro.fs.blockdev.BlockDeviceStats`, so
+benchmarks can report per-shard traffic and verify balance.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import InvalidArgument
+from repro.fs.blockdev import DEFAULT_BLOCK_SIZE
+from repro.storage.base import BlockStore
+
+#: Virtual nodes per shard; 64 keeps the ring balanced within a few
+#: percent while the ring stays tiny (n*64 entries).
+VNODES_PER_SHARD = 64
+
+
+def _ring_hash(key: str) -> int:
+    return int.from_bytes(hashlib.sha1(key.encode("ascii")).digest()[:8], "big")
+
+
+class ShardedBlockStore(BlockStore):
+    """Scatter blocks over ``children`` via a consistent-hash ring.
+
+    Children must share one block size.  The sharded store presents the
+    *union* capacity semantics of its children: every child is addressed
+    with the global block number (children are sparse, so a child's
+    nominal capacity just needs to cover the global range).
+    """
+
+    scheme = "shard"
+
+    def __init__(self, children: list[BlockStore]):
+        if not children:
+            raise InvalidArgument("shard:// needs at least one child store")
+        block_size = children[0].block_size
+        if any(c.block_size != block_size for c in children):
+            raise InvalidArgument("shard children must share one block size")
+        num_blocks = min(c.num_blocks for c in children)
+        super().__init__(num_blocks, block_size)
+        self.children = list(children)
+        self._ring: list[int] = []
+        self._ring_shard: list[int] = []
+        points = sorted(
+            (_ring_hash(f"shard-{idx}:vnode-{v}"), idx)
+            for idx in range(len(children))
+            for v in range(VNODES_PER_SHARD)
+        )
+        for point, idx in points:
+            self._ring.append(point)
+            self._ring_shard.append(idx)
+
+    # -- placement ---------------------------------------------------------
+
+    def shard_for(self, block_no: int) -> int:
+        """Index of the child that owns ``block_no`` (deterministic)."""
+        point = _ring_hash(f"block-{block_no}")
+        i = bisect.bisect_right(self._ring, point)
+        if i == len(self._ring):
+            i = 0
+        return self._ring_shard[i]
+
+    # -- BlockStore interface ----------------------------------------------
+
+    def _get(self, block_no: int) -> bytes | None:
+        child = self.children[self.shard_for(block_no)]
+        data = child.read(block_no)
+        return data
+
+    def _put(self, block_no: int, data: bytes) -> None:
+        self.children[self.shard_for(block_no)].write(block_no, data)
+
+    def flush(self) -> None:
+        for child in self.children:
+            child.flush()
+
+    def close(self) -> None:
+        for child in self.children:
+            child.close()
+
+    def used_blocks(self) -> int:
+        return sum(c.used_blocks() for c in self.children)
+
+    def leaf_stores(self) -> list[BlockStore]:
+        return [leaf for c in self.children for leaf in c.leaf_stores()]
+
+    def shard_distribution(self) -> list[int]:
+        """Blocks currently held per shard (for balance reporting)."""
+        return [c.used_blocks() for c in self.children]
+
+    def describe(self) -> str:
+        kinds = ",".join(c.scheme for c in self.children)
+        return (
+            f"shard://{len(self.children)} [{kinds}]  "
+            f"{self.num_blocks}x{self.block_size}B"
+        )

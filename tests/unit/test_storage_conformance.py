@@ -1,0 +1,323 @@
+"""Conformance suite for every registered storage-backend URI scheme.
+
+One parametrized battery runs against each backend the registry can
+resolve, so a new scheme gets the full read/write/round-trip contract
+checked by adding a single URI template here.  Backend-specific behaviour
+(shard placement determinism, persistence across close/reopen, cache
+write-back) is covered below the shared battery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidArgument, NoSpace
+from repro.fs.blockdev import BlockDeviceStats
+from repro.fs.ffs import FFS
+from repro.fs import persist
+from repro.storage import (
+    CachedBlockStore,
+    ShardedBlockStore,
+    open_device,
+    open_store,
+    registered_schemes,
+    split_uri,
+)
+
+BLOCKS = 64
+BS = 512
+
+#: One URI template per registered scheme; ``{tmp}`` is filled with a
+#: per-test temporary directory.  The conformance battery runs on all of
+#: them, including composed stacks.
+URI_TEMPLATES = {
+    "mem": "mem://",
+    "file": "file://{tmp}/blocks.img",
+    "sqlite": "sqlite://{tmp}/blocks.db",
+    "shard": "shard://3",
+    "cached": "cached://mem://#capacity=16",
+}
+
+EXTRA_COMPOSITES = [
+    "shard://mem://;mem://;mem://",
+    "cached://shard://2#capacity=8",
+    "cached://sqlite://{tmp}/nested.db#capacity=8",
+]
+
+ALL_TEMPLATES = list(URI_TEMPLATES.values()) + EXTRA_COMPOSITES
+
+
+def test_every_registered_scheme_is_covered():
+    covered = {split_uri(t)[0] for t in URI_TEMPLATES.values()}
+    assert covered == set(registered_schemes()), (
+        "conformance suite must cover every registered URI scheme"
+    )
+
+
+@pytest.fixture(params=ALL_TEMPLATES, ids=lambda t: t.replace("{tmp}/", ""))
+def store(request, tmp_path):
+    uri = request.param.format(tmp=tmp_path)
+    s = open_store(uri, num_blocks=BLOCKS, block_size=BS)
+    yield s
+    s.close()
+
+
+class TestConformance:
+    def test_geometry(self, store):
+        assert store.num_blocks == BLOCKS
+        assert store.block_size == BS
+        assert store.capacity_bytes == BLOCKS * BS
+
+    def test_unwritten_blocks_read_zero(self, store):
+        assert store.read(BLOCKS - 1) == bytes(BS)
+
+    def test_write_read_roundtrip(self, store):
+        payload = bytes(range(256)) * 2
+        store.write(5, payload)
+        assert store.read(5) == payload
+
+    def test_short_writes_zero_padded(self, store):
+        store.write(0, b"x")
+        assert store.read(0) == b"x" + bytes(BS - 1)
+
+    def test_overwrite_replaces(self, store):
+        store.write(2, b"first")
+        store.write(2, b"second")
+        assert store.read(2).startswith(b"second")
+
+    def test_every_block_addressable(self, store):
+        for block_no in range(BLOCKS):
+            store.write(block_no, block_no.to_bytes(2, "big"))
+        for block_no in range(BLOCKS):
+            assert store.read(block_no)[:2] == block_no.to_bytes(2, "big")
+        store.flush()
+        assert store.used_blocks() == BLOCKS
+
+    def test_oversized_write_rejected(self, store):
+        with pytest.raises(InvalidArgument):
+            store.write(0, b"y" * (BS + 1))
+
+    def test_out_of_range_rejected(self, store):
+        with pytest.raises(NoSpace):
+            store.read(BLOCKS)
+        with pytest.raises(NoSpace):
+            store.write(-1, b"")
+
+    def test_stats_counted(self, store):
+        store.write(1, b"a")
+        store.read(1)
+        store.read(3)
+        assert store.stats.writes == 1
+        assert store.stats.reads == 2
+        assert store.stats.bytes_written == BS
+        assert store.stats.bytes_read == 2 * BS
+        assert isinstance(store.stats, BlockDeviceStats)
+
+    def test_flush_is_idempotent(self, store):
+        store.write(4, b"flush me")
+        store.flush()
+        store.flush()
+        assert store.read(4).startswith(b"flush me")
+
+    def test_ffs_runs_on_backend(self, store):
+        """The whole filesystem stack works over every backend."""
+        fs = FFS(open_device_like(store))
+        fs.write_file("/hello.txt", b"hello backend")
+        fs.makedirs("/a/b")
+        fs.write_file("/a/b/deep.txt", b"nested")
+        assert fs.read_file("/hello.txt") == b"hello backend"
+        assert fs.read_file("/a/b/deep.txt") == b"nested"
+
+
+def open_device_like(store):
+    from repro.storage import StoreBlockDevice
+
+    return StoreBlockDevice(store)
+
+
+# ---------------------------------------------------------------------------
+# Scheme-specific behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(InvalidArgument, match="unknown storage scheme"):
+            open_store("bogus://")
+
+    def test_malformed_uri_rejected(self):
+        with pytest.raises(InvalidArgument):
+            open_store("not-a-uri")
+
+    def test_geometry_query_overrides(self):
+        s = open_store("mem://?blocks=7&bs=1024")
+        assert (s.num_blocks, s.block_size) == (7, 1024)
+
+    def test_open_device_adapter(self):
+        dev = open_device("mem://", num_blocks=BLOCKS, block_size=BS)
+        dev.write_block(1, b"via device")
+        assert dev.read_block(1).startswith(b"via device")
+        assert dev.stats.reads == 1 and dev.stats.writes == 1
+        # The wrapped store counts the same physical traffic.
+        assert dev.store.stats.reads == 1 and dev.store.stats.writes == 1
+
+    def test_shard_count_form_and_explicit_children_agree(self):
+        by_count = open_store("shard://3", num_blocks=BLOCKS, block_size=BS)
+        explicit = open_store(
+            "shard://mem://;mem://;mem://", num_blocks=BLOCKS, block_size=BS
+        )
+        for block_no in range(BLOCKS):
+            assert by_count.shard_for(block_no) == explicit.shard_for(block_no)
+
+
+class TestShardPlacement:
+    def test_placement_is_deterministic_across_instances(self):
+        a = open_store("shard://4", num_blocks=1024)
+        b = open_store("shard://4", num_blocks=1024)
+        assert [a.shard_for(i) for i in range(1024)] == [
+            b.shard_for(i) for i in range(1024)
+        ]
+
+    def test_every_shard_receives_traffic(self):
+        s: ShardedBlockStore = open_store("shard://4", num_blocks=1024)
+        for i in range(1024):
+            s.write(i, b"x")
+        distribution = s.shard_distribution()
+        assert sum(distribution) == 1024
+        assert all(count > 0 for count in distribution)
+        # Consistent hashing with vnodes keeps shards within a loose
+        # balance envelope (no shard over 2x the fair share).
+        assert max(distribution) < 2 * (1024 / 4)
+
+    def test_adding_a_shard_moves_few_blocks(self):
+        four = open_store("shard://4", num_blocks=4096)
+        five = open_store("shard://5", num_blocks=4096)
+        moved = sum(
+            1 for i in range(4096) if four.shard_for(i) != five.shard_for(i)
+        )
+        # Consistent hashing: ~1/5 of keys move; a modulo scheme would
+        # move ~4/5.  Allow slack for ring imbalance.
+        assert moved < 4096 * 0.4
+
+    def test_reads_route_to_owning_shard(self):
+        s: ShardedBlockStore = open_store("shard://4", num_blocks=256)
+        s.write(17, b"routed")
+        owner = s.shard_for(17)
+        assert s.children[owner].stats.writes == 1
+        s.read(17)
+        assert s.children[owner].stats.reads == 1
+
+
+@pytest.mark.parametrize("template", [
+    "file://{tmp}/persist.img",
+    "sqlite://{tmp}/persist.db",
+    "shard://2?base=file&dir={tmp}/shards",
+    "shard://2?base=sqlite&dir={tmp}/dbshards",
+    "cached://sqlite://{tmp}/cached-persist.db#capacity=4",
+], ids=["file", "sqlite", "shard-file", "shard-sqlite", "cached-sqlite"])
+def test_blocks_persist_across_close_and_reopen(template, tmp_path):
+    uri = template.format(tmp=tmp_path)
+    s = open_store(uri, num_blocks=BLOCKS, block_size=BS)
+    for block_no in (0, 1, 31, BLOCKS - 1):
+        s.write(block_no, f"block-{block_no}".encode())
+    s.close()
+
+    reopened = open_store(uri, num_blocks=BLOCKS, block_size=BS)
+    for block_no in (0, 1, 31, BLOCKS - 1):
+        assert reopened.read(block_no).startswith(f"block-{block_no}".encode())
+    reopened.close()
+
+
+@pytest.mark.parametrize("template", [
+    "file://{tmp}/fsck.img",
+    "sqlite://{tmp}/fsck.db",
+], ids=["file", "sqlite"])
+def test_filesystem_checkpoint_survives_reopen(template, tmp_path):
+    """FFS + persist.sync on a URI backend, reloaded by URI."""
+    uri = template.format(tmp=tmp_path)
+    fs = FFS(uri)
+    fs.write_file("/survives.txt", b"still here after reopen")
+    persist.sync(fs)
+    fs.device.close()
+
+    restored = persist.load(uri)
+    assert restored.read_file("/survives.txt") == b"still here after reopen"
+    restored.device.close()
+
+
+@pytest.mark.parametrize("template", [
+    "sqlite://{tmp}/geom.db",
+    "file://{tmp}/geom.img",
+], ids=["sqlite", "file"])
+def test_block_size_mismatch_on_reopen_rejected(template, tmp_path):
+    uri = template.format(tmp=tmp_path)
+    open_store(uri, block_size=512).close()
+    with pytest.raises(InvalidArgument, match="block size"):
+        open_store(uri, block_size=1024)
+
+
+@pytest.mark.parametrize("template", [
+    "sqlite://{tmp}/grow.db",
+    "file://{tmp}/grow.img",
+], ids=["sqlite", "file"])
+def test_reopen_never_shrinks_capacity(template, tmp_path):
+    """A store reopened with a smaller num_blocks keeps its created size,
+    so checkpoints referencing high block numbers stay readable."""
+    uri = template.format(tmp=tmp_path)
+    s = open_store(uri, num_blocks=128, block_size=BS)
+    s.write(100, b"high block")
+    s.close()
+    reopened = open_store(uri, num_blocks=BLOCKS, block_size=BS)  # 64 < 128
+    assert reopened.num_blocks == 128
+    assert reopened.read(100).startswith(b"high block")
+    reopened.close()
+
+
+class TestLeafStores:
+    def test_leaf_store_is_itself(self):
+        s = open_store("mem://")
+        assert s.leaf_stores() == [s]
+
+    def test_composites_descend_to_physical_leaves(self):
+        s = open_store("cached://shard://3#capacity=8")
+        leaves = s.leaf_stores()
+        assert len(leaves) == 3
+        assert all(leaf.scheme == "mem" for leaf in leaves)
+
+    def test_cache_absorbs_physical_reads(self):
+        s = open_store("cached://mem://#capacity=8")
+        s.write(1, b"hot")
+        for _ in range(10):
+            s.read(1)
+        logical_reads = s.stats.reads
+        physical_reads = sum(leaf.stats.reads for leaf in s.leaf_stores())
+        assert logical_reads == 10
+        assert physical_reads == 0  # written-through cache entry, never missed
+
+
+class TestCacheBehaviour:
+    def test_hits_avoid_child_reads(self):
+        s: CachedBlockStore = open_store("cached://mem://#capacity=8")
+        s.write(1, b"hot")
+        child_reads_before = s.child.stats.reads
+        for _ in range(5):
+            assert s.read(1).startswith(b"hot")
+        assert s.child.stats.reads == child_reads_before
+        assert s.cache_stats.hits == 5
+
+    def test_writeback_only_on_eviction_or_flush(self):
+        s: CachedBlockStore = open_store("cached://mem://#capacity=4")
+        for i in range(4):
+            s.write(i, b"dirty")
+        assert s.child.stats.writes == 0  # all resident, nothing forced out
+        s.write(4, b"evictor")
+        assert s.child.stats.writes == 1  # LRU victim written back
+        s.flush()
+        assert s.child.used_blocks() == 5
+
+    def test_capacity_bounds_residency(self):
+        s: CachedBlockStore = open_store("cached://mem://#capacity=4")
+        for i in range(32):
+            s.write(i, b"x")
+        assert len(s._entries) <= 4
+        assert s.cache_stats.evictions == 28
