@@ -219,24 +219,39 @@ def cmd_serve(args) -> int:
     tcp = serve_tcp(server.secure_channel().handle,
                     host=args.host, port=args.port)
     host, port = tcp.address
-    print(f"DisCFS serving on {host}:{port} "
-          f"(issuer identity {server.issuer_identity[:40]}..., "
-          f"backend {args.backend})")
+
     def checkpoint() -> None:
         persist.sync(server.fs)
         server.fs.device.flush()
 
+    stop = None
+    if not args.oneshot:
+        # Checkpoint on SIGTERM (process managers, `docker stop`) as well
+        # as Ctrl-C, so durable backends keep their state however the
+        # server is shut down.  Installed before announcing readiness: a
+        # manager that stops us immediately must still get a checkpoint.
+        import signal
+        import threading
+
+        stop = threading.Event()
+        try:
+            signal.signal(signal.SIGTERM, lambda _signum, _frame: stop.set())
+        except ValueError:  # pragma: no cover - serve() off the main thread
+            pass
+
+    print(f"DisCFS serving on {host}:{port} "
+          f"(issuer identity {server.issuer_identity[:40]}..., "
+          f"backend {args.backend})")
     if args.oneshot:  # used by the tests: exit instead of blocking
         checkpoint()
         tcp.close()
         return 0
-    try:  # pragma: no cover - interactive path
-        import threading
-
-        threading.Event().wait()
-    except KeyboardInterrupt:  # pragma: no cover
-        checkpoint()
-        tcp.close()
+    try:
+        stop.wait()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    checkpoint()
+    tcp.close()
     return 0
 
 

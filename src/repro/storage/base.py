@@ -25,6 +25,12 @@ class BlockStore:
     :meth:`read` / :meth:`write` wrappers validate ranges, zero-fill
     unwritten blocks, pad short writes, and record stats — mirroring the
     semantics callers already rely on from ``BlockDevice``.
+
+    Stats counters are updated without locking.  Thread-safe stores
+    (``sqlite://``) keep their *data* correct under ``discfs serve``'s
+    per-connection threads, but concurrent clients can lose stats
+    increments; the benchmarks that consume these counters are
+    single-threaded, where they are exact.
     """
 
     #: URI scheme this store registers under (set by subclasses).
@@ -49,6 +55,14 @@ class BlockStore:
     def _put(self, block_no: int, data: bytes) -> None:
         """Store ``data`` (exactly ``block_size`` bytes)."""
         raise NotImplementedError
+
+    def _contains(self, block_no: int) -> bool:
+        """Whether the block was ever written — without touching stats.
+
+        Composite stores override this so introspection (e.g. a cache
+        overlay counting blocks) never inflates physical-I/O counters.
+        """
+        return self._get(block_no) is not None
 
     # -- public API --------------------------------------------------------
 

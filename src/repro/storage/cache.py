@@ -71,6 +71,9 @@ class CachedBlockStore(BlockStore):
     def _put(self, block_no: int, data: bytes) -> None:
         self._insert(block_no, data, dirty=True)
 
+    def _contains(self, block_no: int) -> bool:
+        return block_no in self._dirty or self.child._contains(block_no)
+
     def _insert(self, block_no: int, data: bytes, dirty: bool) -> None:
         if block_no in self._entries:
             self._entries.move_to_end(block_no)
@@ -97,9 +100,13 @@ class CachedBlockStore(BlockStore):
         self.child.close()
 
     def used_blocks(self) -> int:
-        # Flush first so dirty-but-never-written-back blocks are counted.
-        self.flush()
-        return self.child.used_blocks()
+        # Count dirty blocks the child has never seen without flushing
+        # them: mid-run introspection must not add physical writes to the
+        # child's stats, or the logical-vs-physical ablation is skewed.
+        new_dirty = sum(
+            1 for block_no in self._dirty if not self.child._contains(block_no)
+        )
+        return self.child.used_blocks() + new_dirty
 
     def leaf_stores(self) -> list[BlockStore]:
         return self.child.leaf_stores()

@@ -45,9 +45,23 @@ class FileBlockStore(BlockStore):
                 )
             num_blocks = max(num_blocks, meta["num_blocks"])
         super().__init__(num_blocks, block_size)
-        with open(self._meta_path, "w", encoding="utf-8") as f:
-            json.dump({"block_size": block_size, "num_blocks": num_blocks}, f)
         self._fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o600)
+        # Rewrite the sidecar atomically, and only once the data file is
+        # open: a crash mid-write or an open() failure must never leave a
+        # truncated/orphaned meta file that poisons every later open.
+        tmp_path = self._meta_path + ".tmp"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as f:
+                json.dump(
+                    {"block_size": block_size, "num_blocks": num_blocks}, f
+                )
+            os.replace(tmp_path, self._meta_path)
+        except OSError:
+            os.close(self._fd)
+            self._fd = -1
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
 
     def _get(self, block_no: int) -> bytes | None:
         data = os.pread(self._fd, self.block_size, block_no * self.block_size)

@@ -83,6 +83,9 @@ class ShardedBlockStore(BlockStore):
     def _put(self, block_no: int, data: bytes) -> None:
         self.children[self.shard_for(block_no)].write(block_no, data)
 
+    def _contains(self, block_no: int) -> bool:
+        return self.children[self.shard_for(block_no)]._contains(block_no)
+
     def flush(self) -> None:
         for child in self.children:
             child.flush()

@@ -7,12 +7,18 @@ and committed on :meth:`flush`/:meth:`close` (and every
 :data:`COMMIT_EVERY` writes), which keeps the per-block overhead close to
 a dict insert while still giving real on-disk durability — the cheapest
 "database-grade" backend the ablation can compare against ``file://``.
+
+A single connection is shared across threads (``check_same_thread=False``
+with a lock serializing every statement), because ``discfs serve`` hands
+each TCP client to its own thread while the store was opened on the main
+thread.
 """
 
 from __future__ import annotations
 
 import os
 import sqlite3
+import threading
 
 from repro.errors import InvalidArgument
 from repro.fs.blockdev import DEFAULT_BLOCK_SIZE
@@ -35,7 +41,7 @@ class SQLiteBlockStore(BlockStore):
             parent = os.path.dirname(path)
             if parent:
                 os.makedirs(parent, exist_ok=True)
-        conn = sqlite3.connect(path, isolation_level=None)
+        conn = sqlite3.connect(path, isolation_level=None, check_same_thread=False)
         conn.execute("PRAGMA journal_mode=MEMORY")
         conn.execute("PRAGMA synchronous=OFF")
         conn.execute(
@@ -70,39 +76,60 @@ class SQLiteBlockStore(BlockStore):
         )
         self._conn = conn
         self._pending = 0
+        self._lock = threading.Lock()
         conn.execute("BEGIN")
 
+    def _require_conn(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise InvalidArgument(f"sqlite store {self.path} is closed")
+        return self._conn
+
     def _get(self, block_no: int) -> bytes | None:
-        row = self._conn.execute(
-            "SELECT data FROM blocks WHERE block_no = ?", (block_no,)
-        ).fetchone()
+        with self._lock:
+            row = self._require_conn().execute(
+                "SELECT data FROM blocks WHERE block_no = ?", (block_no,)
+            ).fetchone()
         return None if row is None else bytes(row[0])
 
     def _put(self, block_no: int, data: bytes) -> None:
-        self._conn.execute(
-            "INSERT OR REPLACE INTO blocks VALUES (?, ?)", (block_no, data)
-        )
-        self._pending += 1
-        if self._pending >= COMMIT_EVERY:
-            self._commit()
+        with self._lock:
+            self._require_conn().execute(
+                "INSERT OR REPLACE INTO blocks VALUES (?, ?)", (block_no, data)
+            )
+            self._pending += 1
+            if self._pending >= COMMIT_EVERY:
+                self._commit_locked()
 
-    def _commit(self) -> None:
+    def _contains(self, block_no: int) -> bool:
+        with self._lock:
+            return self._require_conn().execute(
+                "SELECT 1 FROM blocks WHERE block_no = ?", (block_no,)
+            ).fetchone() is not None
+
+    def _commit_locked(self) -> None:
         self._conn.execute("COMMIT")
         self._conn.execute("BEGIN")
         self._pending = 0
 
     def flush(self) -> None:
-        if self._conn is not None:
-            self._commit()
+        with self._lock:
+            if self._conn is not None:
+                self._commit_locked()
 
     def close(self) -> None:
-        if self._conn is not None:
-            self._conn.execute("COMMIT")
-            self._conn.close()
-            self._conn = None
+        with self._lock:
+            if self._conn is not None:
+                self._conn.execute("COMMIT")
+                self._conn.close()
+                self._conn = None
 
     def used_blocks(self) -> int:
-        return int(self._conn.execute("SELECT COUNT(*) FROM blocks").fetchone()[0])
+        with self._lock:
+            if self._conn is None:
+                return 0
+            return int(
+                self._conn.execute("SELECT COUNT(*) FROM blocks").fetchone()[0]
+            )
 
     def describe(self) -> str:
         return f"sqlite://{self.path}  {self.num_blocks}x{self.block_size}B"

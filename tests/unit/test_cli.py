@@ -126,6 +126,57 @@ class TestCredentialCommands:
                     "--handle", "1"]) == 1
 
 
+class TestServeSigterm:
+    def test_sigterm_checkpoints_durable_backend(self, tmp_path):
+        """`discfs serve` under a process manager gets SIGTERM, not Ctrl-C;
+        the durable backend must still hold the checkpoint afterwards."""
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        import repro.cli
+        from repro.fs import persist
+
+        src = tmp_path / "content"
+        src.mkdir()
+        (src / "keep.txt").write_text("survives sigterm")
+        backend = f"file://{tmp_path}/state.img"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.cli.__file__))
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "serve",
+             "--admin-identity", "admin-principal",
+             "--import-dir", str(src), "--backend", backend, "--port", "0"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            # Watch stdout from a thread: readline() has no timeout, and a
+            # hung server must fail the test at the deadline, not stall it.
+            started = threading.Event()
+
+            def _watch():
+                for line in proc.stdout:
+                    if "DisCFS serving on" in line:
+                        started.set()
+                        return
+
+            threading.Thread(target=_watch, daemon=True).start()
+            assert started.wait(timeout=60), "server never reported serving"
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        restored = persist.load(backend)
+        assert restored.read_file("/keep.txt") == b"survives sigterm"
+        restored.device.close()
+
+
 class TestServeOneshot:
     def test_serve_starts_and_exits(self, admin_keyfile, tmp_path, capsys):
         run(["identity", "--key", admin_keyfile])

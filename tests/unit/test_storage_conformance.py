@@ -9,6 +9,9 @@ write-back) is covered below the shared battery.
 
 from __future__ import annotations
 
+import json
+import threading
+
 import pytest
 
 from repro.errors import InvalidArgument, NoSpace
@@ -273,6 +276,110 @@ def test_reopen_never_shrinks_capacity(template, tmp_path):
     reopened.close()
 
 
+class TestSQLiteThreading:
+    """``discfs serve`` hands each TCP client to its own thread, so the
+    sqlite store must accept statements from threads other than the one
+    that opened the connection."""
+
+    def test_reads_and_writes_from_a_second_thread(self, tmp_path):
+        s = open_store(
+            f"sqlite://{tmp_path}/threaded.db", num_blocks=BLOCKS, block_size=BS
+        )
+        errors: list[Exception] = []
+
+        def worker():
+            try:
+                for block_no in range(32):
+                    s.write(block_no, f"thread-{block_no}".encode())
+                    assert s.read(block_no).startswith(b"thread-")
+            except Exception as exc:  # surfaced to the main thread below
+                errors.append(exc)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert errors == []
+        assert s.read(3).startswith(b"thread-3")
+        s.close()
+
+    def test_sqlite_backend_through_serve_tcp(self, tmp_path):
+        """End-to-end over real sockets: server connection threads hit a
+        store opened on the main thread (the durable-serve path)."""
+        from repro.rpc.transport import TCPTransport, serve_tcp
+
+        s = open_store(
+            f"sqlite://{tmp_path}/served.db", num_blocks=BLOCKS, block_size=BS
+        )
+
+        def handler(request: bytes) -> bytes:
+            op, _, rest = request.partition(b" ")
+            if op == b"W":
+                block_no, _, data = rest.partition(b" ")
+                s.write(int(block_no), data)
+                return b"ok"
+            return s.read(int(rest))
+
+        server = serve_tcp(handler)
+        try:
+            client = TCPTransport(*server.address)
+            try:
+                assert client.call(b"W 7 over-tcp") == b"ok"
+                assert client.call(b"R 7").startswith(b"over-tcp")
+            finally:
+                client.close()
+        finally:
+            server.close()
+            s.close()
+
+    def test_closed_store_fails_cleanly(self, tmp_path):
+        s = open_store(f"sqlite://{tmp_path}/closed.db", num_blocks=BLOCKS)
+        s.write(1, b"x")
+        s.close()
+        s.close()  # idempotent
+        s.flush()  # no-op, not an error
+        assert s.used_blocks() == 0
+        with pytest.raises(InvalidArgument, match="closed"):
+            s.read(1)
+        with pytest.raises(InvalidArgument, match="closed"):
+            s.write(1, b"y")
+
+
+class TestFileStoreMeta:
+    def test_failed_data_open_leaves_no_meta(self, tmp_path):
+        """The sidecar is written only after the data file opens, so a
+        failed open can't orphan a meta file that poisons later opens."""
+        (tmp_path / "is-a-dir").mkdir()
+        with pytest.raises(OSError):
+            open_store(f"file://{tmp_path}/is-a-dir")
+        assert not (tmp_path / "is-a-dir.meta").exists()
+
+    def test_failed_sidecar_write_releases_data_fd(self, tmp_path, monkeypatch):
+        import os
+
+        import repro.storage.filestore as filestore_mod
+
+        def boom(_src, _dst):
+            raise OSError("simulated replace failure")
+
+        monkeypatch.setattr(filestore_mod.os, "replace", boom)
+        fds_before = len(os.listdir("/proc/self/fd"))
+        with pytest.raises(OSError, match="simulated"):
+            open_store(f"file://{tmp_path}/boom.img")
+        assert len(os.listdir("/proc/self/fd")) == fds_before  # fd closed
+        assert not (tmp_path / "boom.img.meta").exists()
+        assert not (tmp_path / "boom.img.meta.tmp").exists()
+        monkeypatch.undo()
+        open_store(f"file://{tmp_path}/boom.img").close()  # recoverable
+
+    def test_meta_written_atomically(self, tmp_path):
+        s = open_store(f"file://{tmp_path}/clean.img", num_blocks=BLOCKS,
+                       block_size=BS)
+        s.close()
+        assert not (tmp_path / "clean.img.meta.tmp").exists()
+        with open(tmp_path / "clean.img.meta", encoding="utf-8") as f:
+            assert json.load(f) == {"block_size": BS, "num_blocks": BLOCKS}
+
+
 class TestLeafStores:
     def test_leaf_store_is_itself(self):
         s = open_store("mem://")
@@ -314,6 +421,21 @@ class TestCacheBehaviour:
         assert s.child.stats.writes == 1  # LRU victim written back
         s.flush()
         assert s.child.used_blocks() == 5
+
+    def test_used_blocks_does_not_flush(self):
+        """Introspection mid-run must not write back dirty blocks — it
+        would inflate the child's physical-write stats and skew the
+        logical-vs-physical comparison the ablation measures."""
+        s: CachedBlockStore = open_store("cached://mem://#capacity=8")
+        for i in range(5):
+            s.write(i, b"dirty")
+        assert s.used_blocks() == 5
+        assert s.child.stats.writes == 0
+        assert s.child.used_blocks() == 0  # nothing reached the child
+        assert len(s._dirty) == 5  # still dirty, still cache-resident
+        s.flush()
+        s.write(2, b"dirty again")  # re-dirty a block the child now holds
+        assert s.used_blocks() == 5  # counted once, not double
 
     def test_capacity_bounds_residency(self):
         s: CachedBlockStore = open_store("cached://mem://#capacity=4")
