@@ -72,24 +72,33 @@ def run_backend_ablation(
         results["bonnie"][uri] = run_bonnie(
             built.target, file_size=file_size, char_size=char_size
         )
-        stats = built.device_stats
-        # Logical traffic (what FFS issued) is workload-determined and so
-        # identical across backends; the physical traffic that reached
-        # the leaf stores is where cached:// and shard:// differ.
-        store = getattr(built.fs.device, "store", None)
-        leaves = store.leaf_stores() if store is not None else []
-        results["device"][uri] = {
-            "reads": stats.reads,
-            "writes": stats.writes,
-            "seeks": stats.seeks,
-            "physical_reads": sum(leaf.stats.reads for leaf in leaves)
-            if leaves else stats.reads,
-            "physical_writes": sum(leaf.stats.writes for leaf in leaves)
-            if leaves else stats.writes,
-            "leaves": len(leaves) or 1,
-        }
+        results["device"][uri] = _device_row(built, seeks=True)
         built.fs.device.close()
     return results
+
+
+def _device_row(built, seeks: bool = False) -> dict:
+    """Logical-vs-physical I/O attribution for one built system.
+
+    Logical traffic (what FFS issued) is workload-determined and so
+    identical across backends; the physical traffic that reached the
+    leaf stores is where cached://, shard:// and replica:// differ.
+    """
+    stats = built.device_stats
+    store = getattr(built.fs.device, "store", None)
+    leaves = store.leaf_stores() if store is not None else []
+    row = {
+        "reads": stats.reads,
+        "writes": stats.writes,
+        "physical_reads": sum(leaf.stats.reads for leaf in leaves)
+        if leaves else stats.reads,
+        "physical_writes": sum(leaf.stats.writes for leaf in leaves)
+        if leaves else stats.writes,
+        "leaves": len(leaves) or 1,
+    }
+    if seeks:
+        row["seeks"] = stats.seeks
+    return row
 
 
 def print_backend_report(results: dict) -> None:
@@ -113,6 +122,110 @@ def print_backend_report(results: dict) -> None:
             f"  {uri:<32}{dev['reads']:>10}{dev['writes']:>11}"
             f"{dev['physical_reads']:>11}{dev['physical_writes']:>12}"
             f"{dev['leaves']:>8}"
+        )
+
+
+#: The replica-factor / quorum sweep the replication ablation reports.
+DEFAULT_REPLICA_CONFIGS = (
+    "mem://",                 # no replication baseline
+    "replica://2",            # 2x, write-all/read-one
+    "replica://3",            # 3x, write-all/read-one
+    "replica://3?w=2&r=2",    # 3x, strict quorums (1-node-outage safe)
+    "replica://5?w=3&r=3",    # 5x, majority quorums
+)
+
+
+def run_replication_ablation(
+    configs: tuple[str, ...] = DEFAULT_REPLICA_CONFIGS,
+    system: str = "FFS",
+    file_size: int = 1 << 20,
+    char_size: int = 1 << 16,
+) -> dict:
+    """Bonnie across replica factors/quorums, plus an RPC round-trip
+    comparison of batched vs per-block remote I/O.
+
+    Replication multiplies *physical* writes by the replica factor while
+    logical traffic stays constant — the same logical-vs-physical story
+    as the backend ablation, on the redundancy axis.  The ``rpc`` rows
+    price the other distributed cost: round trips, with
+    ``read_many``/``write_many`` batching on versus off.
+    """
+    from repro.fs.ffs import FFS
+    from repro.rpc.server import RPCServer
+    from repro.rpc.transport import InProcessTransport
+    from repro.storage import MemoryBlockStore, StoreBlockDevice
+    from repro.storage.net import BlockStoreProgram, RemoteBlockStore
+    from repro.storage.replica import ReplicatedBlockStore
+
+    results: dict = {"system": system, "bonnie": {}, "device": {}, "rpc": {}}
+    for uri in configs:
+        built = make_target(system, backend=uri)
+        results["bonnie"][uri] = run_bonnie(
+            built.target, file_size=file_size, char_size=char_size
+        )
+        store = getattr(built.fs.device, "store", None)
+        row = _device_row(built)
+        row["replicas"] = (
+            len(store.children)
+            if isinstance(store, ReplicatedBlockStore) else 1
+        )
+        results["device"][uri] = row
+        built.fs.device.close()
+
+    # The FFS cold path — whole-file extents — over an in-process remote
+    # store: how many RPC round trips does the vectored interface save?
+    # (Bonnie's phases hand FFS one block per call, so the batching win
+    # shows on multi-block reads/writes: write_file/read_file.)
+    payload = (bytes(range(256)) * (file_size // 256 + 1))[:file_size]
+    for label, batch in (("remote (batched)", True),
+                         ("remote (per-block)", False)):
+        backing = MemoryBlockStore(num_blocks=1 << 15)
+        rpc = RPCServer()
+        rpc.register(BlockStoreProgram(backing))
+        transport = InProcessTransport(rpc.handler_for(None))
+        remote = RemoteBlockStore(transport, batch=batch)
+        fs = FFS(StoreBlockDevice(remote, uri=label))
+        for i in range(4):
+            fs.write_file(f"/extent-{i}.dat", payload)
+        for i in range(4):
+            assert fs.read_file(f"/extent-{i}.dat") == payload
+        results["rpc"][label] = {
+            "round_trips": transport.stats.calls,
+            "bytes_sent": transport.stats.bytes_sent,
+            "reads": fs.device.stats.reads,
+            "writes": fs.device.stats.writes,
+        }
+        fs.device.close()
+    return results
+
+
+def print_replication_report(results: dict) -> None:
+    """Replication sweep + RPC round-trip tables."""
+    print(f"\nReplication ablation — system: {results['system']}")
+    header = f"  {'Backend':<28}" + "".join(f"{p:>14}" for p in PHASES)
+    print(header)
+    print(f"  {'(throughput K/sec)':<28}")
+    for uri, row in results["bonnie"].items():
+        cells = "".join(f"{row.kps(p):>14.0f}" for p in PHASES)
+        print(f"  {uri:<28}{cells}")
+    print(
+        f"\n  {'Backend':<28}{'replicas':>9}{'log.reads':>10}"
+        f"{'log.writes':>11}{'phys.reads':>11}{'phys.writes':>12}"
+    )
+    for uri, dev in results["device"].items():
+        print(
+            f"  {uri:<28}{dev['replicas']:>9}{dev['reads']:>10}"
+            f"{dev['writes']:>11}{dev['physical_reads']:>11}"
+            f"{dev['physical_writes']:>12}"
+        )
+    print(
+        f"\n  {'Remote config':<28}{'rpc trips':>10}{'log.reads':>10}"
+        f"{'log.writes':>11}{'bytes sent':>12}"
+    )
+    for label, rpc in results["rpc"].items():
+        print(
+            f"  {label:<28}{rpc['round_trips']:>10}{rpc['reads']:>10}"
+            f"{rpc['writes']:>11}{rpc['bytes_sent']:>12}"
         )
 
 
@@ -143,6 +256,9 @@ def main() -> None:
     parser.add_argument("--backends", nargs="*", metavar="URI",
                         help="also run the storage-backend ablation over "
                              "these URIs (no URIs = the default sweep)")
+    parser.add_argument("--replication", nargs="*", metavar="URI",
+                        help="also run the replication/remote ablation "
+                             "(no URIs = the default replica sweep)")
     args = parser.parse_args()
     results = run_evaluation(
         systems=tuple(args.systems),
@@ -155,6 +271,12 @@ def main() -> None:
         backends = tuple(args.backends) if args.backends else DEFAULT_BACKENDS
         print_backend_report(run_backend_ablation(
             backends, file_size=args.file_size, char_size=args.char_size,
+        ))
+    if args.replication is not None:
+        configs = tuple(args.replication) if args.replication \
+            else DEFAULT_REPLICA_CONFIGS
+        print_replication_report(run_replication_ablation(
+            configs, file_size=args.file_size, char_size=args.char_size,
         ))
 
 

@@ -17,6 +17,8 @@ Commands
 ``serve``           run a DisCFS server on a TCP port, optionally
                     importing a host directory into its filesystem;
                     ``--backend URI`` picks the storage backend
+``store-serve``     export a storage backend over RPC on a TCP port —
+                    the node other servers reach as ``remote://``
 ``backends``        list the registered storage-backend URI schemes
 ``ls/cat/put/rm``   client operations against a running server
 ``stat``            print a remote file's handle and granted rights
@@ -255,6 +257,49 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_store_serve(args) -> int:
+    """Serve one storage backend over RPC (the ``remote://`` server side)."""
+    from repro.fs.blockdev import DEFAULT_BLOCK_SIZE
+    from repro.storage import DEFAULT_NUM_BLOCKS, open_store
+    from repro.storage.net import serve_store
+
+    store = open_store(
+        args.backend,
+        num_blocks=args.blocks if args.blocks else DEFAULT_NUM_BLOCKS,
+        block_size=args.bs if args.bs else DEFAULT_BLOCK_SIZE,
+    )
+    server = serve_store(store, host=args.host, port=args.port)
+    host, port = server.address
+
+    stop = None
+    if not args.oneshot:
+        import signal
+        import threading
+
+        stop = threading.Event()
+        try:
+            signal.signal(signal.SIGTERM, lambda _signum, _frame: stop.set())
+        except ValueError:  # pragma: no cover - off the main thread
+            pass
+
+    # The announce line is machine-readable: the integration tests (and a
+    # two-terminal walkthrough) parse host:port out of it.
+    print(f"block store serving on {host}:{port} "
+          f"(backend {args.backend}, "
+          f"{store.num_blocks}x{store.block_size}B)", flush=True)
+    if args.oneshot:  # used by the tests: exit instead of blocking
+        server.close()
+        store.close()
+        return 0
+    try:
+        stop.wait()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    server.close()
+    store.close()
+    return 0
+
+
 def cmd_backends(args) -> int:
     """List storage schemes and a usage example for each."""
     from repro.storage import registered_schemes
@@ -266,6 +311,11 @@ def cmd_backends(args) -> int:
         "shard": "shard://4  |  shard://4?base=sqlite&dir=/data  |  "
                  "shard://mem://;mem://",
         "cached": "cached://sqlite:///var/lib/discfs.db#capacity=512",
+        "remote": "remote://127.0.0.1:9001  (serve with: discfs store-serve; "
+                  "options: ?timeout=S&batch=on|off)",
+        "replica": "replica://3?w=2&r=2  |  replica://3/file:///d/r-{i}.img#w=2"
+                   "  |  replica://remote://h1:9001;remote://h2:9002#w=1&r=1",
+        "failing": "failing://mem://#fail=1  (fault injection for drills)",
     }
     for scheme in registered_schemes():
         print(f"{scheme:<8} {examples.get(scheme, f'{scheme}://')}")
@@ -458,10 +508,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache", type=int, default=128)
     p.add_argument("--backend", default="mem://", metavar="URI",
                    help="storage backend URI: mem://, file://PATH, "
-                        "sqlite://PATH, shard://N, cached://URI "
-                        "(default mem://)")
+                        "sqlite://PATH, shard://N, cached://URI, "
+                        "remote://HOST:PORT, replica://N "
+                        "(default mem://; see `discfs backends`)")
     p.add_argument("--oneshot", action="store_true", help=argparse.SUPPRESS)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("store-serve",
+                       help="export a storage backend over RPC (remote://)")
+    p.add_argument("--backend", default="mem://", metavar="URI",
+                   help="backend URI to serve (default mem://)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0)
+    p.add_argument("--blocks", type=int, default=None,
+                   help="store size in blocks (default: registry default)")
+    p.add_argument("--bs", type=int, default=None,
+                   help="block size in bytes (default 8192)")
+    p.add_argument("--oneshot", action="store_true", help=argparse.SUPPRESS)
+    p.set_defaults(func=cmd_store_serve)
 
     p = sub.add_parser("backends", help="list storage-backend URI schemes")
     p.set_defaults(func=cmd_backends)

@@ -118,6 +118,16 @@ class ReadOnlyFilesystem(FSError):
     errno_name = "EROFS"
 
 
+class StoreUnavailable(FSError):
+    """A storage backend (remote node, replica child) cannot be reached."""
+
+    errno_name = "EIO"
+
+
+class QuorumError(StoreUnavailable):
+    """Too few replicas answered to satisfy the read or write quorum."""
+
+
 # ---------------------------------------------------------------------------
 # RPC / NFS / transport
 # ---------------------------------------------------------------------------

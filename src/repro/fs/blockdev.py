@@ -100,6 +100,20 @@ class BlockDevice:
         self.stats.record_write(block_no, self.block_size)
         self._write(block_no, data)
 
+    def read_blocks(self, block_nos: list[int]) -> list[bytes]:
+        """Vectored read; equivalent to looping :meth:`read_block`.
+
+        The default loops; :class:`repro.storage.StoreBlockDevice`
+        forwards the whole batch to the store stack so composite and
+        remote backends can coalesce it (per shard, per RPC round trip).
+        """
+        return [self.read_block(block_no) for block_no in block_nos]
+
+    def write_blocks(self, items: list[tuple[int, bytes]]) -> None:
+        """Vectored write; equivalent to looping :meth:`write_block`."""
+        for block_no, data in items:
+            self.write_block(block_no, data)
+
     def _check_range(self, block_no: int) -> None:
         if not 0 <= block_no < self.num_blocks:
             raise NoSpace(f"block {block_no} out of range (device has {self.num_blocks})")

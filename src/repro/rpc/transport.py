@@ -183,13 +183,15 @@ class TCPServer:
         self._listener.bind((host, port))
         self._listener.listen(16)
         self.address = self._listener.getsockname()
+        # Set before the thread starts: settimeout on a listener that
+        # close() already tore down raises EBADF in the accept thread.
+        self._listener.settimeout(0.2)
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept_thread.start()
 
     def _accept_loop(self) -> None:
-        self._listener.settimeout(0.2)
         while not self._stop.is_set():
             try:
                 conn, _addr = self._listener.accept()

@@ -8,7 +8,9 @@ The block layer under FFS is chosen by URI::
     fs = FFS(device)
 
 Backends compose: ``cached://shard://4#capacity=512`` is a write-back
-LRU in front of four consistent-hashed memory shards.  See
+LRU in front of four consistent-hashed memory shards, and
+``shard://remote://h1:9001;remote://h2:9002`` spreads the ring across
+real nodes served by ``discfs store-serve``.  See
 :mod:`repro.storage.registry` for the URI grammar and README "Storage
 backends" for worked examples.
 """
@@ -18,6 +20,13 @@ from repro.storage.base import BlockStore
 from repro.storage.cache import CachedBlockStore, CacheStats
 from repro.storage.filestore import FileBlockStore
 from repro.storage.memory import MemoryBlockStore
+from repro.storage.net import (
+    BLOCKSTORE_PROGRAM,
+    BlockStoreProgram,
+    RemoteBlockStore,
+    StoreServer,
+    serve_store,
+)
 from repro.storage.registry import (
     DEFAULT_NUM_BLOCKS,
     open_device,
@@ -26,22 +35,35 @@ from repro.storage.registry import (
     registered_schemes,
     split_uri,
 )
+from repro.storage.replica import (
+    FailingBlockStore,
+    ReplicaStats,
+    ReplicatedBlockStore,
+)
 from repro.storage.shard import ShardedBlockStore
 from repro.storage.sqlitestore import SQLiteBlockStore
 
 __all__ = [
+    "BLOCKSTORE_PROGRAM",
     "BlockStore",
+    "BlockStoreProgram",
     "CacheStats",
     "CachedBlockStore",
     "DEFAULT_NUM_BLOCKS",
+    "FailingBlockStore",
     "FileBlockStore",
     "MemoryBlockStore",
+    "RemoteBlockStore",
+    "ReplicaStats",
+    "ReplicatedBlockStore",
     "ShardedBlockStore",
     "SQLiteBlockStore",
     "StoreBlockDevice",
+    "StoreServer",
     "open_device",
     "open_store",
     "register_scheme",
     "registered_schemes",
+    "serve_store",
     "split_uri",
 ]

@@ -10,6 +10,7 @@ any stores *it* wraps) keep their own per-layer counters.
 
 from __future__ import annotations
 
+from repro.errors import InvalidArgument
 from repro.fs.blockdev import BlockDevice
 from repro.storage.base import BlockStore
 
@@ -27,6 +28,27 @@ class StoreBlockDevice(BlockDevice):
 
     def _write(self, block_no: int, data: bytes) -> None:
         self.store.write(block_no, data)
+
+    def read_blocks(self, block_nos: list[int]) -> list[bytes]:
+        # Device-level stats stay per-block (the bench cost models read
+        # them); the store sees one vectored call it can batch per child
+        # or per RPC round trip.
+        for block_no in block_nos:
+            self._check_range(block_no)
+            self.stats.record_read(block_no, self.block_size)
+        return self.store.read_many(block_nos)
+
+    def write_blocks(self, items: list[tuple[int, bytes]]) -> None:
+        for block_no, data in items:
+            self._check_range(block_no)
+            if len(data) > self.block_size:
+                raise InvalidArgument(
+                    f"data ({len(data)} bytes) exceeds block size "
+                    f"({self.block_size})"
+                )
+        for block_no, _data in items:
+            self.stats.record_write(block_no, self.block_size)
+        self.store.write_many(items)
 
     def flush(self) -> None:
         self.store.flush()

@@ -64,6 +64,22 @@ class BlockStore:
         """
         return self._get(block_no) is not None
 
+    def _get_many(self, block_nos: list[int]) -> list[bytes | None]:
+        """Fetch several blocks; positions align with ``block_nos``.
+
+        The default loops over :meth:`_get`.  Composite and remote stores
+        override this to batch — per owning child (``shard://``), per
+        cache miss set (``cached://``), or per RPC round trip
+        (``remote://``) — which is what makes cold paths affordable once
+        blocks live on other nodes.
+        """
+        return [self._get(block_no) for block_no in block_nos]
+
+    def _put_many(self, items: list[tuple[int, bytes]]) -> None:
+        """Store several (block_no, data) pairs (data already padded)."""
+        for block_no, data in items:
+            self._put(block_no, data)
+
     # -- public API --------------------------------------------------------
 
     def read(self, block_no: int) -> bytes:
@@ -82,6 +98,48 @@ class BlockStore:
             data = data + b"\x00" * (self.block_size - len(data))
         self.stats.record_write(block_no, self.block_size)
         self._put(block_no, data)
+
+    def read_many(self, block_nos: list[int]) -> list[bytes]:
+        """Read several blocks in one vectored operation.
+
+        Semantically equivalent to ``[self.read(b) for b in block_nos]``
+        (same validation, same stats), but a single call into the backend,
+        so stores that pay per-operation overhead — an RPC round trip, a
+        replica fan-out — amortize it across the whole batch.
+        """
+        block_nos = list(block_nos)
+        for block_no in block_nos:
+            self._check_range(block_no)
+        for block_no in block_nos:
+            self.stats.record_read(block_no, self.block_size)
+        if not block_nos:
+            return []
+        return [
+            data if data is not None else self._zero
+            for data in self._get_many(block_nos)
+        ]
+
+    def write_many(self, items: list[tuple[int, bytes]]) -> None:
+        """Write several (block_no, data) pairs in one vectored operation.
+
+        Equivalent to looping :meth:`write` (validation, padding, stats)
+        but delivered to the backend as one batch.
+        """
+        validated: list[tuple[int, bytes]] = []
+        for block_no, data in items:
+            self._check_range(block_no)
+            if len(data) > self.block_size:
+                raise InvalidArgument(
+                    f"data ({len(data)} bytes) exceeds block size "
+                    f"({self.block_size})"
+                )
+            if len(data) < self.block_size:
+                data = data + b"\x00" * (self.block_size - len(data))
+            validated.append((block_no, data))
+        for block_no, _data in validated:
+            self.stats.record_write(block_no, self.block_size)
+        if validated:
+            self._put_many(validated)
 
     def _check_range(self, block_no: int) -> None:
         if not 0 <= block_no < self.num_blocks:

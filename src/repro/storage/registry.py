@@ -20,13 +20,34 @@ grammars (see README "Storage backends" for examples):
 ``cached://<child-uri>[#capacity=N]``
     Write-back LRU overlay on any child URI; overlay options ride in the
     URI *fragment* so they never collide with the child's own query.
+``remote://<host>:<port>``
+    Client for a block store served by ``discfs store-serve`` (or
+    :func:`repro.storage.net.serve_store`).  Geometry comes from the
+    server.  Options: ``?timeout=SECONDS&batch=on|off`` (``batch=off``
+    forces per-block RPCs — for measuring what batching saves).
+``replica://<n>``
+    ``n``-way replication.  Options: ``?w=W&r=R`` (write/read quorums,
+    default write-all/read-one) plus ``base=mem|file|sqlite&dir=PATH``
+    like ``shard://``.
+``replica://<n>/<child-uri>``
+    ``n`` copies built from a child template; ``{i}`` in the template is
+    replaced with the replica index.  Replica options ride in the
+    *fragment* (``#w=2&r=2``) since the child may use its own query.
+``replica://<uri>;<uri>;...[#w=W&r=R]``
+    Explicit replica URIs, semicolon-separated.
+``failing://<child-uri>[#fail=1]``
+    Pass-through that can be switched to reject every operation — the
+    injectable outage for replica/remote failure drills.
 
-Composition nests naturally: ``cached://shard://4#capacity=512``.
+Composition nests naturally: ``cached://shard://4#capacity=512``, or a
+real cluster: ``shard://remote://h1:9001;remote://h2:9002``.
 """
 
 from __future__ import annotations
 
+import difflib
 import os
+import re
 from typing import Callable
 from urllib.parse import parse_qsl
 
@@ -93,8 +114,10 @@ def open_store(
     scheme, rest = split_uri(uri)
     factory = _FACTORIES.get(scheme)
     if factory is None:
+        close = difflib.get_close_matches(scheme, registered_schemes(), n=1)
+        hint = f"did you mean {close[0]!r}? " if close else ""
         raise InvalidArgument(
-            f"unknown storage scheme {scheme!r}; "
+            f"unknown storage scheme {scheme!r}; {hint}"
             f"registered: {', '.join(registered_schemes())}"
         )
     return factory(rest, num_blocks, block_size)
@@ -167,6 +190,18 @@ def _make_shard(rest: str, num_blocks: int, block_size: int) -> BlockStore:
     if n <= 0:
         raise InvalidArgument("shard count must be positive")
     num_blocks, block_size = _geometry(options, num_blocks, block_size)
+    return ShardedBlockStore(
+        _numbered_children("shard", n, options, num_blocks, block_size)
+    )
+
+
+def _numbered_children(
+    prefix: str, n: int, options: dict[str, str],
+    num_blocks: int, block_size: int,
+) -> list[BlockStore]:
+    """Children for the count forms of ``shard://<n>``/``replica://<n>``:
+    ``?base=mem|file|sqlite`` with file/sqlite children created as
+    ``<dir>/<prefix>-<i>.blk|.db``."""
     base = options.get("base", "mem")
     directory = options.get("dir", "")
     children: list[BlockStore] = []
@@ -176,16 +211,19 @@ def _make_shard(rest: str, num_blocks: int, block_size: int) -> BlockStore:
         elif base in ("file", "sqlite"):
             if not directory:
                 raise InvalidArgument(
-                    f"shard://{n}?base={base} needs &dir=PATH for child files"
+                    f"{prefix}://{n}?base={base} needs &dir=PATH "
+                    "for child files"
                 )
             ext = "blk" if base == "file" else "db"
-            child_uri = f"{base}://{os.path.join(directory, f'shard-{i}.{ext}')}"
+            child_uri = (
+                f"{base}://{os.path.join(directory, f'{prefix}-{i}.{ext}')}"
+            )
         else:
-            raise InvalidArgument(f"unknown shard base {base!r}")
+            raise InvalidArgument(f"unknown {prefix} base {base!r}")
         children.append(
             open_store(child_uri, num_blocks=num_blocks, block_size=block_size)
         )
-    return ShardedBlockStore(children)
+    return children
 
 
 def _make_cached(rest: str, num_blocks: int, block_size: int) -> BlockStore:
@@ -202,8 +240,102 @@ def _make_cached(rest: str, num_blocks: int, block_size: int) -> BlockStore:
     return CachedBlockStore(child, capacity=capacity)
 
 
+def _make_remote(rest: str, num_blocks: int, block_size: int) -> BlockStore:
+    from repro.storage.net import RemoteBlockStore
+
+    body, options = _parse_options(rest)
+    host, sep, port = body.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise InvalidArgument(
+            f"remote:// needs host:port (got {body!r}), "
+            "e.g. remote://127.0.0.1:9001"
+        )
+    timeout = float(options.get("timeout", 10.0))
+    batch = options.get("batch", "on") not in ("off", "0", "false")
+    # num_blocks/block_size are ignored: the serving node owns geometry.
+    return RemoteBlockStore.connect(host, int(port), timeout=timeout,
+                                    batch=batch)
+
+
+def _split_fragment_options(
+    rest: str, keys: frozenset[str] | set[str]
+) -> tuple[str, dict[str, str]]:
+    """Peel a trailing ``#key=value&...`` fragment off a composite URI.
+
+    Only fragments made exclusively of ``keys`` are consumed, so a child
+    URI ending in its own fragment (``cached://...#capacity=8``) passes
+    through intact.
+    """
+    body, sep, fragment = rest.rpartition("#")
+    if sep:
+        options = dict(parse_qsl(fragment))
+        if options and set(options) <= set(keys):
+            return body, options
+    return rest, {}
+
+
+def _make_replica(rest: str, num_blocks: int, block_size: int) -> BlockStore:
+    from repro.storage.replica import ReplicatedBlockStore
+
+    body, options = _split_fragment_options(rest, {"w", "r"})
+    children: list[BlockStore]
+    template_match = re.match(r"^(\d+)/(.+)$", body)
+    if template_match and "://" in template_match.group(2):
+        # replica://<n>/<child-template>, {i} = replica index
+        n = int(template_match.group(1))
+        if n <= 0:
+            raise InvalidArgument("replica count must be positive")
+        template = template_match.group(2)
+        children = [
+            open_store(template.replace("{i}", str(i)),
+                       num_blocks=num_blocks, block_size=block_size)
+            for i in range(n)
+        ]
+    elif "://" in body:
+        # replica://<uri>;<uri>;...
+        children = [
+            open_store(u, num_blocks=num_blocks, block_size=block_size)
+            for u in body.split(";") if u
+        ]
+    else:
+        # replica://<n>?w=&r=&base=&dir= — count form, options in query
+        count, qopts = _parse_options(body)
+        options = {**qopts, **options}
+        try:
+            n = int(count)
+        except ValueError:
+            raise InvalidArgument(
+                f"replica:// needs a count or child URIs (got {rest!r})"
+            ) from None
+        if n <= 0:
+            raise InvalidArgument("replica count must be positive")
+        num_blocks, block_size = _geometry(options, num_blocks, block_size)
+        children = _numbered_children("replica", n, options, num_blocks,
+                                      block_size)
+    write_quorum = int(options["w"]) if "w" in options else None
+    read_quorum = int(options.get("r", 1))
+    return ReplicatedBlockStore(children, write_quorum=write_quorum,
+                                read_quorum=read_quorum)
+
+
+def _make_failing(rest: str, num_blocks: int, block_size: int) -> BlockStore:
+    from repro.storage.replica import FailingBlockStore
+
+    child_uri, options = _split_fragment_options(rest, {"fail"})
+    if not child_uri:
+        raise InvalidArgument(
+            "failing:// needs a child URI, e.g. failing://mem://"
+        )
+    child = open_store(child_uri, num_blocks=num_blocks,
+                       block_size=block_size)
+    return FailingBlockStore(child, failing=options.get("fail") == "1")
+
+
 register_scheme("mem", _make_mem)
 register_scheme("file", _make_file)
 register_scheme("sqlite", _make_sqlite)
 register_scheme("shard", _make_shard)
 register_scheme("cached", _make_cached)
+register_scheme("remote", _make_remote)
+register_scheme("replica", _make_replica)
+register_scheme("failing", _make_failing)

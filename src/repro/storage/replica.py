@@ -1,0 +1,328 @@
+"""Replicated block store (``replica://``): quorum fan-out over children.
+
+Every write fans out to all ``n`` children and must be accepted by at
+least ``W`` of them; every read collects answers from ``R`` children and
+returns the newest copy.  With ``W + R > n`` (e.g. ``replica://3?w=2&r=2``)
+any read quorum intersects any write quorum, so a one-node outage stays
+fully available *and* consistent — the Dynamo-style arithmetic Peer2PIR
+assumes of its IPFS substrate.
+
+Freshness is decided by per-block **version stamps**: a counter bumped on
+every write and recorded per child.  A child that missed a write (it was
+down, or outside the write set) holds a lower stamp; when a later read
+sees the divergence it answers with the newest copy (last-write-wins)
+and writes that copy back to every lagging child — **read-repair**, the
+mechanism that heals a replica after an outage without a separate
+anti-entropy pass.  Stamps live in the replica layer, not in the blocks,
+so children stay plain byte stores (any backend URI works, including
+``remote://``); when a store is reopened over already-populated children
+the stamps start empty, i.e. all copies are presumed equally fresh.
+
+Child failures — :class:`~repro.errors.StoreUnavailable` from a dead
+``remote://`` node, any :class:`~repro.errors.ReproError` or ``OSError``
+— degrade the quorum rather than failing the operation, and are counted
+in :class:`ReplicaStats`.  :class:`FailingBlockStore` (``failing://``)
+is the injectable failure used to test exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidArgument, QuorumError, ReproError, StoreUnavailable
+from repro.storage.base import BlockStore
+
+_CHILD_FAILURES = (ReproError, OSError)
+
+
+@dataclass
+class ReplicaStats:
+    """Degraded-mode and repair counters."""
+
+    degraded_writes: int = 0   # write fan-outs where >=1 child failed
+    degraded_reads: int = 0    # read quorums assembled past >=1 failure
+    repaired_blocks: int = 0   # blocks rewritten onto lagging children
+    child_failures: int = 0    # individual child operations that failed
+
+    def reset(self) -> None:
+        self.degraded_writes = self.degraded_reads = 0
+        self.repaired_blocks = self.child_failures = 0
+
+
+class ReplicatedBlockStore(BlockStore):
+    """Write-fan-out / read-quorum replication over ``children``."""
+
+    scheme = "replica"
+
+    def __init__(self, children: list[BlockStore],
+                 write_quorum: int | None = None, read_quorum: int = 1):
+        n = len(children)
+        if n == 0:
+            raise InvalidArgument("replica:// needs at least one child store")
+        block_size = children[0].block_size
+        if any(c.block_size != block_size for c in children):
+            raise InvalidArgument("replica children must share one block size")
+        if write_quorum is None:
+            write_quorum = n  # write-all / read-one by default
+        if not 1 <= write_quorum <= n:
+            raise InvalidArgument(
+                f"write quorum {write_quorum} outside 1..{n}"
+            )
+        if not 1 <= read_quorum <= n:
+            raise InvalidArgument(f"read quorum {read_quorum} outside 1..{n}")
+        super().__init__(min(c.num_blocks for c in children), block_size)
+        self.children = list(children)
+        self.write_quorum = write_quorum
+        self.read_quorum = read_quorum
+        self.replica_stats = ReplicaStats()
+        #: Lamport-ish write counter; bumped once per write batch.
+        self._clock = 0
+        #: Per-child block -> version stamp of the copy that child holds.
+        self._versions: list[dict[int, int]] = [dict() for _ in children]
+
+    # -- write path --------------------------------------------------------
+
+    def _put(self, block_no: int, data: bytes) -> None:
+        self._put_many([(block_no, data)])
+
+    def _put_many(self, items: list[tuple[int, bytes]]) -> None:
+        self._clock += 1
+        version = self._clock
+        successes = 0
+        failed = 0
+        for idx, child in enumerate(self.children):
+            try:
+                child.write_many(items)
+            except _CHILD_FAILURES:
+                failed += 1
+                self.replica_stats.child_failures += 1
+                continue
+            stamps = self._versions[idx]
+            for block_no, _data in items:
+                stamps[block_no] = version
+            successes += 1
+        if failed:
+            self.replica_stats.degraded_writes += 1
+        if successes < self.write_quorum:
+            raise QuorumError(
+                f"write quorum not met: {successes}/{len(self.children)} "
+                f"replicas accepted, need {self.write_quorum}"
+            )
+
+    # -- read path ---------------------------------------------------------
+
+    def _get(self, block_no: int) -> bytes | None:
+        return self._get_many([block_no])[0]
+
+    def _get_many(self, block_nos: list[int]) -> list[bytes | None]:
+        responses: list[tuple[int, list[bytes]]] = []
+        failed = 0
+        for idx, child in enumerate(self.children):
+            if len(responses) >= self.read_quorum:
+                break
+            try:
+                responses.append((idx, child.read_many(block_nos)))
+            except _CHILD_FAILURES:
+                failed += 1
+                self.replica_stats.child_failures += 1
+        if failed:
+            self.replica_stats.degraded_reads += 1
+        if len(responses) < self.read_quorum:
+            raise QuorumError(
+                f"read quorum not met: {len(responses)} replicas answered, "
+                f"need {self.read_quorum}"
+            )
+        out: list[bytes | None] = [None] * len(block_nos)
+        versions: list[int] = [0] * len(block_nos)
+        upgrades: dict[int, list[int]] = {}  # holder child -> positions
+        for pos, block_no in enumerate(block_nos):
+            # Last-write-wins: among the responders, the copy with the
+            # highest version stamp is the provisional answer.
+            winner_idx, winner_datas = max(
+                responses, key=lambda r: self._versions[r[0]].get(block_no, 0)
+            )
+            out[pos] = winner_datas[pos]
+            versions[pos] = self._versions[winner_idx].get(block_no, 0)
+            # The stamps may show a child *outside* the read set holding
+            # a newer copy (e.g. read-one hitting a just-healed replica).
+            # Fetch from a newest-stamp holder so staleness the layer can
+            # see locally is never served.
+            best_version = max(
+                stamps.get(block_no, 0) for stamps in self._versions
+            )
+            if best_version > versions[pos]:
+                holder = next(
+                    idx for idx, stamps in enumerate(self._versions)
+                    if stamps.get(block_no, 0) == best_version
+                )
+                upgrades.setdefault(holder, []).append(pos)
+        for holder, positions in upgrades.items():
+            try:
+                datas = self.children[holder].read_many(
+                    [block_nos[pos] for pos in positions]
+                )
+            except _CHILD_FAILURES:
+                self.replica_stats.child_failures += 1
+                continue  # holder down: serve the responder copy
+            for pos, data in zip(positions, datas):
+                out[pos] = data
+                versions[pos] = self._versions[holder][block_nos[pos]]
+        repairs: dict[int, list[tuple[int, bytes, int]]] = {}
+        for pos, block_no in enumerate(block_nos):
+            if not versions[pos]:
+                continue
+            for idx in range(len(self.children)):
+                if self._versions[idx].get(block_no, 0) < versions[pos]:
+                    repairs.setdefault(idx, []).append(
+                        (block_no, out[pos], versions[pos])
+                    )
+        self._apply_repairs(repairs)
+        return out
+
+    def _apply_repairs(
+        self, repairs: dict[int, list[tuple[int, bytes, int]]]
+    ) -> None:
+        """Best-effort write-back of winning copies to lagging children."""
+        for idx, triples in repairs.items():
+            child = self.children[idx]
+            try:
+                child.write_many([(b, data) for b, data, _v in triples])
+            except _CHILD_FAILURES:
+                self.replica_stats.child_failures += 1
+                continue  # still down; a later read will retry
+            stamps = self._versions[idx]
+            for block_no, _data, version in triples:
+                stamps[block_no] = version
+            self.replica_stats.repaired_blocks += len(triples)
+
+    # -- everything else ---------------------------------------------------
+
+    def _contains(self, block_no: int) -> bool:
+        if any(stamps.get(block_no) for stamps in self._versions):
+            return True
+        # Diverged children (e.g. reopened after independent histories)
+        # may hold the block on any replica: OR across the reachable ones.
+        for child in self.children:
+            try:
+                if child._contains(block_no):
+                    return True
+            except _CHILD_FAILURES:
+                continue
+        return False
+
+    def flush(self) -> None:
+        successes = 0
+        for child in self.children:
+            try:
+                child.flush()
+            except _CHILD_FAILURES:
+                self.replica_stats.child_failures += 1
+                continue
+            successes += 1
+        if successes < self.write_quorum:
+            raise QuorumError(
+                f"flush reached {successes} replicas, "
+                f"need {self.write_quorum}"
+            )
+
+    def close(self) -> None:
+        for child in self.children:
+            try:
+                child.close()
+            except _CHILD_FAILURES:
+                continue
+
+    def used_blocks(self) -> int:
+        best: int | None = None
+        for child in self.children:
+            try:
+                used = child.used_blocks()
+            except _CHILD_FAILURES:
+                continue
+            best = used if best is None else max(best, used)
+        if best is None:
+            raise StoreUnavailable("no replica reachable for used_blocks()")
+        return best
+
+    def leaf_stores(self) -> list[BlockStore]:
+        return [leaf for c in self.children for leaf in c.leaf_stores()]
+
+    def describe(self) -> str:
+        kinds = ",".join(c.scheme for c in self.children)
+        return (
+            f"replica://{len(self.children)} w={self.write_quorum} "
+            f"r={self.read_quorum} [{kinds}]  "
+            f"{self.num_blocks}x{self.block_size}B"
+        )
+
+
+class FailingBlockStore(BlockStore):
+    """Pass-through wrapper whose failures are switched on and off.
+
+    The injectable outage the replica tests (and ``replica://`` users
+    rehearsing failure drills) flip per child:  while ``failing`` is
+    True every operation raises :class:`~repro.errors.StoreUnavailable`,
+    exactly what a dead ``remote://`` node surfaces.  ``failures``
+    counts the operations rejected.  Registered as
+    ``failing://<child-uri>`` so outages can be scripted from a URI
+    (``replica://failing://mem://;mem://;mem://#w=2&r=2``).
+    """
+
+    scheme = "failing"
+
+    def __init__(self, child: BlockStore, failing: bool = False):
+        super().__init__(child.num_blocks, child.block_size)
+        self.child = child
+        self.failing = failing
+        self.failures = 0
+
+    def fail(self) -> None:
+        """Start rejecting every operation (the node 'goes down')."""
+        self.failing = True
+
+    def heal(self) -> None:
+        """Stop rejecting operations (the node 'comes back')."""
+        self.failing = False
+
+    def _check_up(self) -> None:
+        if self.failing:
+            self.failures += 1
+            raise StoreUnavailable("injected failure: store is down")
+
+    def _get(self, block_no: int) -> bytes | None:
+        self._check_up()
+        return self.child.read(block_no)
+
+    def _put(self, block_no: int, data: bytes) -> None:
+        self._check_up()
+        self.child.write(block_no, data)
+
+    def _get_many(self, block_nos: list[int]) -> list[bytes | None]:
+        self._check_up()
+        return list(self.child.read_many(block_nos))
+
+    def _put_many(self, items: list[tuple[int, bytes]]) -> None:
+        self._check_up()
+        self.child.write_many(items)
+
+    def _contains(self, block_no: int) -> bool:
+        self._check_up()
+        return self.child._contains(block_no)
+
+    def flush(self) -> None:
+        self._check_up()
+        self.child.flush()
+
+    def close(self) -> None:
+        self.child.close()
+
+    def used_blocks(self) -> int:
+        self._check_up()
+        return self.child.used_blocks()
+
+    def leaf_stores(self) -> list[BlockStore]:
+        return self.child.leaf_stores()
+
+    def describe(self) -> str:
+        state = "DOWN" if self.failing else "up"
+        return f"failing({state}) over {self.child.describe()}"

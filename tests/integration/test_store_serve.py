@@ -1,0 +1,127 @@
+"""End-to-end distributed storage: real processes, real sockets.
+
+The acceptance path for the ``remote://`` subsystem: two ``discfs
+store-serve`` *processes* each export a block store over TCP, and a
+consistent-hash ring (``shard://remote://h1;remote://h2``) turns them
+into one cluster that the whole DisCFS stack — the quickstart example,
+verbatim — runs on top of.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import threading
+
+import pytest
+
+import repro.cli
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.cli.__file__)))
+
+_ANNOUNCE = re.compile(r"block store serving on ([\d.]+:\d+)")
+
+
+def _spawn_store_server(backend: str = "mem://"):
+    """Start ``discfs store-serve`` as a child process; returns
+    (process, "host:port")."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli", "store-serve",
+         "--backend", backend, "--port", "0"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    endpoint: list[str] = []
+    ready = threading.Event()
+
+    def _watch():
+        for line in proc.stdout:
+            match = _ANNOUNCE.search(line)
+            if match:
+                endpoint.append(match.group(1))
+                ready.set()
+                return
+
+    threading.Thread(target=_watch, daemon=True).start()
+    if not ready.wait(timeout=60):
+        proc.kill()
+        proc.wait()
+        raise AssertionError("store-serve never announced its address")
+    return proc, endpoint[0]
+
+
+@pytest.fixture
+def two_store_servers():
+    procs = []
+    endpoints = []
+    for _ in range(2):
+        proc, endpoint = _spawn_store_server()
+        procs.append(proc)
+        endpoints.append(endpoint)
+    yield endpoints
+    for proc in procs:
+        proc.terminate()
+    for proc in procs:
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+class TestShardOverRemote:
+    def test_quickstart_example_runs_on_a_two_node_cluster(
+            self, two_store_servers):
+        """examples/quickstart.py --backend shard://remote://A;remote://B
+        — the paper's whole credential flow with every block on remote
+        nodes."""
+        h1, h2 = two_store_servers
+        backend = f"shard://remote://{h1};remote://{h2}"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR
+        result = subprocess.run(
+            [sys.executable, os.path.join(REPO_ROOT, "examples",
+                                          "quickstart.py"),
+             "--backend", backend],
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "permissions after credentials" in result.stdout
+
+        # Both nodes really held blocks: ask each server directly.
+        from repro.storage import open_store
+
+        for endpoint in (h1, h2):
+            remote = open_store(f"remote://{endpoint}")
+            assert remote.used_blocks() > 0, (
+                f"node {endpoint} never received a block"
+            )
+            remote.close()
+
+    def test_filesystem_spreads_blocks_across_both_nodes(
+            self, two_store_servers):
+        """Drive FFS directly over the two-node ring and verify the
+        consistent-hash placement spread real traffic to both servers."""
+        from repro.fs.ffs import FFS
+        from repro.storage import open_store
+
+        h1, h2 = two_store_servers
+        fs = FFS(f"shard://remote://{h1};remote://{h2}")
+        payload = bytes(range(256)) * 64  # 16 KiB, several blocks
+        for i in range(8):
+            fs.write_file(f"/f{i}.bin", payload)
+        for i in range(8):
+            assert fs.read_file(f"/f{i}.bin") == payload
+        fs.device.close()
+
+        used = []
+        for endpoint in (h1, h2):
+            remote = open_store(f"remote://{endpoint}")
+            used.append(remote.used_blocks())
+            remote.close()
+        assert all(u > 0 for u in used), used

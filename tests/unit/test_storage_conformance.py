@@ -31,20 +31,29 @@ BLOCKS = 64
 BS = 512
 
 #: One URI template per registered scheme; ``{tmp}`` is filled with a
-#: per-test temporary directory.  The conformance battery runs on all of
-#: them, including composed stacks.
+#: per-test temporary directory and ``{remote}``/``{remote2}`` with the
+#: ``host:port`` of a fresh in-process ``store-serve`` (real TCP sockets).
+#: The conformance battery runs on all of them, including composed stacks.
 URI_TEMPLATES = {
     "mem": "mem://",
     "file": "file://{tmp}/blocks.img",
     "sqlite": "sqlite://{tmp}/blocks.db",
     "shard": "shard://3",
     "cached": "cached://mem://#capacity=16",
+    "remote": "remote://{remote}",
+    "replica": "replica://3?w=2&r=2",
+    "failing": "failing://mem://",
 }
 
 EXTRA_COMPOSITES = [
     "shard://mem://;mem://;mem://",
     "cached://shard://2#capacity=8",
     "cached://sqlite://{tmp}/nested.db#capacity=8",
+    "remote://{remote}?batch=off",
+    "shard://remote://{remote};remote://{remote2}",
+    "cached://remote://{remote}#capacity=8",
+    "replica://remote://{remote};remote://{remote2}#w=1&r=1",
+    "replica://2/failing://mem://#w=2&r=1",
 ]
 
 ALL_TEMPLATES = list(URI_TEMPLATES.values()) + EXTRA_COMPOSITES
@@ -57,9 +66,37 @@ def test_every_registered_scheme_is_covered():
     )
 
 
+@pytest.fixture
+def remote_servers():
+    """Start in-process TCP block-store servers on demand, keyed by
+    placeholder name (``remote``, ``remote2``); closed at teardown."""
+    from repro.storage import MemoryBlockStore
+    from repro.storage.net import serve_store
+
+    servers = {}
+
+    def endpoint(name: str) -> str:
+        if name not in servers:
+            servers[name] = serve_store(MemoryBlockStore(BLOCKS, BS))
+        host, port = servers[name].address
+        return f"{host}:{port}"
+
+    yield endpoint
+    for server in servers.values():
+        server.close()
+
+
+def fill_template(template: str, tmp_path, endpoint) -> str:
+    uri = template.replace("{tmp}", str(tmp_path))
+    for name in ("remote2", "remote"):  # longest placeholder first
+        uri = uri.replace("{%s}" % name, endpoint(name)) \
+            if "{%s}" % name in uri else uri
+    return uri
+
+
 @pytest.fixture(params=ALL_TEMPLATES, ids=lambda t: t.replace("{tmp}/", ""))
-def store(request, tmp_path):
-    uri = request.param.format(tmp=tmp_path)
+def store(request, tmp_path, remote_servers):
+    uri = fill_template(request.param, tmp_path, remote_servers)
     s = open_store(uri, num_blocks=BLOCKS, block_size=BS)
     yield s
     s.close()
@@ -147,6 +184,17 @@ class TestRegistry:
     def test_unknown_scheme_rejected(self):
         with pytest.raises(InvalidArgument, match="unknown storage scheme"):
             open_store("bogus://")
+
+    def test_typo_scheme_gets_a_suggestion(self):
+        with pytest.raises(InvalidArgument, match="did you mean 'shard'"):
+            open_store("shrad://2")
+        with pytest.raises(InvalidArgument, match="did you mean 'replica'"):
+            open_store("replcia://3")
+
+    def test_unrecognizable_scheme_gets_no_suggestion(self):
+        with pytest.raises(InvalidArgument) as excinfo:
+            open_store("zzqq://")
+        assert "did you mean" not in str(excinfo.value)
 
     def test_malformed_uri_rejected(self):
         with pytest.raises(InvalidArgument):
@@ -402,6 +450,76 @@ class TestLeafStores:
         assert physical_reads == 0  # written-through cache entry, never missed
 
 
+class TestBatchedIO:
+    """read_many/write_many: same semantics as looping, fewer backend ops."""
+
+    @pytest.mark.parametrize("uri", ["mem://", "shard://3",
+                                     "cached://mem://#capacity=16",
+                                     "replica://3?w=2&r=2"])
+    def test_matches_per_block_semantics(self, uri):
+        batched = open_store(uri, num_blocks=BLOCKS, block_size=BS)
+        looped = open_store(uri, num_blocks=BLOCKS, block_size=BS)
+        items = [(i, f"payload-{i}".encode()) for i in (0, 7, 3, 63)]
+        batched.write_many(items)
+        for block_no, data in items:
+            looped.write(block_no, data)
+        nos = [0, 3, 5, 7, 63]  # includes an unwritten block (5)
+        assert batched.read_many(nos) == [looped.read(n) for n in nos]
+        assert batched.stats.reads == looped.stats.reads
+        assert batched.stats.writes == looped.stats.writes
+
+    def test_empty_batches_are_noops(self):
+        s = open_store("mem://", num_blocks=BLOCKS, block_size=BS)
+        assert s.read_many([]) == []
+        s.write_many([])
+        assert s.stats.reads == 0 and s.stats.writes == 0
+
+    def test_batch_validation_matches_single(self):
+        s = open_store("mem://", num_blocks=BLOCKS, block_size=BS)
+        with pytest.raises(NoSpace):
+            s.read_many([0, BLOCKS])
+        with pytest.raises(InvalidArgument):
+            s.write_many([(0, b"x" * (BS + 1))])
+
+    def test_shard_batches_fan_out_once_per_child(self):
+        s: ShardedBlockStore = open_store("shard://4", num_blocks=1024)
+        s.write_many([(i, b"x") for i in range(64)])
+        datas = s.read_many(list(range(64)))
+        assert all(d.startswith(b"x") for d in datas)
+        # Every block landed on its owning shard, same as per-block writes.
+        for i in range(64):
+            assert s.children[s.shard_for(i)]._contains(i)
+
+    def test_cached_batch_read_fetches_misses_in_one_child_call(self):
+        s: CachedBlockStore = open_store("cached://mem://#capacity=32")
+        s.write_many([(i, b"warm") for i in range(4)])   # resident + dirty
+        s.flush()
+        s2: CachedBlockStore = open_store("cached://mem://#capacity=32")
+        for i in range(8):
+            s2.child.write(i, b"cold")
+        s2.child.stats.reset()
+        datas = s2.read_many(list(range(8)))
+        assert all(d.startswith(b"cold") for d in datas)
+        assert s2.cache_stats.misses == 8
+        # All eight misses hit the child as reads, and a repeat batch is
+        # served from the overlay entirely.
+        assert s2.child.stats.reads == 8
+        s2.read_many(list(range(8)))
+        assert s2.child.stats.reads == 8
+        assert s2.cache_stats.hits == 8
+
+    def test_duplicate_blocks_in_one_batch_count_like_the_looped_path(self):
+        """read_many([3, 3]) on a cold cache == read(3); read(3):
+        one miss (the fetch) then one hit (the just-filled entry)."""
+        s: CachedBlockStore = open_store("cached://mem://#capacity=8")
+        s.child.write(3, b"cold")
+        datas = s.read_many([3, 3])
+        assert all(d.startswith(b"cold") for d in datas)
+        assert s.cache_stats.misses == 1
+        assert s.cache_stats.hits == 1
+        assert s.child.stats.reads == 1
+
+
 class TestCacheBehaviour:
     def test_hits_avoid_child_reads(self):
         s: CachedBlockStore = open_store("cached://mem://#capacity=8")
@@ -443,3 +561,290 @@ class TestCacheBehaviour:
             s.write(i, b"x")
         assert len(s._entries) <= 4
         assert s.cache_stats.evictions == 28
+
+
+# ---------------------------------------------------------------------------
+# remote:// — the RPC block store
+# ---------------------------------------------------------------------------
+
+
+class TestRemoteStore:
+    @pytest.fixture
+    def served(self):
+        from repro.storage import MemoryBlockStore
+        from repro.storage.net import serve_store
+
+        backing = MemoryBlockStore(BLOCKS, BS)
+        server = serve_store(backing)
+        yield backing, server
+        server.close()
+
+    def test_geometry_comes_from_server(self, served):
+        backing, server = served
+        host, port = server.address
+        s = open_store(f"remote://{host}:{port}", num_blocks=9999,
+                       block_size=4096)  # local hints ignored
+        assert (s.num_blocks, s.block_size) == (BLOCKS, BS)
+        assert "remote://" in s.describe()
+        s.close()
+
+    def test_writes_reach_the_served_store(self, served):
+        backing, server = served
+        host, port = server.address
+        s = open_store(f"remote://{host}:{port}")
+        s.write(3, b"landed")
+        assert backing.read(3).startswith(b"landed")
+        assert s.used_blocks() == 1
+        s.close()
+
+    def test_batched_ops_cut_round_trips(self, served):
+        """READ_MANY/WRITE_MANY are one RPC each; ?batch=off loops."""
+        from repro.rpc.transport import InProcessTransport
+        from repro.storage.net import RemoteBlockStore
+
+        backing, server = served
+        items = [(i, f"b{i}".encode()) for i in range(16)]
+
+        batched_tp = InProcessTransport(server.handler)
+        batched = RemoteBlockStore(batched_tp)
+        calls0 = batched_tp.stats.calls  # GEOM
+        batched.write_many(items)
+        batched.read_many([i for i, _ in items])
+        assert batched_tp.stats.calls == calls0 + 2
+
+        looped_tp = InProcessTransport(server.handler)
+        looped = RemoteBlockStore(looped_tp, batch=False)
+        calls0 = looped_tp.stats.calls
+        looped.write_many(items)
+        looped.read_many([i for i, _ in items])
+        assert looped_tp.stats.calls == calls0 + 2 * len(items)
+
+    def test_dead_server_surfaces_store_unavailable(self, served):
+        from repro.errors import StoreUnavailable
+
+        backing, server = served
+        host, port = server.address
+        s = open_store(f"remote://{host}:{port}")
+        server.close()
+        with pytest.raises(StoreUnavailable):
+            for _ in range(3):  # first call may still drain a live socket
+                s.read(0)
+        s.close()
+
+    def test_connect_refused_surfaces_store_unavailable(self):
+        import socket
+
+        from repro.errors import StoreUnavailable
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        with pytest.raises(StoreUnavailable):
+            open_store(f"remote://127.0.0.1:{free_port}")
+
+    def test_malformed_endpoint_rejected(self):
+        with pytest.raises(InvalidArgument, match="host:port"):
+            open_store("remote://no-port-here")
+
+    def test_batch_window_respects_byte_budget(self):
+        """Large-block stores must split batches so one message stays
+        under the transport's record sanity limit."""
+        from repro.rpc.transport import InProcessTransport
+        from repro.storage import MemoryBlockStore
+        from repro.storage.net import (MAX_BATCH_BYTES, BlockStoreProgram,
+                                       RemoteBlockStore)
+        from repro.rpc.server import RPCServer
+
+        backing = MemoryBlockStore(2048, 64 * 1024)  # 64 KiB blocks
+        rpc = RPCServer()
+        rpc.register(BlockStoreProgram(backing))
+        transport = InProcessTransport(rpc.handler_for(None))
+        s = RemoteBlockStore(transport)
+        assert s._batch_window == MAX_BATCH_BYTES // (64 * 1024)
+        window = s._batch_window
+        calls0 = transport.stats.calls
+        s.read_many(list(range(2 * window)))  # needs exactly two messages
+        assert transport.stats.calls == calls0 + 2
+
+    def test_contains_is_stats_free_on_the_server(self, served):
+        """cached://remote:// introspection must not inflate the served
+        store's physical counters (same invariant as local children)."""
+        backing, server = served
+        host, port = server.address
+        s = open_store(f"cached://remote://{host}:{port}#capacity=4")
+        for i in range(6):
+            s.write(i, b"dirty")
+        reads_before = backing.stats.reads
+        s.used_blocks()  # probes _contains over the wire
+        assert backing.stats.reads == reads_before
+        s.close()
+
+
+# ---------------------------------------------------------------------------
+# replica:// — quorums, degraded mode, read-repair
+# ---------------------------------------------------------------------------
+
+
+def make_replica(n=3, w=2, r=2):
+    from repro.storage import (FailingBlockStore, MemoryBlockStore,
+                               ReplicatedBlockStore)
+
+    children = [FailingBlockStore(MemoryBlockStore(BLOCKS, BS))
+                for _ in range(n)]
+    return ReplicatedBlockStore(children, write_quorum=w, read_quorum=r), \
+        children
+
+
+class TestReplicaQuorums:
+    def test_write_fans_out_to_all_children(self):
+        rep, children = make_replica()
+        rep.write(4, b"everywhere")
+        for child in children:
+            assert child.child.read(4).startswith(b"everywhere")
+
+    def test_one_node_outage_stays_available(self):
+        """The acceptance case: replica://3?w=2&r=2 with one child down
+        keeps serving reads and writes with no errors."""
+        rep, children = make_replica(n=3, w=2, r=2)
+        rep.write(1, b"before outage")
+        children[1].fail()
+        rep.write(1, b"during outage")
+        rep.write(2, b"new block")
+        assert rep.read(1).startswith(b"during outage")
+        assert rep.read(2).startswith(b"new block")
+        assert rep.replica_stats.degraded_writes == 2
+
+    def test_write_quorum_not_met_raises(self):
+        from repro.errors import QuorumError
+
+        rep, children = make_replica(n=3, w=2, r=2)
+        children[0].fail()
+        children[1].fail()
+        with pytest.raises(QuorumError, match="write quorum"):
+            rep.write(0, b"x")
+
+    def test_read_quorum_not_met_raises(self):
+        from repro.errors import QuorumError
+
+        rep, children = make_replica(n=3, w=2, r=2)
+        rep.write(0, b"x")
+        children[0].fail()
+        children[1].fail()
+        with pytest.raises(QuorumError, match="read quorum"):
+            rep.read(0)
+
+    def test_invalid_quorums_rejected(self):
+        with pytest.raises(InvalidArgument, match="write quorum"):
+            open_store("replica://3?w=4")
+        with pytest.raises(InvalidArgument, match="read quorum"):
+            open_store("replica://3?r=0")
+        with pytest.raises(InvalidArgument, match="count must be positive"):
+            open_store("replica://0")
+
+    def test_grammar_forms_agree(self):
+        by_count = open_store("replica://2?w=1&r=2",
+                              num_blocks=BLOCKS, block_size=BS)
+        explicit = open_store("replica://mem://;mem://#w=1&r=2",
+                              num_blocks=BLOCKS, block_size=BS)
+        template = open_store("replica://2/mem://#w=1&r=2",
+                              num_blocks=BLOCKS, block_size=BS)
+        for rep in (by_count, explicit, template):
+            assert len(rep.children) == 2
+            assert (rep.write_quorum, rep.read_quorum) == (1, 2)
+
+    def test_template_form_substitutes_replica_index(self, tmp_path):
+        rep = open_store(f"replica://2/file://{tmp_path}/copy-{{i}}.img#w=2",
+                         num_blocks=BLOCKS, block_size=BS)
+        rep.write(0, b"twice")
+        rep.close()
+        assert (tmp_path / "copy-0.img").exists()
+        assert (tmp_path / "copy-1.img").exists()
+
+    def test_defaults_are_write_all_read_one(self):
+        rep = open_store("replica://3", num_blocks=BLOCKS, block_size=BS)
+        assert (rep.write_quorum, rep.read_quorum) == (3, 1)
+
+
+class TestReadRepair:
+    def test_lagging_replica_is_repaired_on_read(self):
+        """A child that missed writes while down is rewritten with the
+        winning copy the first time a read sees the divergence —
+        asserted on the leaf store underneath the failure wrapper."""
+        rep, children = make_replica(n=3, w=2, r=2)
+        rep.write(9, b"v1")
+        children[0].fail()
+        rep.write(9, b"v2-during-outage")
+        assert children[0].child.read(9).startswith(b"v1")  # stale on disk
+        children[0].heal()
+        assert rep.read(9).startswith(b"v2-during-outage")
+        # Leaf-store inspection: the lagging replica now holds the winner.
+        assert children[0].child.read(9).startswith(b"v2-during-outage")
+        assert rep.replica_stats.repaired_blocks >= 1
+
+    def test_last_write_wins_even_when_stale_child_answers_first(self):
+        rep, children = make_replica(n=3, w=2, r=2)
+        rep.write(5, b"old")
+        children[0].fail()
+        rep.write(5, b"new")
+        children[0].heal()
+        # Child 0 answers first in index order with the stale copy; the
+        # version stamps pick child 1's newer copy anyway.
+        assert rep.read(5).startswith(b"new")
+
+    def test_repair_waits_until_the_child_heals(self):
+        rep, children = make_replica(n=3, w=2, r=2)
+        rep.write(2, b"v1")
+        children[2].fail()
+        rep.write(2, b"v2")
+        # Reads while the child is down must not crash on the failed
+        # repair attempt; the repair lands after healing.
+        assert rep.read(2).startswith(b"v2")
+        assert children[2].child.read(2).startswith(b"v1")
+        children[2].heal()
+        rep.read(2)
+        assert children[2].child.read(2).startswith(b"v2")
+
+    def test_batched_reads_repair_all_lagging_blocks_at_once(self):
+        rep, children = make_replica(n=3, w=2, r=2)
+        rep.write_many([(i, b"v1") for i in range(8)])
+        children[1].fail()
+        rep.write_many([(i, b"v2") for i in range(8)])
+        children[1].heal()
+        datas = rep.read_many(list(range(8)))
+        assert all(d.startswith(b"v2") for d in datas)
+        assert rep.replica_stats.repaired_blocks == 8
+        for i in range(8):
+            assert children[1].child.read(i).startswith(b"v2")
+
+    def test_read_one_never_serves_locally_known_staleness(self):
+        """With r=1 the read set can be exactly a just-healed stale
+        child; the version stamps say a newer copy exists elsewhere, so
+        the store must fetch it rather than serve what it knows is old."""
+        rep, children = make_replica(n=3, w=2, r=1)
+        rep.write(5, b"old")
+        children[0].fail()
+        rep.write(5, b"new")
+        children[0].heal()
+        # Child 0 is the only responder consulted (r=1) and holds "old".
+        assert rep.read(5).startswith(b"new")
+        # And the divergence it surfaced was repaired.
+        assert children[0].child.read(5).startswith(b"new")
+
+    def test_contains_ors_across_diverged_children(self):
+        """A block held only by a later replica (children reopened with
+        independent histories, stamps empty) must still be reported."""
+        from repro.storage import MemoryBlockStore, ReplicatedBlockStore
+
+        children = [MemoryBlockStore(BLOCKS, BS), MemoryBlockStore(BLOCKS, BS)]
+        children[1].write(7, b"only on replica 1")
+        rep = ReplicatedBlockStore(children, write_quorum=1, read_quorum=1)
+        assert rep._contains(7)
+        assert not rep._contains(8)
+
+    def test_failure_injection_via_uri(self):
+        rep = open_store("replica://failing://mem://#fail=1;mem://;mem://#w=2&r=1",
+                         num_blocks=BLOCKS, block_size=BS)
+        rep.write(0, b"works despite one dead child")
+        assert rep.read(0).startswith(b"works")
+        assert rep.children[0].failing
+        assert rep.replica_stats.degraded_writes == 1
