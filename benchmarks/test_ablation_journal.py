@@ -1,0 +1,110 @@
+"""Ablation: write-ahead journaling on/off over the durable backends.
+
+Crash recovery is bought with fsyncs: ``journal://`` logs and syncs
+every batch before it reaches the child, so the interesting numbers are
+(a) what that does to Bonnie throughput on ``file://`` and ``sqlite://``
+children, (b) how group commit keeps the fsync count proportional to
+*batches* rather than blocks, and (c) how long replaying a crashed
+journal takes.
+
+``test_journal_comparison_table`` routes the sweep through the report
+harness (``repro.bench.report.run_journal_ablation``; run with ``-s``
+to see the table, or ``python -m repro.bench.report --journal``
+standalone) and asserts the headline relationships.
+"""
+
+import pytest
+
+from repro.bench.bonnie import phase_output_block
+from repro.bench.harness import make_target
+from repro.bench.report import print_journal_report, run_journal_ablation
+from repro.storage import open_store
+
+from conftest import BONNIE_PATH, FILE_SIZE
+
+#: config-id -> backend URI template ({d} = per-test tmp dir).
+JOURNAL_SWEEP = {
+    "file": "file://{d}/bench.img",
+    "journal-file": "journal://file://{d}/bench.img",
+    "sqlite": "sqlite://{d}/bench.db",
+    "journal-sqlite": "journal://sqlite://{d}/bench.db",
+}
+
+
+@pytest.fixture(params=list(JOURNAL_SWEEP), ids=list(JOURNAL_SWEEP))
+def journal_built(request, tmp_path):
+    uri = JOURNAL_SWEEP[request.param].format(d=tmp_path)
+    built = make_target("FFS", backend=uri)
+    yield request.param, built
+    built.fs.device.close()
+
+
+@pytest.mark.benchmark(group="ablation-journal-write")
+def test_output_block_by_journaling(benchmark, journal_built):
+    """Sequential block writes with/without the write-ahead log."""
+    name, built = journal_built
+    result = benchmark(phase_output_block, built.target, BONNIE_PATH,
+                       FILE_SIZE)
+    assert result.nbytes == FILE_SIZE
+    benchmark.extra_info["config"] = name
+    benchmark.extra_info["kps"] = round(result.kps)
+
+
+@pytest.mark.benchmark(group="ablation-journal-replay")
+def test_crash_replay_time(benchmark, tmp_path):
+    """Reopen-after-crash: replaying 512 journaled blocks into the
+    child.  Each round journals a fresh batch, abandons the store (the
+    crash), and the measured section is the reopen that replays it."""
+    uri = f"journal://file://{tmp_path}/replay.img#cap=4096"
+    blocks = 512
+
+    def crash_then_reopen():
+        store = open_store(uri, num_blocks=4096)
+        payload = b"R" * store.block_size
+        for start in range(0, blocks, 64):
+            store.write_many(
+                [(b, payload) for b in range(start, start + 64)]
+            )
+        store.abandon()
+        reopened = open_store(uri, num_blocks=4096)
+        replayed = reopened.journal_stats.replayed_blocks
+        reopened.close()
+        return replayed
+
+    replayed = benchmark(crash_then_reopen)
+    assert replayed == blocks
+
+
+def test_journal_comparison_table(capsys, tmp_path):
+    """Full sweep through the report harness, with the acceptance
+    assertions: journaling costs one group-commit fsync per batch (not
+    per block), the unjournaled configs issue almost none, and the
+    crash replay recovers every committed block."""
+    results = run_journal_ablation(
+        file_size=FILE_SIZE, char_size=32 * 1024, workdir=str(tmp_path)
+    )
+    with capsys.disabled():
+        print_journal_report(results)
+
+    for label, bonnie in results["bonnie"].items():
+        assert all(bonnie.kps(p) > 0 for p in bonnie.phases), label
+
+    for label, dev in results["device"].items():
+        if label.startswith("journal"):
+            # Group commit: one fsync per journaled transaction, plus
+            # the handful of checkpoint/child flushes.
+            assert dev["journal_txns"] > 0, label
+            assert dev["fsyncs"] >= dev["journal_txns"], label
+            assert dev["fsyncs"] <= dev["journal_txns"] + 16, label
+            assert dev["journal_blocks"] >= dev["journal_txns"], label
+        else:
+            assert dev["journal_txns"] == 0, label
+            assert dev["fsyncs"] <= 16, label
+
+    replay = results["replay"]
+    from repro.bench.report import REPLAY_BLOCKS
+    assert replay["blocks"] == REPLAY_BLOCKS
+    # Group commit on the batched path: far fewer durable transactions
+    # (and thus fsyncs) than blocks made crash-safe.
+    assert replay["transactions"] * 16 <= replay["blocks"]
+    assert replay["seconds"] >= 0.0

@@ -229,6 +229,125 @@ def print_replication_report(results: dict) -> None:
         )
 
 
+#: label -> backend URI template ({d} = scratch directory) the journal
+#: ablation sweeps: journaling on/off over both durable children.
+JOURNAL_CONFIGS = (
+    ("file (no journal)", "file://{d}/plain.img"),
+    ("journal://file", "journal://file://{d}/journaled.img"),
+    ("sqlite (no journal)", "sqlite://{d}/plain.db"),
+    ("journal://sqlite", "journal://sqlite://{d}/journaled.db"),
+)
+
+#: Blocks written (in batches) by the replay measurement.
+REPLAY_BLOCKS = 1024
+REPLAY_BATCH = 64
+
+
+def _unique_stores(store) -> list:
+    """The store plus its leaves, deduplicated (a leaf store is its own
+    leaf), for summing per-layer fsync counters exactly once."""
+    stores = []
+    for candidate in [store, *store.leaf_stores()]:
+        if all(candidate is not seen for seen in stores):
+            stores.append(candidate)
+    return stores
+
+
+def run_journal_ablation(
+    system: str = "FFS",
+    file_size: int = 1 << 20,
+    char_size: int = 1 << 16,
+    workdir: str | None = None,
+) -> dict:
+    """Bonnie with journaling on/off over the durable backends, plus a
+    measured crash replay.
+
+    What the write-ahead log costs is fsyncs (one group commit per
+    batch) and their latency; what it buys is replay — committed writes
+    surviving a crash instead of rolling back to the last checkpoint.
+    Both sides are reported: per-phase throughput and fsync counts for
+    each config, then the timed replay of a deliberately "crashed"
+    journal (:meth:`JournalBlockStore.abandon`).
+    """
+    import tempfile
+    import time
+
+    from repro.storage import JournalBlockStore, open_store
+
+    workdir = workdir or tempfile.mkdtemp(prefix="journal-ablation-")
+    results: dict = {"system": system, "bonnie": {}, "device": {}}
+    for label, template in JOURNAL_CONFIGS:
+        uri = template.format(d=workdir)
+        built = make_target(system, backend=uri)
+        results["bonnie"][label] = run_bonnie(
+            built.target, file_size=file_size, char_size=char_size
+        )
+        store = built.fs.device.store
+        row = _device_row(built)
+        row["fsyncs"] = sum(
+            s.stats.fsyncs for s in _unique_stores(store)
+        )
+        journal = store if isinstance(store, JournalBlockStore) else None
+        row["journal_txns"] = (
+            journal.journal_stats.transactions if journal else 0
+        )
+        row["journal_blocks"] = (
+            journal.journal_stats.blocks_journaled if journal else 0
+        )
+        results["device"][label] = row
+        built.fs.device.close()
+
+    # Crash replay: journal a workload, abandon without checkpointing,
+    # and time the reopen that replays it into the child.
+    uri = f"journal://file://{workdir}/replay.img#cap={REPLAY_BLOCKS * 2}"
+    store = open_store(uri, num_blocks=max(REPLAY_BLOCKS * 2, 4096))
+    payload = b"J" * store.block_size
+    for start in range(0, REPLAY_BLOCKS, REPLAY_BATCH):
+        store.write_many(
+            [(b, payload) for b in range(start, start + REPLAY_BATCH)]
+        )
+    store.abandon()
+    t0 = time.monotonic()
+    reopened = open_store(uri, num_blocks=max(REPLAY_BLOCKS * 2, 4096))
+    replay_seconds = time.monotonic() - t0
+    results["replay"] = {
+        "transactions": reopened.journal_stats.replayed_transactions,
+        "blocks": reopened.journal_stats.replayed_blocks,
+        "seconds": replay_seconds,
+        "journal_seconds": reopened.journal_stats.replay_seconds,
+    }
+    reopened.close()
+    return results
+
+
+def print_journal_report(results: dict) -> None:
+    """Journal on/off comparison plus the replay measurement."""
+    print(f"\nJournal ablation — system: {results['system']}")
+    header = f"  {'Backend':<24}" + "".join(f"{p:>14}" for p in PHASES)
+    print(header)
+    print(f"  {'(throughput K/sec)':<24}")
+    for label, row in results["bonnie"].items():
+        cells = "".join(f"{row.kps(p):>14.0f}" for p in PHASES)
+        print(f"  {label:<24}{cells}")
+    print(
+        f"\n  {'Backend':<24}{'log.writes':>11}{'phys.writes':>12}"
+        f"{'fsyncs':>8}{'txns':>7}{'blk/txn':>9}"
+    )
+    for label, dev in results["device"].items():
+        per_txn = (dev["journal_blocks"] / dev["journal_txns"]
+                   if dev["journal_txns"] else 0.0)
+        print(
+            f"  {label:<24}{dev['writes']:>11}{dev['physical_writes']:>12}"
+            f"{dev['fsyncs']:>8}{dev['journal_txns']:>7}{per_txn:>9.1f}"
+        )
+    replay = results["replay"]
+    print(
+        f"\n  crash replay: {replay['blocks']} blocks in "
+        f"{replay['transactions']} committed transactions replayed in "
+        f"{replay['seconds'] * 1000:.1f} ms"
+    )
+
+
 def print_report(results: dict) -> None:
     systems = list(results["bonnie"])
     for phase in PHASES:
@@ -259,6 +378,10 @@ def main() -> None:
     parser.add_argument("--replication", nargs="*", metavar="URI",
                         help="also run the replication/remote ablation "
                              "(no URIs = the default replica sweep)")
+    parser.add_argument("--journal", action="store_true",
+                        help="also run the journal (crash-recovery) "
+                             "ablation: on/off x file/sqlite, fsync "
+                             "counts, replay time")
     args = parser.parse_args()
     results = run_evaluation(
         systems=tuple(args.systems),
@@ -277,6 +400,10 @@ def main() -> None:
             else DEFAULT_REPLICA_CONFIGS
         print_replication_report(run_replication_ablation(
             configs, file_size=args.file_size, char_size=args.char_size,
+        ))
+    if args.journal:
+        print_journal_report(run_journal_ablation(
+            file_size=args.file_size, char_size=args.char_size,
         ))
 
 

@@ -20,6 +20,7 @@ Commands
 ``store-serve``     export a storage backend over RPC on a TCP port —
                     the node other servers reach as ``remote://``
 ``backends``        list the registered storage-backend URI schemes
+``journal-inspect`` dump and verify a ``journal://`` write-ahead log
 ``ls/cat/put/rm``   client operations against a running server
 ``stat``            print a remote file's handle and granted rights
 ``submit``          submit credential files to a server
@@ -316,9 +317,40 @@ def cmd_backends(args) -> int:
         "replica": "replica://3?w=2&r=2  |  replica://3/file:///d/r-{i}.img#w=2"
                    "  |  replica://remote://h1:9001;remote://h2:9002#w=1&r=1",
         "failing": "failing://mem://#fail=1  (fault injection for drills)",
+        "journal": "journal://file:///var/lib/discfs.img  (crash recovery: "
+                   "fsynced intent log, replay on reopen; #cap=N&path=P)",
+        "lazy": "lazy://remote://127.0.0.1:9001#retry=1  (open/retry on "
+                "use; replica:// applies it to nodes down at mount)",
     }
     for scheme in registered_schemes():
         print(f"{scheme:<8} {examples.get(scheme, f'{scheme}://')}")
+    return 0
+
+
+def cmd_journal_inspect(args) -> int:
+    """Dump and verify a write-ahead journal file."""
+    from repro.storage import inspect_journal
+
+    info = inspect_journal(args.journal)
+    print(f"journal    : {info.path}")
+    print(f"block size : {info.block_size}")
+    print(f"log size   : {info.size} bytes")
+    if args.records:
+        for record in info.records:
+            detail = (f"{record.blocks:>5} blocks" if record.blocks
+                      else " " * 11)
+            print(f"  @{record.offset:<10} seq={record.seq:<8} "
+                  f"{record.kind_name:<7} {detail}  crc ok")
+    blocks = f" ({info.committed_blocks} blocks)" if info.committed else ""
+    print(f"committed  : {info.committed} transaction(s){blocks}")
+    uncommitted = (", ".join(f"seq={s}" for s in info.uncommitted)
+                   if info.uncommitted else "none")
+    print(f"uncommitted: {uncommitted}")
+    if info.torn_offset is None:
+        print("torn tail  : none (log is clean)")
+    else:
+        print(f"torn tail  : {info.size - info.torn_offset} byte(s) "
+              f"discarded from offset {info.torn_offset} on replay")
     return 0
 
 
@@ -509,7 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="mem://", metavar="URI",
                    help="storage backend URI: mem://, file://PATH, "
                         "sqlite://PATH, shard://N, cached://URI, "
-                        "remote://HOST:PORT, replica://N "
+                        "remote://HOST:PORT, replica://N, journal://URI "
                         "(default mem://; see `discfs backends`)")
     p.add_argument("--oneshot", action="store_true", help=argparse.SUPPRESS)
     p.set_defaults(func=cmd_serve)
@@ -529,6 +561,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("backends", help="list storage-backend URI schemes")
     p.set_defaults(func=cmd_backends)
+
+    p = sub.add_parser("journal-inspect",
+                       help="dump/verify a journal:// write-ahead log")
+    p.add_argument("journal", help="path to the journal file")
+    p.add_argument("--records", action="store_true",
+                   help="also list every record in the log")
+    p.set_defaults(func=cmd_journal_inspect)
 
     p = sub.add_parser("ls", help="list a remote directory")
     _add_client_args(p)

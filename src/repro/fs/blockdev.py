@@ -40,6 +40,10 @@ class BlockDeviceStats:
     # sequential from random access.
     last_block: int = field(default=-1, repr=False)
     seeks: int = 0
+    # Real durability barriers issued (os.fsync and equivalents): the
+    # cost axis the journal ablation reports, since a write-ahead log
+    # trades throughput for exactly these.
+    fsyncs: int = 0
 
     def record_read(self, block_no: int, nbytes: int) -> None:
         self.reads += 1
@@ -55,10 +59,14 @@ class BlockDeviceStats:
             self.seeks += 1
         self.last_block = block_no
 
+    def record_fsync(self) -> None:
+        self.fsyncs += 1
+
     def reset(self) -> None:
         self.reads = self.writes = 0
         self.bytes_read = self.bytes_written = 0
         self.seeks = 0
+        self.fsyncs = 0
         self.last_block = -1
 
 

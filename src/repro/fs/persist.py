@@ -11,10 +11,14 @@ survives process restarts:
 * :func:`load` rebuilds an :class:`~repro.fs.ffs.FFS` from a device that
   holds such a checkpoint.
 
-The format is explicitly versioned.  This is checkpoint persistence, not
-journaling: an unsynced crash loses changes since the last ``sync`` —
-adequate for the reproduction (no experiment exercises crash recovery)
-and stated in DESIGN.md.
+The format is explicitly versioned.  Metadata persistence is
+checkpoint-based: an unsynced crash loses *metadata* changes since the
+last ``sync``.  ``sync`` itself is crash-safe — the new checkpoint is
+fully written and flushed before the superblock points at it, and the
+old checkpoint's blocks are not reused until then — so a crash at any
+instant leaves one valid checkpoint on the device.  Block-level crash
+recovery (no acknowledged write ever lost) is the storage layer's job:
+mount the device on a ``journal://`` URI (:mod:`repro.storage.journal`).
 """
 
 from __future__ import annotations
@@ -125,17 +129,42 @@ def _deserialize(fs: FFS, data: bytes) -> None:
 def sync(fs: FFS) -> int:
     """Checkpoint ``fs`` metadata to its device; returns bytes written.
 
-    Previous checkpoint blocks are reclaimed first, so repeated syncs do
-    not leak space.
+    The previous checkpoint's blocks are reclaimed *logically* first, so
+    the serialized free list includes them (repeated syncs do not leak
+    space), but they are kept out of this round's allocation: the old
+    checkpoint must stay intact on disk until the new one is durable,
+    or a crash mid-sync would corrupt the only checkpoint the device
+    had.  The write order is two-phase — payload blocks, flush, then
+    the superblock that points at them, flush — so at every instant the
+    superblock references a fully-written checkpoint.
     """
-    _release_old_checkpoint(fs)
+    old_blocks = _release_old_checkpoint(fs)
     payload = _serialize(fs)
     block_size = fs.block_size
     blocks_needed = (len(payload) + block_size - 1) // block_size
-    block_list = [fs._alloc_block() for _ in range(blocks_needed)]
+    reserved = set(old_blocks)
+    block_list: list[int] = []
+    deferred: list[int] = []
+    try:
+        while len(block_list) < blocks_needed:
+            block = fs._alloc_block()
+            if block in reserved:
+                deferred.append(block)  # old checkpoint: reuse next sync
+            else:
+                block_list.append(block)
+    finally:
+        # No allocation happens between here and the superblock write,
+        # so returning the deferred blocks now keeps the free list whole
+        # even if allocation ran out of space mid-loop.
+        fs._free_blocks.extend(deferred)
 
     for i, block_no in enumerate(block_list):
         fs.device.write_block(block_no, payload[i * block_size : (i + 1) * block_size])
+    # The payload must be durable before the superblock points at it —
+    # this also pushes write-back layers (cached://) and buffered
+    # backends (sqlite://): a checkpoint that only reaches a cache is
+    # not a checkpoint.
+    fs.device.flush()
 
     # Superblock: header + the checkpoint block list (must fit in block 0).
     listing = b"".join(_U32.pack(b) for b in block_list)
@@ -144,20 +173,23 @@ def sync(fs: FFS) -> int:
     if len(header) + len(listing) > block_size:
         raise FSError("metadata block list does not fit in the superblock")
     fs.device.write_block(0, header + listing)
-    # Push write-back layers (cached://) and buffered backends (sqlite://)
-    # to durable storage — a checkpoint that only reaches a cache is not
-    # a checkpoint.
     fs.device.flush()
     return len(payload)
 
 
-def _release_old_checkpoint(fs: FFS) -> None:
+def _release_old_checkpoint(fs: FFS) -> list[int]:
+    """Return the old checkpoint's blocks to the allocator (skipping any
+    already free — a failed sync may have released them once) and report
+    them so :func:`sync` can defer their reuse past the commit point."""
     try:
         block_list = _read_checkpoint_blocks(fs.device)
     except FSError:
-        return
+        return []
+    already_free = set(fs._free_blocks)
     for block in block_list:
-        fs._free_block(block)
+        if block not in already_free:
+            fs._free_block(block)
+    return block_list
 
 
 def _read_checkpoint_blocks(device: BlockDevice) -> list[int]:
@@ -203,4 +235,13 @@ def load(device: BlockDevice | str) -> FFS:
     fs._free_blocks = []
     fs._dir_cache = {}
     _deserialize(fs, payload)
+    # Quarantine the checkpoint's own blocks: the allocator state was
+    # serialized *before* they were allocated, so without this a
+    # restored filesystem could hand them out for data and overwrite
+    # its only checkpoint — a crash before the next sync would then be
+    # unrecoverable.  The next sync releases them as the old checkpoint.
+    own = set(block_list)
+    fs._free_blocks = [b for b in fs._free_blocks if b not in own]
+    if block_list:
+        fs._next_block = max(fs._next_block, max(block_list) + 1)
     return fs

@@ -19,6 +19,13 @@ from repro.storage.adapter import StoreBlockDevice
 from repro.storage.base import BlockStore
 from repro.storage.cache import CachedBlockStore, CacheStats
 from repro.storage.filestore import FileBlockStore
+from repro.storage.journal import (
+    JournalBlockStore,
+    JournalInfo,
+    JournalStats,
+    inspect_journal,
+)
+from repro.storage.lazy import LazyBlockStore
 from repro.storage.memory import MemoryBlockStore
 from repro.storage.net import (
     BLOCKSTORE_PROGRAM,
@@ -52,6 +59,10 @@ __all__ = [
     "DEFAULT_NUM_BLOCKS",
     "FailingBlockStore",
     "FileBlockStore",
+    "JournalBlockStore",
+    "JournalInfo",
+    "JournalStats",
+    "LazyBlockStore",
     "MemoryBlockStore",
     "RemoteBlockStore",
     "ReplicaStats",
@@ -60,6 +71,7 @@ __all__ = [
     "SQLiteBlockStore",
     "StoreBlockDevice",
     "StoreServer",
+    "inspect_journal",
     "open_device",
     "open_store",
     "register_scheme",

@@ -10,10 +10,20 @@ block size is rejected (it would silently shift every block), and a
 reopened store never shrinks below the capacity it was created with —
 the same guarantees :class:`~repro.storage.sqlitestore.SQLiteBlockStore`
 gets from its meta table.
+
+Hole detection is explicit: a block is "written" only if this process
+wrote it or the block overlaps an allocated data extent of the reopened
+file (``SEEK_DATA``/``SEEK_HOLE``), so a hole *below* the file's high
+-water mark still reads back as never-written (``None``) rather than as
+a zero block that counts as content — the distinction ``replica://``
+divergence checks, ``cached://`` introspection and the logical-vs-
+physical ablation rely on.  On filesystems without hole information the
+scan degrades to the old whole-extent upper bound.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 
@@ -46,6 +56,7 @@ class FileBlockStore(BlockStore):
             num_blocks = max(num_blocks, meta["num_blocks"])
         super().__init__(num_blocks, block_size)
         self._fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o600)
+        self._written = self._scan_written_extents()
         # Rewrite the sidecar atomically, and only once the data file is
         # open: a crash mid-write or an open() failure must never leave a
         # truncated/orphaned meta file that poisons every later open.
@@ -63,7 +74,41 @@ class FileBlockStore(BlockStore):
                 os.unlink(tmp_path)
             raise
 
+    def _scan_written_extents(self) -> set[int]:
+        """Blocks overlapping the file's allocated data extents.
+
+        ``SEEK_DATA``/``SEEK_HOLE`` skips the holes, so a sparse file
+        reopened from a previous run reports only regions that were
+        actually written (at filesystem-extent granularity).  Where the
+        kernel or filesystem offers no hole information the whole
+        ``[0, size)`` range counts as data — the pre-scan behaviour.
+        """
+        size = os.fstat(self._fd).st_size
+        if not hasattr(os, "SEEK_DATA"):  # platform without the API
+            return set(range((size + self.block_size - 1) // self.block_size))
+        written: set[int] = set()
+        pos = 0
+        while pos < size:
+            try:
+                start = os.lseek(self._fd, pos, os.SEEK_DATA)
+            except OSError as exc:
+                if exc.errno == errno.ENXIO:  # no data at or beyond pos
+                    return written
+                # SEEK_DATA unsupported here: whole extent counts.
+                return set(range((size + self.block_size - 1)
+                                 // self.block_size))
+            end = os.lseek(self._fd, start, os.SEEK_HOLE)
+            if end <= start:  # defensive: never loop forever
+                return set(range((size + self.block_size - 1)
+                                 // self.block_size))
+            written.update(range(start // self.block_size,
+                                 (end - 1) // self.block_size + 1))
+            pos = end
+        return written
+
     def _get(self, block_no: int) -> bytes | None:
+        if block_no not in self._written:
+            return None  # a hole, even below the file's high-water mark
         data = os.pread(self._fd, self.block_size, block_no * self.block_size)
         if not data:
             return None
@@ -73,10 +118,15 @@ class FileBlockStore(BlockStore):
 
     def _put(self, block_no: int, data: bytes) -> None:
         os.pwrite(self._fd, data, block_no * self.block_size)
+        self._written.add(block_no)
+
+    def _contains(self, block_no: int) -> bool:
+        return block_no in self._written
 
     def flush(self) -> None:
         if self._fd >= 0:
             os.fsync(self._fd)
+            self.stats.record_fsync()
 
     def close(self) -> None:
         if self._fd >= 0:
@@ -84,10 +134,10 @@ class FileBlockStore(BlockStore):
             self._fd = -1
 
     def used_blocks(self) -> int:
-        """Blocks covered by the file's current extent (upper bound)."""
+        """Distinct written blocks (extent-granular for reopened files)."""
         if self._fd < 0:
             return 0
-        return (os.fstat(self._fd).st_size + self.block_size - 1) // self.block_size
+        return len(self._written)
 
     def describe(self) -> str:
         return f"file://{self.path}  {self.num_blocks}x{self.block_size}B"

@@ -38,9 +38,23 @@ grammars (see README "Storage backends" for examples):
 ``failing://<child-uri>[#fail=1]``
     Pass-through that can be switched to reject every operation — the
     injectable outage for replica/remote failure drills.
+``journal://<child-uri>[#cap=N&path=PATH]``
+    Write-ahead journal in front of a durable child: every write is
+    fsynced to an append-only intent log *before* it reaches the child,
+    and committed-but-unapplied records replay on reopen — crash
+    recovery for ``file://``/``sqlite://`` and their compositions.  The
+    log lives at ``<child-path>.journal`` when derivable, else pass
+    ``#path=``; ``#cap=N`` bounds the transactions held before an
+    automatic checkpoint.
+``lazy://<child-uri>[#retry=S]``
+    Defer/retry opening the child until it is reachable; while down,
+    operations raise ``StoreUnavailable``.  ``replica://`` applies this
+    automatically to children that are unreachable at mount time, so a
+    quorum mounts with a node down and heals it on reconnect.
 
 Composition nests naturally: ``cached://shard://4#capacity=512``, or a
-real cluster: ``shard://remote://h1:9001;remote://h2:9002``.
+real cluster: ``shard://remote://h1:9001;remote://h2:9002``, or crash-
+safe local durability: ``journal://sqlite:///var/lib/discfs.db``.
 """
 
 from __future__ import annotations
@@ -51,7 +65,7 @@ import re
 from typing import Callable
 from urllib.parse import parse_qsl
 
-from repro.errors import InvalidArgument
+from repro.errors import InvalidArgument, StoreUnavailable
 from repro.fs.blockdev import DEFAULT_BLOCK_SIZE
 from repro.storage.base import BlockStore
 from repro.storage.cache import DEFAULT_CAPACITY, CachedBlockStore
@@ -274,6 +288,19 @@ def _split_fragment_options(
     return rest, {}
 
 
+def _open_replica_child(uri: str, num_blocks: int, block_size: int) -> BlockStore:
+    """Open one replica child; a child that is unreachable at mount time
+    (a dead ``remote://`` node) becomes a lazy wrapper instead of failing
+    the whole mount — the quorum covers for it until it heals."""
+    from repro.storage.lazy import LazyBlockStore
+
+    try:
+        return open_store(uri, num_blocks=num_blocks, block_size=block_size)
+    except StoreUnavailable:
+        return LazyBlockStore(uri, num_blocks=num_blocks,
+                              block_size=block_size)
+
+
 def _make_replica(rest: str, num_blocks: int, block_size: int) -> BlockStore:
     from repro.storage.replica import ReplicatedBlockStore
 
@@ -287,14 +314,14 @@ def _make_replica(rest: str, num_blocks: int, block_size: int) -> BlockStore:
             raise InvalidArgument("replica count must be positive")
         template = template_match.group(2)
         children = [
-            open_store(template.replace("{i}", str(i)),
-                       num_blocks=num_blocks, block_size=block_size)
+            _open_replica_child(template.replace("{i}", str(i)),
+                                num_blocks, block_size)
             for i in range(n)
         ]
     elif "://" in body:
         # replica://<uri>;<uri>;...
         children = [
-            open_store(u, num_blocks=num_blocks, block_size=block_size)
+            _open_replica_child(u, num_blocks, block_size)
             for u in body.split(";") if u
         ]
     else:
@@ -331,6 +358,53 @@ def _make_failing(rest: str, num_blocks: int, block_size: int) -> BlockStore:
     return FailingBlockStore(child, failing=options.get("fail") == "1")
 
 
+def _journal_path_for(child_uri: str) -> str:
+    """Default journal location next to a path-addressed child."""
+    scheme, rest = split_uri(child_uri)
+    body = rest.partition("?")[0]
+    if scheme in ("file", "sqlite") and body and body != ":memory:":
+        return body + ".journal"
+    raise InvalidArgument(
+        f"journal:// cannot derive a log path for a {scheme}:// child; "
+        "pass an explicit #path=/path/to.journal"
+    )
+
+
+def _make_journal(rest: str, num_blocks: int, block_size: int) -> BlockStore:
+    from repro.storage.journal import DEFAULT_JOURNAL_CAP, JournalBlockStore
+
+    child_uri, options = _split_fragment_options(rest, {"cap", "path"})
+    if not child_uri:
+        raise InvalidArgument(
+            "journal:// needs a child URI, "
+            "e.g. journal://file:///var/lib/discfs.img"
+        )
+    path = options.get("path") or _journal_path_for(child_uri)
+    cap = int(options.get("cap", DEFAULT_JOURNAL_CAP))
+    child = open_store(child_uri, num_blocks=num_blocks,
+                       block_size=block_size)
+    try:
+        return JournalBlockStore(child, path, cap=cap)
+    except Exception:
+        child.close()
+        raise
+
+
+def _make_lazy(rest: str, num_blocks: int, block_size: int) -> BlockStore:
+    from repro.storage.lazy import DEFAULT_RETRY_INTERVAL, LazyBlockStore
+
+    child_uri, options = _split_fragment_options(rest, {"retry"})
+    if not child_uri:
+        raise InvalidArgument(
+            "lazy:// needs a child URI, e.g. lazy://remote://127.0.0.1:9001"
+        )
+    retry = float(options.get("retry", DEFAULT_RETRY_INTERVAL))
+    store = LazyBlockStore(child_uri, num_blocks=num_blocks,
+                           block_size=block_size, retry_interval=retry)
+    store.try_connect()  # eager best effort; a down child is tolerated
+    return store
+
+
 register_scheme("mem", _make_mem)
 register_scheme("file", _make_file)
 register_scheme("sqlite", _make_sqlite)
@@ -339,3 +413,5 @@ register_scheme("cached", _make_cached)
 register_scheme("remote", _make_remote)
 register_scheme("replica", _make_replica)
 register_scheme("failing", _make_failing)
+register_scheme("journal", _make_journal)
+register_scheme("lazy", _make_lazy)

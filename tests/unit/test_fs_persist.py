@@ -81,14 +81,20 @@ class TestRoundtrip:
         assert restored.read_file("/hard.bin")  # survives via hard link
 
     def test_repeated_sync_does_not_leak(self):
+        """Checkpoints are double-buffered: the old one's blocks are not
+        reused until the new superblock is durable, so after a one-time
+        settling sync the free count is constant forever."""
         device = MemoryBlockDevice(num_blocks=256)
         fs = FFS(device)
         fs.write_file("/f", b"data")
         sync(fs)
-        free_after_first = fs.free_block_count()
+        sync(fs)  # settle: the second buffer's blocks are now allocated
+        free_after_settling = fs.free_block_count()
+        next_block_after_settling = fs._next_block
         for _ in range(20):
             sync(fs)
-        assert fs.free_block_count() == free_after_first
+        assert fs.free_block_count() == free_after_settling
+        assert fs._next_block == next_block_after_settling
 
 
 class TestFailureModes:
@@ -124,6 +130,79 @@ class TestFailureModes:
 
         with pytest.raises(FileNotFound):
             restored.namei("/dirty")
+
+
+class TestCrashWindows:
+    """Regressions for the sync-time crash window: the old checkpoint
+    used to be released (and its blocks immediately reused for the new
+    payload) *before* the new superblock was durable, so a crash
+    mid-sync corrupted the only checkpoint the device had."""
+
+    def test_crash_before_superblock_update_keeps_old_checkpoint(self):
+        device = MemoryBlockDevice(num_blocks=256)
+        fs = FFS(device)
+        fs.write_file("/keep.txt", b"checkpointed")
+        sync(fs)
+        fs.write_file("/more.txt", b"since the checkpoint")
+
+        real_write = device.write_block
+
+        def crash_on_superblock(block_no, data):
+            if block_no == 0:
+                raise RuntimeError("simulated crash before commit point")
+            return real_write(block_no, data)
+
+        device.write_block = crash_on_superblock
+        with pytest.raises(RuntimeError):
+            sync(fs)
+        device.write_block = real_write
+
+        restored = load(device)  # the old checkpoint is fully intact
+        assert restored.read_file("/keep.txt") == b"checkpointed"
+
+    def test_interrupted_sync_then_successful_sync_recovers(self):
+        """After a failed sync the filesystem must still checkpoint
+        cleanly (no double-released blocks, no corrupted free list)."""
+        device = MemoryBlockDevice(num_blocks=256)
+        fs = FFS(device)
+        fs.write_file("/a.txt", b"v1")
+        sync(fs)
+
+        real_write = device.write_block
+
+        def crash_on_superblock(block_no, data):
+            if block_no == 0:
+                raise RuntimeError("crash")
+            return real_write(block_no, data)
+
+        device.write_block = crash_on_superblock
+        with pytest.raises(RuntimeError):
+            sync(fs)
+        device.write_block = real_write
+
+        fs.write_file("/b.txt", b"v2")
+        sync(fs)
+        assert len(set(fs._free_blocks)) == len(fs._free_blocks)  # no dup frees
+        restored = load(device)
+        assert restored.read_file("/a.txt") == b"v1"
+        assert restored.read_file("/b.txt") == b"v2"
+
+    def test_restored_fs_never_allocates_over_its_checkpoint(self):
+        """The serialized allocator state predates the checkpoint's own
+        blocks; load must quarantine them or post-restore writes can
+        overwrite the only checkpoint before the next sync."""
+        device = MemoryBlockDevice(num_blocks=2048)
+        fs = FFS(device)
+        fs.write_file("/base.txt", b"v1")
+        sync(fs)
+
+        restored = load(device)
+        # Burn through lots of blocks without syncing: with the old
+        # allocator state these reused the checkpoint's blocks.
+        restored.write_file("/big.bin", b"x" * (60 * restored.block_size))
+
+        again = load(device)  # must still verify and restore
+        assert again.read_file("/base.txt") == b"v1"
 
 
 class TestServerRestart:

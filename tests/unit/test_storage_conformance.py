@@ -43,6 +43,8 @@ URI_TEMPLATES = {
     "remote": "remote://{remote}",
     "replica": "replica://3?w=2&r=2",
     "failing": "failing://mem://",
+    "journal": "journal://file://{tmp}/journaled.img",
+    "lazy": "lazy://mem://",
 }
 
 EXTRA_COMPOSITES = [
@@ -54,6 +56,11 @@ EXTRA_COMPOSITES = [
     "cached://remote://{remote}#capacity=8",
     "replica://remote://{remote};remote://{remote2}#w=1&r=1",
     "replica://2/failing://mem://#w=2&r=1",
+    "journal://sqlite://{tmp}/journaled.db",
+    "journal://mem://#path={tmp}/mem.journal&cap=8",
+    "cached://journal://file://{tmp}/cached-journal.img#capacity=8",
+    "replica://2/journal://file://{tmp}/jrep-{i}.img#w=2&r=1",
+    "lazy://remote://{remote}",
 ]
 
 ALL_TEMPLATES = list(URI_TEMPLATES.values()) + EXTRA_COMPOSITES
@@ -265,7 +272,10 @@ class TestShardPlacement:
     "shard://2?base=file&dir={tmp}/shards",
     "shard://2?base=sqlite&dir={tmp}/dbshards",
     "cached://sqlite://{tmp}/cached-persist.db#capacity=4",
-], ids=["file", "sqlite", "shard-file", "shard-sqlite", "cached-sqlite"])
+    "journal://file://{tmp}/jpersist.img",
+    "journal://sqlite://{tmp}/jpersist.db",
+], ids=["file", "sqlite", "shard-file", "shard-sqlite", "cached-sqlite",
+        "journal-file", "journal-sqlite"])
 def test_blocks_persist_across_close_and_reopen(template, tmp_path):
     uri = template.format(tmp=tmp_path)
     s = open_store(uri, num_blocks=BLOCKS, block_size=BS)
@@ -282,7 +292,8 @@ def test_blocks_persist_across_close_and_reopen(template, tmp_path):
 @pytest.mark.parametrize("template", [
     "file://{tmp}/fsck.img",
     "sqlite://{tmp}/fsck.db",
-], ids=["file", "sqlite"])
+    "journal://file://{tmp}/fsck-j.img",
+], ids=["file", "sqlite", "journal-file"])
 def test_filesystem_checkpoint_survives_reopen(template, tmp_path):
     """FFS + persist.sync on a URI backend, reloaded by URI."""
     uri = template.format(tmp=tmp_path)
@@ -426,6 +437,96 @@ class TestFileStoreMeta:
         assert not (tmp_path / "clean.img.meta.tmp").exists()
         with open(tmp_path / "clean.img.meta", encoding="utf-8") as f:
             assert json.load(f) == {"block_size": BS, "num_blocks": BLOCKS}
+
+
+class TestFileStoreHoles:
+    """A never-written block below the file's high-water mark is a hole,
+    not content: the pre-fix ``_contains`` treated everything under the
+    current extent as written, which skewed ``replica://`` divergence
+    checks, ``cached://`` introspection and the logical-vs-physical
+    ablation."""
+
+    def test_holes_below_the_extent_are_not_contained(self, tmp_path):
+        s = open_store(f"file://{tmp_path}/holes.img",
+                       num_blocks=2048, block_size=BS)
+        s.write(1000, b"high block")
+        assert s._contains(1000)
+        assert not s._contains(0)
+        assert not s._contains(999)
+        assert s._get(500) is None       # a hole, not a zero block
+        assert s.read(500) == bytes(BS)  # but still reads as zeros
+        assert s.used_blocks() == 1
+        s.close()
+
+    def test_used_blocks_counts_written_not_extent(self, tmp_path):
+        s = open_store(f"file://{tmp_path}/sparse.img",
+                       num_blocks=2048, block_size=BS)
+        for block_no in (3, 700, 1500):
+            s.write(block_no, b"x")
+        assert s.used_blocks() == 3  # pre-fix: extent bound said 1501
+        s.close()
+
+    def test_cached_over_file_counts_holes_correctly(self, tmp_path):
+        s = open_store(f"cached://file://{tmp_path}/ch.img#capacity=4",
+                       num_blocks=2048, block_size=BS)
+        s.write(1000, b"high")
+        s.flush()
+        s.write(5, b"low, dirty")  # cache-resident, child holds a hole
+        # used_blocks = child's 1 + the genuinely-new dirty block; the
+        # old extent heuristic said block 5 was already on the child.
+        assert s.used_blocks() == 2
+        s.close()
+
+    def test_used_blocks_zero_after_close(self, tmp_path):
+        s = open_store(f"file://{tmp_path}/closed.img",
+                       num_blocks=BLOCKS, block_size=BS)
+        s.write(1, b"x")
+        s.close()
+        assert s.used_blocks() == 0
+
+    def test_reopened_file_recovers_hole_map(self, tmp_path):
+        uri = f"file://{tmp_path}/reopen.img"
+        s = open_store(uri, num_blocks=2048, block_size=BS)
+        s.write(1000, b"persisted")
+        s.close()
+        reopened = open_store(uri, num_blocks=2048, block_size=BS)
+        assert reopened._contains(1000)
+        if reopened.used_blocks() < 1501:
+            # The host filesystem reports holes: blocks far from the
+            # written extent must not count (granularity may round the
+            # single written block up to one fs extent).
+            assert not reopened._contains(10)
+            assert reopened._get(10) is None
+        reopened.close()
+
+
+class TestFailingForwarding:
+    """failing:// is stats-transparent: it forwards to the child's
+    internal hooks, so one logical operation bumps the child's counters
+    zero times (the wrapper's own stats carry the layer count) and holes
+    stay ``None`` instead of being zero-filled."""
+
+    def test_child_stats_not_double_counted(self):
+        s = open_store("failing://mem://", num_blocks=BLOCKS, block_size=BS)
+        s.write(1, b"x")
+        s.read(1)
+        s.read_many([1, 2])
+        s.write_many([(3, b"y")])
+        assert (s.stats.reads, s.stats.writes) == (3, 2)
+        assert (s.child.stats.reads, s.child.stats.writes) == (0, 0)
+        # The wrapper stands in for the child in the leaf-stats
+        # contract, so physical I/O is still visible to the ablations.
+        assert s.leaf_stores() == [s]
+        leaf = s.leaf_stores()[0]
+        assert (leaf.stats.reads, leaf.stats.writes) == (3, 2)
+
+    def test_holes_stay_none_through_the_wrapper(self):
+        s = open_store("failing://mem://", num_blocks=BLOCKS, block_size=BS)
+        s.write(1, b"x")
+        assert s._get(5) is None
+        assert s._get_many([1, 5])[1] is None
+        assert not s._contains(5)
+        assert s.read(5) == bytes(BS)  # public API still zero-fills
 
 
 class TestLeafStores:
