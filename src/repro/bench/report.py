@@ -348,6 +348,189 @@ def print_journal_report(results: dict) -> None:
     )
 
 
+#: Node counts the fanout ablation sweeps (one in-process TCP server per
+#: node, each charging an emulated per-operation service latency).
+FANOUT_NODE_COUNTS = (1, 2, 4, 8)
+
+
+def run_fanout_ablation(
+    node_counts: tuple[int, ...] = FANOUT_NODE_COUNTS,
+    blocks: int = 96,
+    rounds: int = 12,
+    delay_ms: float = 3.0,
+    slow_ms: float = 25.0,
+    block_size: int = 4096,
+) -> dict:
+    """Sequential vs concurrent cross-node fan-out, on real TCP sockets.
+
+    Each "node" is an in-process ``serve_store`` on its own loopback
+    port, wrapping its memory store in ``slow://`` so every RPC pays
+    ``delay_ms`` of emulated service latency (disk + wire time a
+    same-process benchmark otherwise hides).  Two mounts of the same
+    ring are timed over identical ``read_many``/``write_many``
+    workloads:
+
+    * **sequential** — ``#fanout=1`` children visited one after another
+      (the pre-concurrency behaviour): a batch costs the *sum* of every
+      node's share;
+    * **concurrent** — ``#fanout=n`` with pooled pipelined connections
+      (``?workers=2``): a batch costs roughly the *slowest* node's
+      share.
+
+    The replica half makes the quorum claim measurable: three replicas,
+    one of them ``slow_ms`` behind, written at ``w=2``.  Sequential
+    fan-out pays the straggler on every write; concurrent fan-out
+    returns at the 2nd-fastest replica and lets the straggler finish on
+    its background lane (drained before close, and reported).
+    """
+    import time as _time
+
+    from repro.storage import (
+        DelayedBlockStore,
+        MemoryBlockStore,
+        open_store,
+        serve_store,
+    )
+
+    results: dict = {
+        "params": {
+            "blocks": blocks, "rounds": rounds, "delay_ms": delay_ms,
+            "slow_ms": slow_ms, "block_size": block_size,
+        },
+        "shard": {},
+        "replica": {},
+    }
+    payload = bytes(range(256)) * (block_size // 256)
+    items = [(b, payload) for b in range(blocks)]
+    block_nos = list(range(blocks))
+
+    def run_workload(uri: str) -> tuple[float, float]:
+        store = open_store(uri, num_blocks=blocks * 4,
+                           block_size=block_size)
+        try:
+            t0 = _time.perf_counter()
+            for _round in range(rounds):
+                store.write_many(items)
+            write_seconds = _time.perf_counter() - t0
+            t0 = _time.perf_counter()
+            for _round in range(rounds):
+                datas = store.read_many(block_nos)
+            read_seconds = _time.perf_counter() - t0
+            assert all(d == payload for d in datas), uri
+        finally:
+            store.close()
+        return write_seconds, read_seconds
+
+    for n in node_counts:
+        servers = [
+            serve_store(
+                DelayedBlockStore(
+                    MemoryBlockStore(blocks * 4, block_size),
+                    delay_ms=delay_ms,
+                ),
+                workers=4,
+            )
+            for _ in range(n)
+        ]
+        try:
+            seq_children = ";".join(
+                f"remote://{h}:{p}" for h, p in (s.address for s in servers)
+            )
+            conc_children = ";".join(
+                f"remote://{h}:{p}?workers=2"
+                for h, p in (s.address for s in servers)
+            )
+            seq_w, seq_r = run_workload(f"shard://{seq_children}#fanout=1")
+            conc_w, conc_r = run_workload(
+                f"shard://{conc_children}#fanout={n}"
+            )
+        finally:
+            for server in servers:
+                server.close()
+        results["shard"][n] = {
+            "sequential_write_s": seq_w, "concurrent_write_s": conc_w,
+            "sequential_read_s": seq_r, "concurrent_read_s": conc_r,
+            "write_speedup": seq_w / conc_w if conc_w else 0.0,
+            "read_speedup": seq_r / conc_r if conc_r else 0.0,
+        }
+
+    # Quorum-return: 3 replicas, one straggling, written at w=2.
+    delays = (delay_ms, delay_ms, slow_ms)
+    servers = [
+        serve_store(
+            DelayedBlockStore(MemoryBlockStore(blocks * 4, block_size),
+                              delay_ms=d),
+            workers=4,
+        )
+        for d in delays
+    ]
+    try:
+        children = ";".join(
+            f"remote://{h}:{p}" for h, p in (s.address for s in servers)
+        )
+        for label, fanout in (("sequential", 1), ("concurrent", 3)):
+            store = open_store(
+                f"replica://{children}#w=2&r=2&fanout={fanout}",
+                num_blocks=blocks * 4, block_size=block_size,
+            )
+            try:
+                t0 = _time.perf_counter()
+                for _round in range(rounds):
+                    store.write_many(items)
+                write_seconds = _time.perf_counter() - t0
+                t0 = _time.perf_counter()
+                store.drain()
+                drain_seconds = _time.perf_counter() - t0
+                results["replica"][label] = {
+                    "write_ms_per_round": write_seconds * 1000 / rounds,
+                    "drain_ms": drain_seconds * 1000,
+                    "background_writes":
+                        store.replica_stats.background_writes,
+                }
+            finally:
+                store.close()
+    finally:
+        for server in servers:
+            server.close()
+    return results
+
+
+def print_fanout_report(results: dict) -> None:
+    """Sequential-vs-concurrent fan-out tables (shard ring + replica)."""
+    params = results["params"]
+    print(
+        f"\nFan-out ablation — {params['blocks']} blocks x "
+        f"{params['rounds']} rounds per cell, per-op node latency "
+        f"{params['delay_ms']:g} ms (straggler {params['slow_ms']:g} ms)"
+    )
+    print(
+        f"  {'nodes':>5}{'seq write':>11}{'conc write':>12}{'speedup':>9}"
+        f"{'seq read':>10}{'conc read':>11}{'speedup':>9}"
+    )
+    for n, row in results["shard"].items():
+        print(
+            f"  {n:>5}{row['sequential_write_s']:>10.3f}s"
+            f"{row['concurrent_write_s']:>11.3f}s"
+            f"{row['write_speedup']:>8.1f}x"
+            f"{row['sequential_read_s']:>9.3f}s"
+            f"{row['concurrent_read_s']:>10.3f}s"
+            f"{row['read_speedup']:>8.1f}x"
+        )
+    print(
+        f"\n  replica w=2 over (fast, fast, {params['slow_ms']:g} ms "
+        "straggler):"
+    )
+    print(
+        f"  {'mode':<12}{'write ms/round':>15}{'drain ms':>10}"
+        f"{'bg writes':>10}"
+    )
+    for label, row in results["replica"].items():
+        print(
+            f"  {label:<12}{row['write_ms_per_round']:>15.1f}"
+            f"{row['drain_ms']:>10.1f}{row['background_writes']:>10}"
+        )
+
+
 def print_report(results: dict) -> None:
     systems = list(results["bonnie"])
     for phase in PHASES:
@@ -382,6 +565,10 @@ def main() -> None:
                         help="also run the journal (crash-recovery) "
                              "ablation: on/off x file/sqlite, fsync "
                              "counts, replay time")
+    parser.add_argument("--fanout", action="store_true",
+                        help="also run the concurrent fan-out ablation: "
+                             "sequential vs concurrent shard/replica "
+                             "I/O across 1/2/4/8 in-process TCP nodes")
     args = parser.parse_args()
     results = run_evaluation(
         systems=tuple(args.systems),
@@ -405,6 +592,8 @@ def main() -> None:
         print_journal_report(run_journal_ablation(
             file_size=args.file_size, char_size=args.char_size,
         ))
+    if args.fanout:
+        print_fanout_report(run_fanout_ablation())
 
 
 if __name__ == "__main__":

@@ -269,7 +269,8 @@ def cmd_store_serve(args) -> int:
         num_blocks=args.blocks if args.blocks else DEFAULT_NUM_BLOCKS,
         block_size=args.bs if args.bs else DEFAULT_BLOCK_SIZE,
     )
-    server = serve_store(store, host=args.host, port=args.port)
+    server = serve_store(store, host=args.host, port=args.port,
+                         workers=args.workers)
     host, port = server.address
 
     stop = None
@@ -310,10 +311,10 @@ def cmd_backends(args) -> int:
         "file": "file:///var/lib/discfs.img",
         "sqlite": "sqlite:///var/lib/discfs.db",
         "shard": "shard://4  |  shard://4?base=sqlite&dir=/data  |  "
-                 "shard://mem://;mem://",
+                 "shard://mem://;mem://#fanout=2",
         "cached": "cached://sqlite:///var/lib/discfs.db#capacity=512",
         "remote": "remote://127.0.0.1:9001  (serve with: discfs store-serve; "
-                  "options: ?timeout=S&batch=on|off)",
+                  "options: ?timeout=S&batch=on|off&workers=N)",
         "replica": "replica://3?w=2&r=2  |  replica://3/file:///d/r-{i}.img#w=2"
                    "  |  replica://remote://h1:9001;remote://h2:9002#w=1&r=1",
         "failing": "failing://mem://#fail=1  (fault injection for drills)",
@@ -321,6 +322,8 @@ def cmd_backends(args) -> int:
                    "fsynced intent log, replay on reopen; #cap=N&path=P)",
         "lazy": "lazy://remote://127.0.0.1:9001#retry=1  (open/retry on "
                 "use; replica:// applies it to nodes down at mount)",
+        "slow": "slow://mem://#ms=5  (injectable straggler for "
+                "concurrency drills)",
     }
     for scheme in registered_schemes():
         print(f"{scheme:<8} {examples.get(scheme, f'{scheme}://')}")
@@ -556,6 +559,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="store size in blocks (default: registry default)")
     p.add_argument("--bs", type=int, default=None,
                    help="block size in bytes (default 8192)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="request-handling threads per node: pipelined "
+                        "clients (remote://...?workers=N) overlap calls "
+                        "on one connection; 0 = answer each connection "
+                        "sequentially (default 4)")
     p.add_argument("--oneshot", action="store_true", help=argparse.SUPPRESS)
     p.set_defaults(func=cmd_store_serve)
 

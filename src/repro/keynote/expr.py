@@ -39,7 +39,7 @@ from typing import Callable, Mapping
 
 from repro.errors import AssertionSyntaxError, ExpressionError
 from repro.keynote.ast import ComplianceValues
-from repro.keynote.lexer import Token, TokenStream, tokenize
+from repro.keynote.lexer import TokenStream, tokenize
 
 # ---------------------------------------------------------------------------
 # AST

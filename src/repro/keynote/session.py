@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping
 
-from repro.errors import KeyNoteError, SignatureVerificationError
+from repro.errors import KeyNoteError
 from repro.keynote.ast import Assertion, ComplianceValues
 from repro.keynote.compliance import ComplianceChecker
 from repro.keynote.parser import parse_assertion, parse_assertions

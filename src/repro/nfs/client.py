@@ -26,7 +26,7 @@ from repro.nfs.protocol import (
 )
 from repro.rpc.client import RPCClient
 from repro.rpc.transport import Transport
-from repro.rpc.xdr import XDRDecoder, XDREncoder
+from repro.rpc.xdr import XDREncoder
 
 
 class NFSClient:

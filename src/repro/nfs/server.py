@@ -16,7 +16,6 @@ from repro.errors import FSError, XDRError
 from repro.fs.inode import Inode
 from repro.fs.vfs import VFS
 from repro.nfs.protocol import (
-    FHSIZE,
     MAX_DATA,
     MAX_NAME,
     MAX_PATH,

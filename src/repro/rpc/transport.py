@@ -8,6 +8,10 @@ side) plus accounting.  Three implementations:
   this, with the RPC/NFS/KeyNote layers providing the measured overheads.
 * :class:`TCPTransport` (+ :func:`serve_tcp`) — real sockets with RFC 1831
   record marking, for the distributed examples.
+* :class:`PipelinedTCPTransport` — one socket, many in-flight calls:
+  :meth:`~PipelinedTCPTransport.submit` returns a future and a background
+  reader matches replies to requests by xid, so independent calls overlap
+  on one connection (and a ``workers=N`` server may answer out of order).
 * :class:`SimulatedLatencyTransport` — wraps another transport and charges
   a virtual-time cost per round trip from a :class:`LatencyModel`
   parameterized like the paper's testbed (100 Mbps Ethernet).  Virtual
@@ -20,6 +24,8 @@ from __future__ import annotations
 import socket
 import struct
 import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
@@ -138,6 +144,143 @@ class TCPTransport:
             pass
 
 
+def _resolve_future(fut: Future, result: bytes | None = None,
+                    exc: BaseException | None = None) -> None:
+    """Set a future's outcome, tolerating callers that cancelled it."""
+    if fut.cancelled() or fut.done():
+        return
+    try:
+        if exc is not None:
+            fut.set_exception(exc)
+        else:
+            fut.set_result(result)
+    except Exception:  # lost a race with cancel(): the caller gave up
+        pass
+
+
+class PipelinedTCPTransport:
+    """Many in-flight calls on one TCP connection.
+
+    :meth:`submit` frames and sends the request immediately and returns
+    a :class:`~concurrent.futures.Future` for the reply; a background
+    reader thread matches incoming replies to pending futures by **xid**
+    (the first uint32 of every RPC call and reply), so replies may
+    arrive in any order — which is exactly what a ``workers=N`` server
+    produces when a fast call overtakes a slow one.
+
+    A transport error fails every pending future and marks the
+    connection broken (``broken`` is the original error); pools discard
+    broken transports and reconnect, so one dead connection never
+    poisons calls routed over its siblings.  ``timeout`` bounds the
+    synchronous :meth:`call` path; future-based callers apply their own
+    deadline via ``Future.result(timeout)``.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # The reader blocks in recv; close() unblocks it by closing the
+        # socket, so no per-recv timeout is needed once connected.
+        self._sock.settimeout(None)
+        self.timeout = timeout
+        self.stats = TransportStats()
+        self._send_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self._pending: dict[int, Future] = {}
+        self._closed = False
+        self.broken: TransportError | None = None
+        self._reader = threading.Thread(
+            target=self._read_loop, name="rpc-pipeline-reader", daemon=True
+        )
+        self._reader.start()
+
+    # -- client API ---------------------------------------------------------
+
+    def submit(self, request: bytes) -> "Future[bytes]":
+        """Send ``request`` now; the returned future resolves to the reply."""
+        if len(request) < 4:
+            raise TransportError("request too short to carry an xid")
+        xid = _RECORD_HEADER.unpack(request[:4])[0]
+        fut: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise TransportError("transport is closed")
+            if self.broken is not None:
+                raise TransportError(f"transport is broken: {self.broken}")
+            if xid in self._pending:
+                raise TransportError(f"xid {xid} already in flight")
+            self._pending[xid] = fut
+            self.stats.calls += 1
+            self.stats.bytes_sent += len(request)
+        try:
+            with self._send_lock:
+                _send_record(self._sock, request)
+        except TransportError as exc:
+            self._fail(exc)
+        return fut
+
+    def call(self, request: bytes) -> bytes:
+        fut = self.submit(request)
+        try:
+            return fut.result(timeout=self.timeout)
+        except FutureTimeoutError:
+            # The reply may still arrive, but the caller's deadline has
+            # passed; tear the connection down so pending state cannot
+            # grow without bound and callers see a clean error.
+            exc = TransportError(
+                f"no reply within {self.timeout}s (connection dropped)"
+            )
+            self._fail(exc)
+            raise exc from None
+
+    @property
+    def pending_calls(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+        self._fail(TransportError("transport closed"), closing=True)
+
+    # -- internals ----------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                response = _recv_record(self._sock)
+            except TransportError as exc:
+                with self._lock:
+                    quiet = self._closed
+                if not quiet:
+                    self._fail(exc)
+                return
+            if len(response) < 4:
+                self._fail(TransportError("reply too short to carry an xid"))
+                return
+            xid = _RECORD_HEADER.unpack(response[:4])[0]
+            with self._lock:
+                fut = self._pending.pop(xid, None)
+                self.stats.bytes_received += len(response)
+            if fut is None:
+                # A reply for a call that timed out or was never ours:
+                # drop it; xids are unique so nothing can mis-match.
+                continue
+            _resolve_future(fut, result=response)
+
+    def _fail(self, exc: TransportError, closing: bool = False) -> None:
+        with self._lock:
+            if not closing and self.broken is None:
+                self.broken = exc
+            pending, self._pending = self._pending, {}
+        for fut in pending.values():
+            _resolve_future(fut, exc=exc)
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
 def _send_record(sock: socket.socket, data: bytes) -> None:
     header = _RECORD_HEADER.pack(_LAST_FRAGMENT | len(data))
     try:
@@ -174,9 +317,19 @@ def _recv_record(sock: socket.socket) -> bytes:
 
 
 class TCPServer:
-    """A threaded record-marked TCP server dispatching to a handler."""
+    """A threaded record-marked TCP server dispatching to a handler.
 
-    def __init__(self, handler: Handler, host: str = "127.0.0.1", port: int = 0):
+    With ``workers=0`` (the default) each connection's requests are
+    handled sequentially in that connection's thread — replies come back
+    in request order.  With ``workers=N`` requests are dispatched to a
+    shared pool and replies are sent as they complete, possibly out of
+    request order; that is legal because RPC replies carry the call's
+    xid, and it is what lets a pipelined client overlap calls on a
+    single connection instead of queueing behind the slowest one.
+    """
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1", port: int = 0,
+                 workers: int = 0):
         self._handler = handler
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -186,6 +339,12 @@ class TCPServer:
         # Set before the thread starts: settimeout on a listener that
         # close() already tore down raises EBADF in the accept thread.
         self._listener.settimeout(0.2)
+        self.workers = workers
+        self._pool = (
+            ThreadPoolExecutor(max_workers=workers,
+                               thread_name_prefix="rpc-server-worker")
+            if workers > 0 else None
+        )
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
@@ -207,12 +366,16 @@ class TCPServer:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        send_lock = threading.Lock()
         with conn:
             while not self._stop.is_set():
                 try:
                     request = _recv_record(conn)
                 except TransportError:
                     return
+                if self._pool is not None:
+                    self._pool.submit(self._handle_one, conn, send_lock, request)
+                    continue
                 try:
                     response = self._handler(request)
                 except Exception:  # handler bug: drop connection, keep server
@@ -222,14 +385,34 @@ class TCPServer:
                 except TransportError:
                     return
 
+    def _handle_one(self, conn: socket.socket, send_lock: threading.Lock,
+                    request: bytes) -> None:
+        """Worker-pool path: handle and reply, racing sibling requests."""
+        try:
+            response = self._handler(request)
+        except Exception:  # handler bug: drop connection, keep server
+            try:
+                conn.close()
+            except OSError:
+                pass
+            return
+        try:
+            with send_lock:
+                _send_record(conn, response)
+        except TransportError:
+            pass  # client went away; its reader already saw the close
+
     def close(self) -> None:
         self._stop.set()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
         try:
             self._listener.close()
         except OSError:
             pass
 
 
-def serve_tcp(handler: Handler, host: str = "127.0.0.1", port: int = 0) -> TCPServer:
+def serve_tcp(handler: Handler, host: str = "127.0.0.1", port: int = 0,
+              workers: int = 0) -> TCPServer:
     """Start a TCP RPC server; returns the server (``.address`` has the port)."""
-    return TCPServer(handler, host=host, port=port)
+    return TCPServer(handler, host=host, port=port, workers=workers)

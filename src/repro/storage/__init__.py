@@ -43,6 +43,7 @@ from repro.storage.registry import (
     split_uri,
 )
 from repro.storage.replica import (
+    DelayedBlockStore,
     FailingBlockStore,
     ReplicaStats,
     ReplicatedBlockStore,
@@ -57,6 +58,7 @@ __all__ = [
     "CacheStats",
     "CachedBlockStore",
     "DEFAULT_NUM_BLOCKS",
+    "DelayedBlockStore",
     "FailingBlockStore",
     "FileBlockStore",
     "JournalBlockStore",

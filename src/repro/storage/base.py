@@ -30,11 +30,26 @@ class BlockStore:
     (``sqlite://``) keep their *data* correct under ``discfs serve``'s
     per-connection threads, but concurrent clients can lose stats
     increments; the benchmarks that consume these counters are
-    single-threaded, where they are exact.
+    single-threaded, where they are exact.  The concurrent fan-out
+    layers keep that guarantee by construction: ``shard://`` and
+    ``replica://`` record stats in the *caller's* thread before
+    dispatching, and each child receives at most one in-flight batch
+    (shard) or an ordered lane of them (replica), so a child's own
+    counters are never raced by that child's siblings — only counters
+    shared *across* layers (``ReplicaStats``) needed a real lock, which
+    ``replica://`` now holds around them.
     """
 
     #: URI scheme this store registers under (set by subclasses).
     scheme: str = ""
+
+    #: Whether this store's *data* operations tolerate concurrent
+    #: callers (``mem://`` is GIL-atomic, ``sqlite://`` and
+    #: ``journal://`` lock internally).  ``serve_store(..., workers=N)``
+    #: serializes backends that do not claim this, so a worker-pool
+    #: server never races an unlocked backend (``cached://``'s LRU
+    #: mutates even on reads).
+    thread_safe: bool = False
 
     def __init__(self, num_blocks: int, block_size: int = DEFAULT_BLOCK_SIZE):
         if num_blocks <= 0:

@@ -203,6 +203,9 @@ class JournalBlockStore(BlockStore):
             raise InvalidArgument("journal cap must be positive")
         super().__init__(child.num_blocks, child.block_size)
         self.child = child
+        # Writes serialize under this layer's lock, but reads go to the
+        # child directly — concurrent safety is the child's to claim.
+        self.thread_safe = child.thread_safe
         self.journal_path = journal_path
         self.cap = cap
         self.journal_stats = JournalStats()

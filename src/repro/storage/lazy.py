@@ -25,6 +25,7 @@ block-size mismatch at that point is a configuration error and raises.
 
 from __future__ import annotations
 
+import threading
 import time
 
 from repro.errors import InvalidArgument, StoreUnavailable
@@ -50,6 +51,10 @@ class LazyBlockStore(BlockStore):
         self._child: BlockStore | None = None
         self._next_attempt = 0.0  # monotonic deadline for the next try
         self._closed = False
+        # Concurrent fan-out (replica lanes racing a read against a
+        # background write) may hit a down child from two threads at
+        # once; serialize open/reopen so exactly one connection results.
+        self._connect_lock = threading.Lock()
 
     # -- connection management ---------------------------------------------
 
@@ -66,38 +71,40 @@ class LazyBlockStore(BlockStore):
             return False
 
     def _ensure(self) -> BlockStore:
-        if self._closed:
-            raise InvalidArgument(f"lazy store {self.uri} is closed")
-        if self._child is not None:
-            return self._child
-        now = time.monotonic()
-        if now < self._next_attempt:
-            raise StoreUnavailable(
-                f"{self.uri} is down (next retry in "
-                f"{self._next_attempt - now:.1f}s)"
-            )
-        from repro.storage.registry import open_store
+        with self._connect_lock:
+            if self._closed:
+                raise InvalidArgument(f"lazy store {self.uri} is closed")
+            if self._child is not None:
+                return self._child
+            now = time.monotonic()
+            if now < self._next_attempt:
+                raise StoreUnavailable(
+                    f"{self.uri} is down (next retry in "
+                    f"{self._next_attempt - now:.1f}s)"
+                )
+            from repro.storage.registry import open_store
 
-        try:
-            child = open_store(self.uri, num_blocks=self.num_blocks,
-                               block_size=self.block_size)
-        except StoreUnavailable:
-            self._next_attempt = time.monotonic() + self.retry_interval
-            raise
-        if child.block_size != self.block_size:
-            child.close()
-            raise InvalidArgument(
-                f"{self.uri} has block size {child.block_size}; "
-                f"this mount expected {self.block_size}"
-            )
-        self.num_blocks = child.num_blocks  # adopt the real geometry
-        self._child = child
-        self.reconnects += 1
-        return child
+            try:
+                child = open_store(self.uri, num_blocks=self.num_blocks,
+                                   block_size=self.block_size)
+            except StoreUnavailable:
+                self._next_attempt = time.monotonic() + self.retry_interval
+                raise
+            if child.block_size != self.block_size:
+                child.close()
+                raise InvalidArgument(
+                    f"{self.uri} has block size {child.block_size}; "
+                    f"this mount expected {self.block_size}"
+                )
+            self.num_blocks = child.num_blocks  # adopt the real geometry
+            self._child = child
+            self.reconnects += 1
+            return child
 
     def _drop(self) -> None:
-        child, self._child = self._child, None
-        self._next_attempt = time.monotonic() + self.retry_interval
+        with self._connect_lock:
+            child, self._child = self._child, None
+            self._next_attempt = time.monotonic() + self.retry_interval
         if child is not None:
             try:
                 child.close()

@@ -10,6 +10,7 @@ class MemoryBlockStore(BlockStore):
     """Blocks live in a dict; unwritten blocks read as zeros."""
 
     scheme = "mem"
+    thread_safe = True  # dict get/set are GIL-atomic
 
     def __init__(self, num_blocks: int = 16384, block_size: int = DEFAULT_BLOCK_SIZE):
         super().__init__(num_blocks, block_size)

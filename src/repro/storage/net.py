@@ -21,7 +21,11 @@ interface is first-class on the wire: READ_MANY/WRITE_MANY carry whole
 extents in one message, and :class:`RemoteBlockStore` routes the
 ``read_many``/``write_many`` cold paths through them.  ``?batch=off``
 forces per-block calls — the knob the replication ablation uses to
-price the round trips batching saves.
+price the round trips batching saves.  ``?workers=N`` adds the other
+distributed win: a :class:`~repro.rpc.client.ConnectionPool` of
+pipelined connections keeps several windows in flight at once, so a
+large extent overlaps its round trips instead of paying them serially
+(``serve_store(..., workers=N)`` gives the server matching concurrency).
 
 Procedures (version 1)::
 
@@ -38,10 +42,20 @@ Procedures (version 1)::
 
 from __future__ import annotations
 
+from collections import deque
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
 from repro.errors import RPCError, StoreUnavailable, TransportError
-from repro.rpc.client import RPCClient
+from repro.rpc.client import ConnectionPool, RPCClient, abandon_call
 from repro.rpc.server import CallContext, RPCProgram, RPCServer
-from repro.rpc.transport import TCPServer, TCPTransport, Transport, serve_tcp
+from repro.rpc.transport import (
+    PipelinedTCPTransport,
+    TCPServer,
+    TCPTransport,
+    Transport,
+    serve_tcp,
+)
 from repro.rpc.xdr import XDRDecoder, XDREncoder
 from repro.storage.base import BlockStore
 
@@ -148,6 +162,68 @@ class BlockStoreProgram(RPCProgram):
         return XDREncoder().pack_bool(self.store._contains(block_no)).getvalue()
 
 
+class SerializedBlockStore(BlockStore):
+    """Lock wrapper making any store safe under concurrent callers.
+
+    ``serve_store(..., workers=N)`` answers one connection's requests
+    from several threads, but most composite stores (``cached://``'s
+    LRU mutates even on reads) assume a single caller.  This wrapper
+    serializes every operation under one lock; backends that declare
+    ``thread_safe`` (``mem://``, ``sqlite://``) are served unwrapped so
+    their operations still overlap.
+
+    Like :class:`~repro.storage.replica.FailingBlockStore`, it forwards
+    to the child's *internal* hooks — validation, padding and stats
+    already happened in this layer's public wrappers — and stands in
+    for the child in the leaf-stats contract.
+    """
+
+    def __init__(self, child: BlockStore):
+        import threading
+
+        super().__init__(child.num_blocks, child.block_size)
+        self.child = child
+        self._op_lock = threading.RLock()
+
+    def _get(self, block_no: int) -> bytes | None:
+        with self._op_lock:
+            return self.child._get(block_no)
+
+    def _put(self, block_no: int, data: bytes) -> None:
+        with self._op_lock:
+            self.child._put(block_no, data)
+
+    def _get_many(self, block_nos: list[int]) -> list[bytes | None]:
+        with self._op_lock:
+            return list(self.child._get_many(block_nos))
+
+    def _put_many(self, items: list[tuple[int, bytes]]) -> None:
+        with self._op_lock:
+            self.child._put_many(items)
+
+    def _contains(self, block_no: int) -> bool:
+        with self._op_lock:
+            return self.child._contains(block_no)
+
+    def flush(self) -> None:
+        with self._op_lock:
+            self.child.flush()
+
+    def close(self) -> None:
+        with self._op_lock:
+            self.child.close()
+
+    def used_blocks(self) -> int:
+        with self._op_lock:
+            return self.child.used_blocks()
+
+    def leaf_stores(self) -> list[BlockStore]:
+        return [self]
+
+    def describe(self) -> str:
+        return f"serialized {self.child.describe()}"
+
+
 class StoreServer:
     """A :class:`BlockStoreProgram` bound to a TCP listener.
 
@@ -157,14 +233,20 @@ class StoreServer:
     """
 
     def __init__(self, store: BlockStore, host: str = "127.0.0.1",
-                 port: int = 0):
+                 port: int = 0, workers: int = 0):
         self.store = store
-        self.program = BlockStoreProgram(store)
+        served = store
+        if workers > 0 and not store.thread_safe:
+            # Worker threads would race an unlocked backend; serialize
+            # its operations (network/pipelining still overlaps).
+            served = SerializedBlockStore(store)
+        self.program = BlockStoreProgram(served)
         rpc = RPCServer()
         rpc.register(self.program)
         self.rpc = rpc
         self._tcp: TCPServer = serve_tcp(rpc.handler_for(None),
-                                         host=host, port=port)
+                                         host=host, port=port,
+                                         workers=workers)
         self.address: tuple[str, int] = self._tcp.address
 
     def handler(self, request: bytes) -> bytes:
@@ -183,9 +265,18 @@ class StoreServer:
 
 
 def serve_store(store: BlockStore, host: str = "127.0.0.1",
-                port: int = 0) -> StoreServer:
-    """Serve ``store`` over TCP; returns the running :class:`StoreServer`."""
-    return StoreServer(store, host=host, port=port)
+                port: int = 0, workers: int = 0) -> StoreServer:
+    """Serve ``store`` over TCP; returns the running :class:`StoreServer`.
+
+    ``workers=N`` answers each connection's requests from a thread pool
+    (replies may come back out of request order — xid matching on the
+    client makes that safe), so pipelined clients overlap server-side
+    work too; ``workers=0`` keeps the sequential per-connection loop.
+    Backends that do not declare ``thread_safe`` are wrapped in
+    :class:`SerializedBlockStore` first, so worker threads never race
+    an unlocked store.
+    """
+    return StoreServer(store, host=host, port=port, workers=workers)
 
 
 class RemoteBlockStore(BlockStore):
@@ -201,10 +292,13 @@ class RemoteBlockStore(BlockStore):
 
     scheme = "remote"
 
-    def __init__(self, transport: Transport, batch: bool = True):
+    def __init__(self, transport: Transport, batch: bool = True,
+                 workers: int = 1, timeout: float | None = None):
         self._client = RPCClient(transport, BLOCKSTORE_PROGRAM,
                                  BLOCKSTORE_VERSION)
         self.batch = batch
+        self.workers = max(1, workers)
+        self.timeout = timeout
         dec = self._call(PROC_GEOM)
         num_blocks = dec.unpack_uint()
         block_size = dec.unpack_uint()
@@ -214,7 +308,28 @@ class RemoteBlockStore(BlockStore):
 
     @classmethod
     def connect(cls, host: str, port: int, timeout: float = 10.0,
-                batch: bool = True) -> "RemoteBlockStore":
+                batch: bool = True, workers: int = 1) -> "RemoteBlockStore":
+        """Open a TCP client for the store at ``host:port``.
+
+        ``workers=1`` (the default) is one classic blocking connection.
+        ``workers=N`` builds a :class:`~repro.rpc.client.ConnectionPool`
+        of pipelined connections, so the windowed ``read_many``/
+        ``write_many`` batches (and any concurrent callers) keep up to
+        ``N`` requests in flight on independent connections.
+        """
+        if workers > 1:
+            pool = ConnectionPool(
+                lambda: PipelinedTCPTransport(host, port, timeout=timeout),
+                size=workers, timeout=timeout,
+            )
+            try:
+                return cls(pool, batch=batch, workers=workers,
+                           timeout=timeout)
+            except Exception:
+                # Handshake failed: don't leak dialed connections (retry
+                # loops waiting for a node would pile up descriptors).
+                pool.close()
+                raise
         try:
             transport = TCPTransport(host, port, timeout=timeout)
         except OSError as exc:
@@ -222,7 +337,7 @@ class RemoteBlockStore(BlockStore):
                 f"cannot reach block store at {host}:{port}: {exc}"
             ) from exc
         try:
-            return cls(transport, batch=batch)
+            return cls(transport, batch=batch, timeout=timeout)
         except Exception:
             # GEOM handshake failed: don't leak the connected socket
             # (retry loops waiting for a node would pile up descriptors).
@@ -234,6 +349,34 @@ class RemoteBlockStore(BlockStore):
             return self._client.call(proc, args)
         except (TransportError, RPCError, OSError) as exc:
             raise StoreUnavailable(f"remote block store failed: {exc}") from exc
+
+    # -- async windowed batches --------------------------------------------
+
+    def _submit(self, proc: int, args: bytes) -> Future:
+        """Start one RPC; transport errors surface as StoreUnavailable."""
+        try:
+            return self._client.call_async(proc, args)
+        except (TransportError, RPCError, OSError) as exc:
+            raise StoreUnavailable(f"remote block store failed: {exc}") from exc
+
+    def _await(self, fut: Future) -> XDRDecoder:
+        try:
+            return fut.result(timeout=self.timeout)
+        except FutureTimeoutError:
+            # Tear the wedged connection down (failing its other
+            # in-flight windows) so a never-answering server cannot
+            # accumulate pending calls against the pool.
+            abandon_call(fut, f"no reply within {self.timeout}s")
+            raise StoreUnavailable(
+                f"remote call timed out after {self.timeout}s"
+            ) from None
+        except (TransportError, RPCError, OSError) as exc:
+            raise StoreUnavailable(f"remote block store failed: {exc}") from exc
+
+    @property
+    def _inflight_cap(self) -> int:
+        """Outstanding windows kept in flight by read_many/write_many."""
+        return max(2, 2 * self.workers)
 
     # -- BlockStore interface ----------------------------------------------
 
@@ -252,27 +395,60 @@ class RemoteBlockStore(BlockStore):
     def _batch_window(self) -> int:
         return max(1, min(MAX_BATCH_BLOCKS, MAX_BATCH_BYTES // self.block_size))
 
+    def _decode_read_window(self, dec: XDRDecoder, want: int) -> list:
+        blocks = dec.unpack_array(
+            lambda d: d.unpack_opaque(max_size=self.block_size),
+            max_items=MAX_BATCH_BLOCKS,
+        )
+        dec.done()
+        if len(blocks) != want:
+            raise StoreUnavailable(
+                f"remote returned {len(blocks)} blocks for {want} requested"
+            )
+        return blocks
+
     def _get_many(self, block_nos: list[int]) -> list[bytes | None]:
         if not self.batch:
             return [self._get(block_no) for block_no in block_nos]
-        out: list[bytes | None] = []
         window_size = self._batch_window
-        for start in range(0, len(block_nos), window_size):
-            window = block_nos[start : start + window_size]
-            enc = XDREncoder()
-            enc.pack_array(window, lambda e, b: e.pack_uint(b))
-            dec = self._call(PROC_READ_MANY, enc.getvalue())
-            blocks = dec.unpack_array(
-                lambda d: d.unpack_opaque(max_size=self.block_size),
-                max_items=MAX_BATCH_BLOCKS,
-            )
-            dec.done()
-            if len(blocks) != len(window):
-                raise StoreUnavailable(
-                    f"remote returned {len(blocks)} blocks for "
-                    f"{len(window)} requested"
+        windows = [
+            block_nos[start : start + window_size]
+            for start in range(0, len(block_nos), window_size)
+        ]
+        if self.workers == 1 or len(windows) == 1:
+            out: list[bytes | None] = []
+            for window in windows:
+                enc = XDREncoder()
+                enc.pack_array(window, lambda e, b: e.pack_uint(b))
+                dec = self._call(PROC_READ_MANY, enc.getvalue())
+                out.extend(self._decode_read_window(dec, len(window)))
+            return out
+        # Windowed in-flight pipeline: keep up to _inflight_cap windows
+        # outstanding across the connection pool; results are collected
+        # in submission order so the output aligns with block_nos.
+        out = []
+        inflight: deque[tuple[list[int], Future]] = deque()
+
+        def drain_one() -> None:
+            window, fut = inflight.popleft()
+            dec = self._await(fut)
+            out.extend(self._decode_read_window(dec, len(window)))
+
+        try:
+            for window in windows:
+                enc = XDREncoder()
+                enc.pack_array(window, lambda e, b: e.pack_uint(b))
+                inflight.append(
+                    (window, self._submit(PROC_READ_MANY, enc.getvalue()))
                 )
-            out.extend(blocks)
+                if len(inflight) >= self._inflight_cap:
+                    drain_one()
+            while inflight:
+                drain_one()
+        except Exception:
+            for _window, fut in inflight:
+                fut.cancel()
+            raise
         return out
 
     def _put_many(self, items: list[tuple[int, bytes]]) -> None:
@@ -280,9 +456,8 @@ class RemoteBlockStore(BlockStore):
             for block_no, data in items:
                 self._put(block_no, data)
             return
-        window_size = self._batch_window
-        for start in range(0, len(items), window_size):
-            window = items[start : start + window_size]
+
+        def pack_window(window: list[tuple[int, bytes]]) -> bytes:
             enc = XDREncoder()
 
             def pack_item(e: XDREncoder, item: tuple[int, bytes]) -> None:
@@ -290,7 +465,43 @@ class RemoteBlockStore(BlockStore):
                 e.pack_opaque(item[1])
 
             enc.pack_array(window, pack_item)
-            self._call(PROC_WRITE_MANY, enc.getvalue()).done()
+            return enc.getvalue()
+
+        window_size = self._batch_window
+        windows = [
+            items[start : start + window_size]
+            for start in range(0, len(items), window_size)
+        ]
+        if self.workers == 1 or len(windows) == 1:
+            for window in windows:
+                self._call(PROC_WRITE_MANY, pack_window(window)).done()
+            return
+        # Concurrent windows may land out of order, so a block that
+        # appears twice in one batch could end up holding its *older*
+        # payload.  Collapse duplicates to the last write first — the
+        # exact result sequential application would produce — and then
+        # order between windows no longer matters.
+        deduped = dict(items)
+        if len(deduped) != len(items):
+            items = list(deduped.items())
+            windows = [
+                items[start : start + window_size]
+                for start in range(0, len(items), window_size)
+            ]
+        inflight: deque[Future] = deque()
+        try:
+            for window in windows:
+                inflight.append(
+                    self._submit(PROC_WRITE_MANY, pack_window(window))
+                )
+                if len(inflight) >= self._inflight_cap:
+                    self._await(inflight.popleft()).done()
+            while inflight:
+                self._await(inflight.popleft()).done()
+        except Exception:
+            for fut in inflight:
+                fut.cancel()
+            raise
 
     def _contains(self, block_no: int) -> bool:
         args = XDREncoder().pack_uint(block_no).getvalue()
@@ -312,8 +523,9 @@ class RemoteBlockStore(BlockStore):
         return used
 
     def describe(self) -> str:
+        workers = f" workers={self.workers}" if self.workers > 1 else ""
         return (
-            f"remote://  {self.num_blocks}x{self.block_size}B "
+            f"remote://  {self.num_blocks}x{self.block_size}B{workers} "
             f"[{self.remote_description}]"
         )
 

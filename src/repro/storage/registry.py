@@ -14,9 +14,11 @@ grammars (see README "Storage backends" for examples):
 ``shard://<n>``
     ``n`` in-memory children on a consistent-hash ring.  Options:
     ``?base=mem|file|sqlite&dir=PATH`` (file/sqlite children are created
-    as ``PATH/shard-<i>.blk``/``.db``).
-``shard://<uri>;<uri>;...``
-    Explicit child URIs, semicolon-separated.
+    as ``PATH/shard-<i>.blk``/``.db``) and ``?fanout=N`` (how many
+    children a vectored batch addresses concurrently; 1 = sequential).
+``shard://<uri>;<uri>;...[#fanout=N]``
+    Explicit child URIs, semicolon-separated; the fan-out knob rides in
+    the fragment so child queries stay untouched.
 ``cached://<child-uri>[#capacity=N]``
     Write-back LRU overlay on any child URI; overlay options ride in the
     URI *fragment* so they never collide with the child's own query.
@@ -24,16 +26,21 @@ grammars (see README "Storage backends" for examples):
     Client for a block store served by ``discfs store-serve`` (or
     :func:`repro.storage.net.serve_store`).  Geometry comes from the
     server.  Options: ``?timeout=SECONDS&batch=on|off`` (``batch=off``
-    forces per-block RPCs — for measuring what batching saves).
+    forces per-block RPCs — for measuring what batching saves) and
+    ``?workers=N`` (a pool of ``N`` pipelined connections keeping
+    several read_many/write_many windows in flight at once).
 ``replica://<n>``
     ``n``-way replication.  Options: ``?w=W&r=R`` (write/read quorums,
-    default write-all/read-one) plus ``base=mem|file|sqlite&dir=PATH``
-    like ``shard://``.
+    default write-all/read-one), ``?fanout=N`` (1 = sequential fan-out;
+    anything larger fans writes to all replicas in parallel and returns
+    at quorum W) plus ``base=mem|file|sqlite&dir=PATH`` like
+    ``shard://``.
 ``replica://<n>/<child-uri>``
     ``n`` copies built from a child template; ``{i}`` in the template is
     replaced with the replica index.  Replica options ride in the
-    *fragment* (``#w=2&r=2``) since the child may use its own query.
-``replica://<uri>;<uri>;...[#w=W&r=R]``
+    *fragment* (``#w=2&r=2&fanout=N``) since the child may use its own
+    query.
+``replica://<uri>;<uri>;...[#w=W&r=R&fanout=N]``
     Explicit replica URIs, semicolon-separated.
 ``failing://<child-uri>[#fail=1]``
     Pass-through that can be switched to reject every operation — the
@@ -51,6 +58,10 @@ grammars (see README "Storage backends" for examples):
     operations raise ``StoreUnavailable``.  ``replica://`` applies this
     automatically to children that are unreachable at mount time, so a
     quorum mounts with a node down and heals it on reconnect.
+``slow://<child-uri>[#ms=N]``
+    Pass-through that sleeps ``N`` milliseconds before every operation —
+    the injectable straggler for concurrency drills (a loaded replica,
+    a slow link), the counterpart of ``failing://``'s outage.
 
 Composition nests naturally: ``cached://shard://4#capacity=512``, or a
 real cluster: ``shard://remote://h1:9001;remote://h2:9002``, or crash-
@@ -187,12 +198,15 @@ def _make_sqlite(rest: str, num_blocks: int, block_size: int) -> BlockStore:
 
 def _make_shard(rest: str, num_blocks: int, block_size: int) -> BlockStore:
     if "://" in rest:
-        child_uris = [u for u in rest.split(";") if u]
+        body, fragment_options = _split_fragment_options(rest, {"fanout"})
+        fanout = (int(fragment_options["fanout"])
+                  if "fanout" in fragment_options else None)
+        child_uris = [u for u in body.split(";") if u]
         children = [
             open_store(u, num_blocks=num_blocks, block_size=block_size)
             for u in child_uris
         ]
-        return ShardedBlockStore(children)
+        return ShardedBlockStore(children, fanout=fanout)
 
     body, options = _parse_options(rest)
     try:
@@ -204,8 +218,10 @@ def _make_shard(rest: str, num_blocks: int, block_size: int) -> BlockStore:
     if n <= 0:
         raise InvalidArgument("shard count must be positive")
     num_blocks, block_size = _geometry(options, num_blocks, block_size)
+    fanout = int(options["fanout"]) if "fanout" in options else None
     return ShardedBlockStore(
-        _numbered_children("shard", n, options, num_blocks, block_size)
+        _numbered_children("shard", n, options, num_blocks, block_size),
+        fanout=fanout,
     )
 
 
@@ -266,9 +282,12 @@ def _make_remote(rest: str, num_blocks: int, block_size: int) -> BlockStore:
         )
     timeout = float(options.get("timeout", 10.0))
     batch = options.get("batch", "on") not in ("off", "0", "false")
+    workers = int(options.get("workers", 1))
+    if workers < 1:
+        raise InvalidArgument("remote:// workers must be at least 1")
     # num_blocks/block_size are ignored: the serving node owns geometry.
     return RemoteBlockStore.connect(host, int(port), timeout=timeout,
-                                    batch=batch)
+                                    batch=batch, workers=workers)
 
 
 def _split_fragment_options(
@@ -304,7 +323,7 @@ def _open_replica_child(uri: str, num_blocks: int, block_size: int) -> BlockStor
 def _make_replica(rest: str, num_blocks: int, block_size: int) -> BlockStore:
     from repro.storage.replica import ReplicatedBlockStore
 
-    body, options = _split_fragment_options(rest, {"w", "r"})
+    body, options = _split_fragment_options(rest, {"w", "r", "fanout"})
     children: list[BlockStore]
     template_match = re.match(r"^(\d+)/(.+)$", body)
     if template_match and "://" in template_match.group(2):
@@ -341,8 +360,9 @@ def _make_replica(rest: str, num_blocks: int, block_size: int) -> BlockStore:
                                       block_size)
     write_quorum = int(options["w"]) if "w" in options else None
     read_quorum = int(options.get("r", 1))
+    fanout = int(options["fanout"]) if "fanout" in options else None
     return ReplicatedBlockStore(children, write_quorum=write_quorum,
-                                read_quorum=read_quorum)
+                                read_quorum=read_quorum, fanout=fanout)
 
 
 def _make_failing(rest: str, num_blocks: int, block_size: int) -> BlockStore:
@@ -390,6 +410,19 @@ def _make_journal(rest: str, num_blocks: int, block_size: int) -> BlockStore:
         raise
 
 
+def _make_slow(rest: str, num_blocks: int, block_size: int) -> BlockStore:
+    from repro.storage.replica import DelayedBlockStore
+
+    child_uri, options = _split_fragment_options(rest, {"ms"})
+    if not child_uri:
+        raise InvalidArgument(
+            "slow:// needs a child URI, e.g. slow://mem://#ms=5"
+        )
+    child = open_store(child_uri, num_blocks=num_blocks,
+                       block_size=block_size)
+    return DelayedBlockStore(child, delay_ms=float(options.get("ms", 0.0)))
+
+
 def _make_lazy(rest: str, num_blocks: int, block_size: int) -> BlockStore:
     from repro.storage.lazy import DEFAULT_RETRY_INTERVAL, LazyBlockStore
 
@@ -415,3 +448,4 @@ register_scheme("replica", _make_replica)
 register_scheme("failing", _make_failing)
 register_scheme("journal", _make_journal)
 register_scheme("lazy", _make_lazy)
+register_scheme("slow", _make_slow)

@@ -7,6 +7,22 @@ any read quorum intersects any write quorum, so a one-node outage stays
 fully available *and* consistent — the Dynamo-style arithmetic Peer2PIR
 assumes of its IPFS substrate.
 
+The fan-out is **concurrent** by default: writes are issued to every
+child in parallel and the call returns as soon as ``W`` children have
+accepted, so latency tracks the ``W``-th fastest replica instead of the
+slowest.  Stragglers finish on a background lane (counted in
+:attr:`ReplicaStats.background_writes`); :meth:`drain`/``flush`` wait
+for them.  Reads dispatch ``R`` children *concurrently* (instead of one
+after another) and recruit the next child whenever one fails; all ``R``
+answers are still required, so a slow-but-alive child inside the chosen
+``R`` bounds the read — hedging past stragglers is a noted follow-up
+(ROADMAP).
+Each child has its own single-thread lane, so operations against one
+replica always apply in submission order — a straggler from batch 17
+can never land on top of batch 18 — while different replicas overlap
+freely.  ``fanout=1`` restores the strictly sequential loop (the
+baseline the fanout ablation measures against).
+
 Freshness is decided by per-block **version stamps**: a counter bumped on
 every write and recorded per child.  A child that missed a write (it was
 down, or outside the write set) holds a lower stamp; when a later read
@@ -22,11 +38,15 @@ Child failures — :class:`~repro.errors.StoreUnavailable` from a dead
 ``remote://`` node, any :class:`~repro.errors.ReproError` or ``OSError``
 — degrade the quorum rather than failing the operation, and are counted
 in :class:`ReplicaStats`.  :class:`FailingBlockStore` (``failing://``)
-is the injectable failure used to test exactly that.
+is the injectable failure used to test exactly that, and
+:class:`DelayedBlockStore` (``slow://``) the injectable straggler.
 """
 
 from __future__ import annotations
 
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 
 from repro.errors import InvalidArgument, QuorumError, ReproError, StoreUnavailable
@@ -37,25 +57,36 @@ _CHILD_FAILURES = (ReproError, OSError)
 
 @dataclass
 class ReplicaStats:
-    """Degraded-mode and repair counters."""
+    """Degraded-mode, repair, and background-completion counters."""
 
-    degraded_writes: int = 0   # write fan-outs where >=1 child failed
-    degraded_reads: int = 0    # read quorums assembled past >=1 failure
-    repaired_blocks: int = 0   # blocks rewritten onto lagging children
-    child_failures: int = 0    # individual child operations that failed
+    degraded_writes: int = 0    # write fan-outs where >=1 child failed
+    degraded_reads: int = 0     # read quorums assembled past >=1 failure
+    repaired_blocks: int = 0    # blocks rewritten onto lagging children
+    child_failures: int = 0     # individual child operations that failed
+    background_writes: int = 0  # child writes that finished after quorum-W
+                                # already let the caller continue
 
     def reset(self) -> None:
         self.degraded_writes = self.degraded_reads = 0
         self.repaired_blocks = self.child_failures = 0
+        self.background_writes = 0
 
 
 class ReplicatedBlockStore(BlockStore):
-    """Write-fan-out / read-quorum replication over ``children``."""
+    """Write-fan-out / read-quorum replication over ``children``.
+
+    ``fanout`` controls concurrency: ``1`` runs the legacy sequential
+    loops; any larger value (or ``None``, the default) gives every
+    child its own ordered lane and overlaps them.  Replica ordering
+    needs a full lane per child, so the knob is effectively
+    sequential-vs-concurrent rather than a width.
+    """
 
     scheme = "replica"
 
     def __init__(self, children: list[BlockStore],
-                 write_quorum: int | None = None, read_quorum: int = 1):
+                 write_quorum: int | None = None, read_quorum: int = 1,
+                 fanout: int | None = None):
         n = len(children)
         if n == 0:
             raise InvalidArgument("replica:// needs at least one child store")
@@ -70,24 +101,188 @@ class ReplicatedBlockStore(BlockStore):
             )
         if not 1 <= read_quorum <= n:
             raise InvalidArgument(f"read quorum {read_quorum} outside 1..{n}")
+        if fanout is not None and fanout < 1:
+            raise InvalidArgument("replica fanout must be at least 1")
         super().__init__(min(c.num_blocks for c in children), block_size)
         self.children = list(children)
         self.write_quorum = write_quorum
         self.read_quorum = read_quorum
+        self.fanout = n if fanout is None else min(int(fanout), n)
         self.replica_stats = ReplicaStats()
         #: Lamport-ish write counter; bumped once per write batch.
         self._clock = 0
         #: Per-child block -> version stamp of the copy that child holds.
         self._versions: list[dict[int, int]] = [dict() for _ in children]
+        #: Per-child block -> newest version *scheduled* onto the child
+        #: (in flight on its lane or already acknowledged).  Read-repair
+        #: consults this so it never queues a redundant repair behind a
+        #: straggler write that is about to deliver the same version —
+        #: which would make a fast read wait on the slowest lane.
+        self._scheduled: list[dict[int, int]] = [dict() for _ in children]
+        #: Guards _clock, _versions, and replica_stats against the
+        #: background lanes.
+        self._lock = threading.Lock()
+        #: One ordered lane per child (created lazily in concurrent mode).
+        self._lanes: list[ThreadPoolExecutor | None] = [None] * n
+        self._lanes_lock = threading.Lock()
+        #: Child operations in flight (foreground + background).
+        self._pending = 0
+        self._drain_cv = threading.Condition()
+
+    # -- lanes -------------------------------------------------------------
+
+    @property
+    def _concurrent(self) -> bool:
+        return self.fanout > 1 and len(self.children) > 1
+
+    def _lane(self, idx: int) -> ThreadPoolExecutor:
+        with self._lanes_lock:
+            lane = self._lanes[idx]
+            if lane is None:
+                lane = self._lanes[idx] = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=f"replica-{idx}"
+                )
+            return lane
+
+    def _submit_child(self, idx: int, fn) -> Future:
+        """Queue ``fn`` on child ``idx``'s ordered lane."""
+        with self._drain_cv:
+            self._pending += 1
+        try:
+            fut = self._lane(idx).submit(fn)
+        except BaseException:
+            with self._drain_cv:
+                self._pending -= 1
+                self._drain_cv.notify_all()
+            raise
+        fut.add_done_callback(self._one_done)
+        return fut
+
+    def _one_done(self, _fut: Future) -> None:
+        with self._drain_cv:
+            self._pending -= 1
+            self._drain_cv.notify_all()
+
+    def _child_op(self, idx: int, fn):
+        """Run ``fn(child)`` in order with that child's queued writes."""
+        if not self._concurrent:
+            return fn(self.children[idx])
+        return self._submit_child(
+            idx, lambda: fn(self.children[idx])
+        ).result()
+
+    def drain(self) -> None:
+        """Wait until no child operation (background included) is in
+        flight — the barrier ``flush``/``close`` use so quorum-W returns
+        never outrun durability."""
+        with self._drain_cv:
+            while self._pending:
+                self._drain_cv.wait()
 
     # -- write path --------------------------------------------------------
 
     def _put(self, block_no: int, data: bytes) -> None:
         self._put_many([(block_no, data)])
 
+    def _withdraw_scheduled(self, idx: int, items: list[tuple[int, bytes]],
+                            version: int) -> None:
+        """The scheduled stamp promised ``version`` would land on child
+        ``idx``; it won't.  Roll back to the acknowledged stamp (lanes
+        are FIFO, so every earlier write already resolved) unless a
+        newer write has been scheduled meanwhile."""
+        with self._lock:
+            scheduled = self._scheduled[idx]
+            acked = self._versions[idx]
+            for block_no, _data in items:
+                if scheduled.get(block_no, 0) == version:
+                    if acked.get(block_no, 0):
+                        scheduled[block_no] = acked[block_no]
+                    else:
+                        scheduled.pop(block_no, None)
+
+    def _child_write(self, idx: int, items: list[tuple[int, bytes]],
+                     version: int) -> None:
+        try:
+            self.children[idx].write_many(items)
+        except BaseException:
+            self._withdraw_scheduled(idx, items, version)
+            raise
+        with self._lock:
+            stamps = self._versions[idx]
+            scheduled = self._scheduled[idx]
+            for block_no, _data in items:
+                if stamps.get(block_no, 0) < version:
+                    stamps[block_no] = version
+                if scheduled.get(block_no, 0) < version:
+                    scheduled[block_no] = version
+
     def _put_many(self, items: list[tuple[int, bytes]]) -> None:
-        self._clock += 1
-        version = self._clock
+        with self._lock:
+            self._clock += 1
+            version = self._clock
+        if not self._concurrent:
+            self._put_many_sequential(items, version)
+            return
+        n = len(self.children)
+        need = self.write_quorum
+        cv = threading.Condition()
+        state = {"ok": 0, "fail": 0, "done": 0, "fatal": None,
+                 "degraded": False}
+
+        def on_done(fut: Future) -> None:
+            exc = fut.exception()
+            with cv:
+                state["done"] += 1
+                if exc is None:
+                    state["ok"] += 1
+                elif isinstance(exc, _CHILD_FAILURES):
+                    state["fail"] += 1
+                    with self._lock:
+                        self.replica_stats.child_failures += 1
+                        if not state["degraded"]:
+                            state["degraded"] = True
+                            self.replica_stats.degraded_writes += 1
+                else:
+                    if state["fatal"] is None:
+                        state["fatal"] = exc
+                cv.notify_all()
+
+        for idx in range(n):
+            with self._lock:
+                scheduled = self._scheduled[idx]
+                for block_no, _data in items:
+                    if scheduled.get(block_no, 0) < version:
+                        scheduled[block_no] = version
+            try:
+                self._submit_child(
+                    idx,
+                    lambda idx=idx: self._child_write(idx, items, version),
+                ).add_done_callback(on_done)
+            except BaseException:
+                # Nothing was queued: withdraw the scheduled promise so
+                # a later read still repairs this child.
+                self._withdraw_scheduled(idx, items, version)
+                raise
+
+        with cv:
+            while (state["fatal"] is None and state["ok"] < need
+                   and state["fail"] <= n - need and state["done"] < n):
+                cv.wait()
+            ok, fatal = state["ok"], state["fatal"]
+            background = n - state["done"]
+        if background:
+            with self._lock:
+                self.replica_stats.background_writes += background
+        if fatal is not None:
+            raise fatal
+        if ok < need:
+            raise QuorumError(
+                f"write quorum not met: {ok}/{n} replicas accepted, "
+                f"need {need}"
+            )
+
+    def _put_many_sequential(self, items: list[tuple[int, bytes]],
+                             version: int) -> None:
         successes = 0
         failed = 0
         for idx, child in enumerate(self.children):
@@ -95,14 +290,18 @@ class ReplicatedBlockStore(BlockStore):
                 child.write_many(items)
             except _CHILD_FAILURES:
                 failed += 1
-                self.replica_stats.child_failures += 1
+                with self._lock:
+                    self.replica_stats.child_failures += 1
                 continue
-            stamps = self._versions[idx]
-            for block_no, _data in items:
-                stamps[block_no] = version
+            with self._lock:
+                stamps = self._versions[idx]
+                for block_no, _data in items:
+                    if stamps.get(block_no, 0) < version:
+                        stamps[block_no] = version
             successes += 1
         if failed:
-            self.replica_stats.degraded_writes += 1
+            with self._lock:
+                self.replica_stats.degraded_writes += 1
         if successes < self.write_quorum:
             raise QuorumError(
                 f"write quorum not met: {successes}/{len(self.children)} "
@@ -115,6 +314,23 @@ class ReplicatedBlockStore(BlockStore):
         return self._get_many([block_no])[0]
 
     def _get_many(self, block_nos: list[int]) -> list[bytes | None]:
+        if self._concurrent:
+            responses, failed = self._collect_reads_racing(block_nos)
+        else:
+            responses, failed = self._collect_reads_sequential(block_nos)
+        if failed:
+            with self._lock:
+                self.replica_stats.degraded_reads += 1
+        if len(responses) < self.read_quorum:
+            raise QuorumError(
+                f"read quorum not met: {len(responses)} replicas answered, "
+                f"need {self.read_quorum}"
+            )
+        return self._resolve_reads(block_nos, responses)
+
+    def _collect_reads_sequential(
+        self, block_nos: list[int]
+    ) -> tuple[list[tuple[int, list[bytes]]], int]:
         responses: list[tuple[int, list[bytes]]] = []
         failed = 0
         for idx, child in enumerate(self.children):
@@ -124,58 +340,123 @@ class ReplicatedBlockStore(BlockStore):
                 responses.append((idx, child.read_many(block_nos)))
             except _CHILD_FAILURES:
                 failed += 1
-                self.replica_stats.child_failures += 1
-        if failed:
-            self.replica_stats.degraded_reads += 1
-        if len(responses) < self.read_quorum:
-            raise QuorumError(
-                f"read quorum not met: {len(responses)} replicas answered, "
-                f"need {self.read_quorum}"
+                with self._lock:
+                    self.replica_stats.child_failures += 1
+        return responses, failed
+
+    def _collect_reads_racing(
+        self, block_nos: list[int]
+    ) -> tuple[list[tuple[int, list[bytes]]], int]:
+        """Race the read quorum: R children in flight at once, the next
+        child dispatched whenever one fails, first R answers win."""
+        n = len(self.children)
+        responses: list[tuple[int, list[bytes]]] = []
+        failed = 0
+        pending: dict[Future, int] = {}
+        next_idx = 0
+
+        def submit_next() -> None:
+            nonlocal next_idx
+            if next_idx >= n:
+                return
+            idx = next_idx
+            next_idx += 1
+            fut = self._submit_child(
+                idx, lambda idx=idx: self.children[idx].read_many(block_nos)
             )
+            pending[fut] = idx
+
+        for _ in range(min(self.read_quorum, n)):
+            submit_next()
+        fatal: BaseException | None = None
+        while pending and len(responses) < self.read_quorum and fatal is None:
+            done, _running = wait(list(pending), return_when=FIRST_COMPLETED)
+            for fut in done:
+                idx = pending.pop(fut)
+                exc = fut.exception()
+                if exc is None:
+                    responses.append((idx, fut.result()))
+                elif isinstance(exc, _CHILD_FAILURES):
+                    failed += 1
+                    with self._lock:
+                        self.replica_stats.child_failures += 1
+                    submit_next()
+                elif fatal is None:
+                    fatal = exc
+        if fatal is not None:
+            raise fatal
+        # Late extra answers (two children finishing together) are kept:
+        # more responders can only improve freshness.  Sort by child
+        # index so tie-breaks match the sequential path.
+        responses.sort(key=lambda r: r[0])
+        return responses, failed
+
+    def _resolve_reads(
+        self, block_nos: list[int],
+        responses: list[tuple[int, list[bytes]]],
+    ) -> list[bytes | None]:
         out: list[bytes | None] = [None] * len(block_nos)
         versions: list[int] = [0] * len(block_nos)
-        upgrades: dict[int, list[int]] = {}  # holder child -> positions
-        for pos, block_no in enumerate(block_nos):
-            # Last-write-wins: among the responders, the copy with the
-            # highest version stamp is the provisional answer.
-            winner_idx, winner_datas = max(
-                responses, key=lambda r: self._versions[r[0]].get(block_no, 0)
-            )
-            out[pos] = winner_datas[pos]
-            versions[pos] = self._versions[winner_idx].get(block_no, 0)
-            # The stamps may show a child *outside* the read set holding
-            # a newer copy (e.g. read-one hitting a just-healed replica).
-            # Fetch from a newest-stamp holder so staleness the layer can
-            # see locally is never served.
-            best_version = max(
-                stamps.get(block_no, 0) for stamps in self._versions
-            )
-            if best_version > versions[pos]:
-                holder = next(
-                    idx for idx, stamps in enumerate(self._versions)
-                    if stamps.get(block_no, 0) == best_version
+        upgrades: dict[int, list[tuple[int, int]]] = {}  # holder -> (pos, ver)
+        with self._lock:
+            for pos, block_no in enumerate(block_nos):
+                # Last-write-wins: among the responders, the copy with the
+                # highest version stamp is the provisional answer.
+                winner_idx, winner_datas = max(
+                    responses,
+                    key=lambda r: self._versions[r[0]].get(block_no, 0),
                 )
-                upgrades.setdefault(holder, []).append(pos)
-        for holder, positions in upgrades.items():
+                out[pos] = winner_datas[pos]
+                versions[pos] = self._versions[winner_idx].get(block_no, 0)
+                # The stamps may show a child *outside* the read set holding
+                # a newer copy (e.g. read-one hitting a just-healed replica).
+                # Fetch from a newest-stamp holder so staleness the layer can
+                # see locally is never served.
+                best_version = max(
+                    stamps.get(block_no, 0) for stamps in self._versions
+                )
+                if best_version > versions[pos]:
+                    holder = next(
+                        idx for idx, stamps in enumerate(self._versions)
+                        if stamps.get(block_no, 0) == best_version
+                    )
+                    upgrades.setdefault(holder, []).append(
+                        (pos, best_version)
+                    )
+        for holder, entries in upgrades.items():
+            positions = [pos for pos, _version in entries]
             try:
-                datas = self.children[holder].read_many(
-                    [block_nos[pos] for pos in positions]
+                datas = self._child_op(
+                    holder,
+                    lambda c, positions=positions: c.read_many(
+                        [block_nos[pos] for pos in positions]
+                    ),
                 )
             except _CHILD_FAILURES:
-                self.replica_stats.child_failures += 1
+                with self._lock:
+                    self.replica_stats.child_failures += 1
                 continue  # holder down: serve the responder copy
-            for pos, data in zip(positions, datas):
+            for (pos, version), data in zip(entries, datas):
                 out[pos] = data
-                versions[pos] = self._versions[holder][block_nos[pos]]
+                versions[pos] = version
         repairs: dict[int, list[tuple[int, bytes, int]]] = {}
-        for pos, block_no in enumerate(block_nos):
-            if not versions[pos]:
-                continue
-            for idx in range(len(self.children)):
-                if self._versions[idx].get(block_no, 0) < versions[pos]:
-                    repairs.setdefault(idx, []).append(
-                        (block_no, out[pos], versions[pos])
+        with self._lock:
+            for pos, block_no in enumerate(block_nos):
+                if not versions[pos]:
+                    continue
+                for idx in range(len(self.children)):
+                    # A child counts as behind only if nothing at least
+                    # this fresh is acknowledged *or already in flight*
+                    # on its lane — repairing an in-flight write would
+                    # chain this read behind the straggler for nothing.
+                    known = max(
+                        self._versions[idx].get(block_no, 0),
+                        self._scheduled[idx].get(block_no, 0),
                     )
+                    if known < versions[pos]:
+                        repairs.setdefault(idx, []).append(
+                            (block_no, out[pos], versions[pos])
+                        )
         self._apply_repairs(repairs)
         return out
 
@@ -184,39 +465,54 @@ class ReplicatedBlockStore(BlockStore):
     ) -> None:
         """Best-effort write-back of winning copies to lagging children."""
         for idx, triples in repairs.items():
-            child = self.children[idx]
             try:
-                child.write_many([(b, data) for b, data, _v in triples])
+                self._child_op(
+                    idx,
+                    lambda c, triples=triples: c.write_many(
+                        [(b, data) for b, data, _v in triples]
+                    ),
+                )
             except _CHILD_FAILURES:
-                self.replica_stats.child_failures += 1
+                with self._lock:
+                    self.replica_stats.child_failures += 1
                 continue  # still down; a later read will retry
-            stamps = self._versions[idx]
-            for block_no, _data, version in triples:
-                stamps[block_no] = version
-            self.replica_stats.repaired_blocks += len(triples)
+            with self._lock:
+                stamps = self._versions[idx]
+                scheduled = self._scheduled[idx]
+                for block_no, _data, version in triples:
+                    if stamps.get(block_no, 0) < version:
+                        stamps[block_no] = version
+                    if scheduled.get(block_no, 0) < version:
+                        scheduled[block_no] = version
+                self.replica_stats.repaired_blocks += len(triples)
 
     # -- everything else ---------------------------------------------------
 
     def _contains(self, block_no: int) -> bool:
-        if any(stamps.get(block_no) for stamps in self._versions):
-            return True
+        with self._lock:
+            if any(stamps.get(block_no) for stamps in self._versions):
+                return True
         # Diverged children (e.g. reopened after independent histories)
-        # may hold the block on any replica: OR across the reachable ones.
-        for child in self.children:
+        # may hold the block on any replica: OR across the reachable
+        # ones.  Through _child_op so the probe queues in order with any
+        # in-flight background writes instead of racing them.
+        for idx in range(len(self.children)):
             try:
-                if child._contains(block_no):
+                if self._child_op(idx, lambda c: c._contains(block_no)):
                     return True
             except _CHILD_FAILURES:
                 continue
         return False
 
     def flush(self) -> None:
+        self.drain()  # background stragglers land before children flush
         successes = 0
         for child in self.children:
             try:
                 child.flush()
             except _CHILD_FAILURES:
-                self.replica_stats.child_failures += 1
+                with self._lock:
+                    self.replica_stats.child_failures += 1
                 continue
             successes += 1
         if successes < self.write_quorum:
@@ -226,6 +522,12 @@ class ReplicatedBlockStore(BlockStore):
             )
 
     def close(self) -> None:
+        self.drain()
+        with self._lanes_lock:
+            lanes, self._lanes = self._lanes, [None] * len(self.children)
+        for lane in lanes:
+            if lane is not None:
+                lane.shutdown(wait=True)
         for child in self.children:
             try:
                 child.close()
@@ -234,9 +536,9 @@ class ReplicatedBlockStore(BlockStore):
 
     def used_blocks(self) -> int:
         best: int | None = None
-        for child in self.children:
+        for idx in range(len(self.children)):
             try:
-                used = child.used_blocks()
+                used = self._child_op(idx, lambda c: c.used_blocks())
             except _CHILD_FAILURES:
                 continue
             best = used if best is None else max(best, used)
@@ -249,9 +551,10 @@ class ReplicatedBlockStore(BlockStore):
 
     def describe(self) -> str:
         kinds = ",".join(c.scheme for c in self.children)
+        mode = "concurrent" if self._concurrent else "sequential"
         return (
             f"replica://{len(self.children)} w={self.write_quorum} "
-            f"r={self.read_quorum} [{kinds}]  "
+            f"r={self.read_quorum} {mode} [{kinds}]  "
             f"{self.num_blocks}x{self.block_size}B"
         )
 
@@ -338,3 +641,67 @@ class FailingBlockStore(BlockStore):
     def describe(self) -> str:
         state = "DOWN" if self.failing else "up"
         return f"failing({state}) over {self.child.describe()}"
+
+
+class DelayedBlockStore(BlockStore):
+    """Pass-through wrapper that sleeps before every operation.
+
+    The injectable *straggler*: ``slow://<child-uri>#ms=N`` makes one
+    replica (or one shard node) pay ``N`` milliseconds per operation,
+    which is how the concurrency tests and the fanout ablation model a
+    loaded node or a slow link without real remote hosts.  The quorum
+    acceptance claim — ``w=2`` write latency tracks the 2nd-fastest
+    replica, not the slowest — is demonstrated against exactly this
+    wrapper.  ``delay_ms`` is writable at runtime so tests can slow a
+    node mid-flight.
+    """
+
+    scheme = "slow"
+
+    def __init__(self, child: BlockStore, delay_ms: float = 0.0):
+        super().__init__(child.num_blocks, child.block_size)
+        self.child = child
+        self.delay_ms = float(delay_ms)
+        self.delayed_ops = 0
+
+    def _sleep(self) -> None:
+        self.delayed_ops += 1
+        if self.delay_ms > 0:
+            time.sleep(self.delay_ms / 1000.0)
+
+    # Forward to the child's internal hooks for the same reason
+    # FailingBlockStore does: one stats layer, holes stay visible.
+
+    def _get(self, block_no: int) -> bytes | None:
+        self._sleep()
+        return self.child._get(block_no)
+
+    def _put(self, block_no: int, data: bytes) -> None:
+        self._sleep()
+        self.child._put(block_no, data)
+
+    def _get_many(self, block_nos: list[int]) -> list[bytes | None]:
+        self._sleep()
+        return list(self.child._get_many(block_nos))
+
+    def _put_many(self, items: list[tuple[int, bytes]]) -> None:
+        self._sleep()
+        self.child._put_many(items)
+
+    def _contains(self, block_no: int) -> bool:
+        return self.child._contains(block_no)
+
+    def flush(self) -> None:
+        self.child.flush()
+
+    def close(self) -> None:
+        self.child.close()
+
+    def used_blocks(self) -> int:
+        return self.child.used_blocks()
+
+    def leaf_stores(self) -> list[BlockStore]:
+        return [self]
+
+    def describe(self) -> str:
+        return f"slow({self.delay_ms:g}ms) over {self.child.describe()}"

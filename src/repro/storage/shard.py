@@ -10,6 +10,14 @@ Block numbers are placed on a consistent-hash ring of virtual nodes
   makes ``shard://`` the substrate later resharding/replication PRs
   build on (ROADMAP "Open items").
 
+Vectored ``read_many``/``write_many`` batches are grouped per owning
+child and — when ``fanout`` allows — dispatched to the children
+**concurrently**: with ``remote://`` children on independent nodes the
+round trips overlap, so a batch costs roughly the slowest child's share
+instead of the sum of every child's (``fanout=1`` restores the
+sequential loop; the fanout ablation measures the difference).  Results
+are position-aligned either way, so concurrency never changes answers.
+
 Each child keeps its own :class:`~repro.fs.blockdev.BlockDeviceStats`, so
 benchmarks can report per-shard traffic and verify balance.
 """
@@ -18,14 +26,20 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.errors import InvalidArgument
-from repro.fs.blockdev import DEFAULT_BLOCK_SIZE
 from repro.storage.base import BlockStore
 
 #: Virtual nodes per shard; 64 keeps the ring balanced within a few
 #: percent while the ring stays tiny (n*64 entries).
 VNODES_PER_SHARD = 64
+
+#: Ceiling for the automatic fan-out width (``fanout=None``): wide
+#: enough to cover every ring the benchmarks run, without an unbounded
+#: thread pool when someone mounts a 64-way ring.
+DEFAULT_MAX_FANOUT = 8
 
 
 def _ring_hash(key: str) -> int:
@@ -39,11 +53,19 @@ class ShardedBlockStore(BlockStore):
     *union* capacity semantics of its children: every child is addressed
     with the global block number (children are sparse, so a child's
     nominal capacity just needs to cover the global range).
+
+    ``fanout`` bounds how many children a vectored operation addresses
+    concurrently: ``None`` picks ``min(len(children), 8)``, ``1`` is
+    strictly sequential.  A child that fails mid-fan-out does not stop
+    the others — every child's portion runs to completion, then the
+    first error is raised, so a slow or dead node never leaves sibling
+    batches half-issued.
     """
 
     scheme = "shard"
 
-    def __init__(self, children: list[BlockStore]):
+    def __init__(self, children: list[BlockStore],
+                 fanout: int | None = None):
         if not children:
             raise InvalidArgument("shard:// needs at least one child store")
         block_size = children[0].block_size
@@ -52,6 +74,13 @@ class ShardedBlockStore(BlockStore):
         num_blocks = min(c.num_blocks for c in children)
         super().__init__(num_blocks, block_size)
         self.children = list(children)
+        if fanout is None:
+            fanout = min(len(children), DEFAULT_MAX_FANOUT)
+        if fanout < 1:
+            raise InvalidArgument("shard fanout must be at least 1")
+        self.fanout = min(int(fanout), len(children))
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
         self._ring: list[int] = []
         self._ring_shard: list[int] = []
         points = sorted(
@@ -72,6 +101,37 @@ class ShardedBlockStore(BlockStore):
         if i == len(self._ring):
             i = 0
         return self._ring_shard[i]
+
+    # -- fan-out machinery -------------------------------------------------
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.fanout,
+                    thread_name_prefix="shard-fanout",
+                )
+            return self._executor
+
+    def _fan_out(self, tasks: list) -> list:
+        """Run ``tasks`` (thunks) concurrently; every task is attempted
+        even when an earlier one fails, then the first error is raised.
+        Returns the task results in order."""
+        if self.fanout == 1 or len(tasks) == 1:
+            return [task() for task in tasks]
+        futures = [self._pool().submit(task) for task in tasks]
+        results = []
+        first_exc: BaseException | None = None
+        for fut in futures:
+            try:
+                results.append(fut.result())
+            except BaseException as exc:
+                if first_exc is None:
+                    first_exc = exc
+                results.append(None)
+        if first_exc is not None:
+            raise first_exc
+        return results
 
     # -- BlockStore interface ----------------------------------------------
 
@@ -94,30 +154,63 @@ class ShardedBlockStore(BlockStore):
         return groups
 
     def _get_many(self, block_nos: list[int]) -> list[bytes | None]:
-        # One read_many per owning child instead of one read per block:
-        # when children are remote:// nodes this is one RPC round trip
-        # per shard rather than per block.
+        # One read_many per owning child instead of one read per block —
+        # and, past fanout=1, all children at once: with remote:// nodes
+        # that is one *overlapped* RPC round trip per shard.
         out: list[bytes | None] = [None] * len(block_nos)
-        for child_idx, positions in self._group_by_shard(block_nos).items():
+        groups = list(self._group_by_shard(block_nos).items())
+
+        def fetch(child_idx: int, positions: list[int]):
             datas = self.children[child_idx].read_many(
                 [block_nos[pos] for pos in positions]
             )
             for pos, data in zip(positions, datas):
                 out[pos] = data
+
+        self._fan_out([
+            (lambda idx=idx, positions=positions: fetch(idx, positions))
+            for idx, positions in groups
+        ])
         return out
 
     def _put_many(self, items: list[tuple[int, bytes]]) -> None:
-        groups = self._group_by_shard([block_no for block_no, _ in items])
-        for child_idx, positions in groups.items():
-            self.children[child_idx].write_many([items[pos] for pos in positions])
+        groups = list(
+            self._group_by_shard([block_no for block_no, _ in items]).items()
+        )
+        self._fan_out([
+            (lambda idx=idx, positions=positions:
+                self.children[idx].write_many([items[pos] for pos in positions]))
+            for idx, positions in groups
+        ])
 
     def flush(self) -> None:
+        # Attempt every child even when one raises — a failing shard
+        # must not leave its siblings unflushed — then surface the
+        # first error.
+        first_exc: BaseException | None = None
         for child in self.children:
-            child.flush()
+            try:
+                child.flush()
+            except BaseException as exc:
+                if first_exc is None:
+                    first_exc = exc
+        if first_exc is not None:
+            raise first_exc
 
     def close(self) -> None:
+        first_exc: BaseException | None = None
         for child in self.children:
-            child.close()
+            try:
+                child.close()
+            except BaseException as exc:
+                if first_exc is None:
+                    first_exc = exc
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        if first_exc is not None:
+            raise first_exc
 
     def used_blocks(self) -> int:
         return sum(c.used_blocks() for c in self.children)
@@ -132,6 +225,6 @@ class ShardedBlockStore(BlockStore):
     def describe(self) -> str:
         kinds = ",".join(c.scheme for c in self.children)
         return (
-            f"shard://{len(self.children)} [{kinds}]  "
+            f"shard://{len(self.children)} [{kinds}] fanout={self.fanout}  "
             f"{self.num_blocks}x{self.block_size}B"
         )

@@ -32,6 +32,7 @@ class SQLiteBlockStore(BlockStore):
     """Blocks stored as rows of an SQLite database."""
 
     scheme = "sqlite"
+    thread_safe = True  # every statement runs under an internal lock
 
     def __init__(
         self, path: str, num_blocks: int = 16384, block_size: int = DEFAULT_BLOCK_SIZE

@@ -3,7 +3,6 @@ channel (Figures 2-4's three-step flow), plus the TCP distributed setup."""
 
 import pytest
 
-from repro.core.admin import identity_of
 from repro.core.client import DisCFSClient
 from repro.errors import NFSError
 from repro.ipsec.channel import SecureTransport

@@ -11,7 +11,6 @@ directory stays invisible.
 
 import pytest
 
-from repro.core.admin import identity_of
 from repro.core.client import DisCFSClient
 from repro.errors import NFSError
 

@@ -16,7 +16,6 @@ import pytest
 from repro.core.admin import identity_of, make_user_keypair
 from repro.core.client import DisCFSClient
 from repro.core.server import DisCFSServer
-from repro.errors import NFSError
 
 
 @pytest.fixture()

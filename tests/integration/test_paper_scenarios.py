@@ -4,7 +4,7 @@ import time
 
 import pytest
 
-from repro.core.admin import Administrator, identity_of, make_user_keypair
+from repro.core.admin import identity_of, make_user_keypair
 from repro.core.client import DisCFSClient
 from repro.core.server import DisCFSServer
 from repro.errors import NFSError

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.admin import identity_of
 from repro.core.client import DisCFSClient
 from repro.crypto.keycodec import encode_public_key
 from repro.errors import NFSError

@@ -13,7 +13,6 @@ from repro.keynote.lexer import tokenize
 from repro.keynote.parser import parse_assertion
 from repro.crypto.keycodec import decode_key, decode_signature
 from repro.rpc.message import CallMessage, ReplyMessage
-from repro.rpc.xdr import XDRDecoder
 
 
 @settings(max_examples=300)

@@ -6,7 +6,7 @@ import pytest
 from repro.bench.bonnie import PHASES, run_bonnie, run_phase
 from repro.bench.harness import PAPER_SYSTEMS, SYSTEMS, make_target
 from repro.bench.search import run_search
-from repro.bench.targets import LocalFFSTarget, NFSTarget
+from repro.bench.targets import LocalFFSTarget
 from repro.bench.timing import QUANTUM_FIREBALL_CT10, DiskModel, MeasuredTime
 from repro.bench.workloads import SourceTreeSpec, generate_source_tree
 from repro.fs.blockdev import BlockDeviceStats

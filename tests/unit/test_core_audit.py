@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.admin import identity_of
 from repro.core.audit import AuditLog
 from repro.core.client import DisCFSClient
 from repro.errors import NFSError

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.admin import identity_of, make_user_keypair
+from repro.core.admin import identity_of
 from repro.core.client import DisCFSClient
 from repro.core.handles import HandleScheme
 from repro.core.permissions import Permission

@@ -102,7 +102,6 @@ class TestHandshakeFailures:
             responder.handle_init(init[: len(init) // 2])
 
     def test_out_of_range_dh_value(self, alice_key, bob_key):
-        import struct
         from repro.ipsec import ike
 
         responder = IKEResponder(bob_key)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.crypto.keycodec import encode_public_key
-from repro.keynote.ast import ComplianceValues
 from repro.keynote.compliance import ComplianceChecker
 from repro.keynote.parser import parse_assertion
 from repro.keynote.signing import sign_assertion

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.crypto.keycodec import encode_public_key
 from repro.errors import KeyNoteError, SignatureVerificationError
 from repro.keynote.session import KeyNoteSession
 from repro.keynote.signing import sign_assertion

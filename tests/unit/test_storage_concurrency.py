@@ -1,0 +1,521 @@
+"""Concurrency regression suite for the fan-out storage stack.
+
+The concurrent paths (shard fan-out, replica quorum-W writes and racing
+reads, pooled pipelined RPC) must be *behaviourally invisible*: the same
+answers as the sequential paths, just sooner.  This suite pins that
+down:
+
+* seeded random workloads produce identical results through sequential
+  and concurrent mounts of the same composite;
+* quorum-W writes return at the 2nd-fastest replica while the straggler
+  completes on its background lane (and ``drain``/``flush`` wait);
+* a connection pool reuses its connections — across calls and across
+  remounts — instead of re-dialing per operation;
+* one dead/slow node fails its own operations without starving its
+  siblings or poisoning other in-flight calls on the pool;
+* a shard child that fails ``flush``/``close`` no longer prevents its
+  siblings from flushing/closing (the first error still propagates).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.errors import QuorumError, StoreUnavailable, TransportError
+from repro.rpc.client import ConnectionPool, RPCClient
+from repro.rpc.transport import PipelinedTCPTransport
+from repro.storage import (
+    BlockStore,
+    DelayedBlockStore,
+    FailingBlockStore,
+    MemoryBlockStore,
+    RemoteBlockStore,
+    ReplicatedBlockStore,
+    ShardedBlockStore,
+    serve_store,
+)
+from repro.storage.net import BLOCKSTORE_PROGRAM, BLOCKSTORE_VERSION
+
+BLOCKS = 256
+BS = 512
+
+
+def _seeded_workload(seed: int, ops: int = 40):
+    """A deterministic mixed batch workload: (kind, payload) steps."""
+    rng = random.Random(seed)
+    steps = []
+    for _step in range(ops):
+        if rng.random() < 0.55:
+            count = rng.randint(1, 24)
+            steps.append((
+                "write",
+                [(rng.randrange(BLOCKS),
+                  bytes([rng.randrange(256)]) * BS)
+                 for _ in range(count)],
+            ))
+        else:
+            count = rng.randint(1, 32)
+            steps.append((
+                "read",
+                [rng.randrange(BLOCKS) for _ in range(count)],
+            ))
+    return steps
+
+
+def _apply(store: BlockStore, steps) -> list:
+    results = []
+    for kind, arg in steps:
+        if kind == "write":
+            store.write_many(arg)
+        else:
+            results.append(store.read_many(arg))
+    return results
+
+
+class TestParallelMatchesSequential:
+    """Fan-out must never change answers, only latency."""
+
+    @pytest.mark.parametrize("seed", [7, 23, 99])
+    def test_shard_fanout_equals_sequential(self, seed):
+        sequential = ShardedBlockStore(
+            [MemoryBlockStore(BLOCKS, BS) for _ in range(4)], fanout=1)
+        concurrent = ShardedBlockStore(
+            [MemoryBlockStore(BLOCKS, BS) for _ in range(4)], fanout=4)
+        steps = _seeded_workload(seed)
+        assert _apply(sequential, steps) == _apply(concurrent, steps)
+        # Placement is the same ring: per-child contents must match too.
+        for seq_child, conc_child in zip(sequential.children,
+                                         concurrent.children):
+            assert seq_child.used_blocks() == conc_child.used_blocks()
+        sequential.close()
+        concurrent.close()
+
+    @pytest.mark.parametrize("seed", [5, 41])
+    def test_replica_fanout_equals_sequential(self, seed):
+        sequential = ReplicatedBlockStore(
+            [MemoryBlockStore(BLOCKS, BS) for _ in range(3)],
+            write_quorum=2, read_quorum=2, fanout=1)
+        concurrent = ReplicatedBlockStore(
+            [MemoryBlockStore(BLOCKS, BS) for _ in range(3)],
+            write_quorum=2, read_quorum=2)
+        steps = _seeded_workload(seed)
+        assert _apply(sequential, steps) == _apply(concurrent, steps)
+        concurrent.drain()
+        # Every replica converges to identical contents once drained.
+        for block_no in range(BLOCKS):
+            copies = {
+                child._get(block_no) for child in concurrent.children
+            }
+            assert len(copies) == 1, block_no
+        sequential.close()
+        concurrent.close()
+
+    def test_shard_of_slow_children_still_correct(self):
+        store = ShardedBlockStore(
+            [DelayedBlockStore(MemoryBlockStore(BLOCKS, BS), delay_ms=1)
+             for _ in range(4)],
+            fanout=4,
+        )
+        payload = b"s" * BS
+        store.write_many([(b, payload) for b in range(32)])
+        assert store.read_many(list(range(32))) == [payload] * 32
+        store.close()
+
+
+class TestQuorumReturn:
+    """W-of-n writes return at the W-th fastest replica."""
+
+    def _straggler_store(self, delay_ms: float = 150.0):
+        slow = DelayedBlockStore(MemoryBlockStore(64, BS),
+                                 delay_ms=delay_ms)
+        store = ReplicatedBlockStore(
+            [MemoryBlockStore(64, BS), MemoryBlockStore(64, BS), slow],
+            write_quorum=2, read_quorum=2,
+        )
+        return store, slow
+
+    @pytest.mark.flaky
+    def test_write_returns_before_straggler(self):
+        store, slow = self._straggler_store()
+        t0 = time.perf_counter()
+        store.write_many([(b, b"w" * BS) for b in range(8)])
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 0.1, elapsed
+        assert store.replica_stats.background_writes == 1
+        store.drain()
+        assert slow.child._get(0) == b"w" * BS
+        store.close()
+
+    def test_flush_waits_for_straggler(self):
+        store, slow = self._straggler_store(delay_ms=60.0)
+        store.write_many([(b, b"f" * BS) for b in range(4)])
+        store.flush()  # must block until the background write landed
+        assert slow.child._get(3) == b"f" * BS
+        store.close()
+
+    def test_straggler_order_preserved_per_child(self):
+        """Two back-to-back writes to the same block must land in order
+        on every replica, even the one that lags both writes."""
+        store, slow = self._straggler_store(delay_ms=20.0)
+        for round_no in range(5):
+            payload = bytes([round_no]) * BS
+            store.write_many([(0, payload)])
+        store.drain()
+        assert slow.child._get(0) == bytes([4]) * BS
+        assert store.read(0) == bytes([4]) * BS
+        store.close()
+
+    def test_quorum_failure_still_raises(self):
+        children = [FailingBlockStore(MemoryBlockStore(64, BS))
+                    for _ in range(3)]
+        children[0].fail()
+        children[1].fail()
+        store = ReplicatedBlockStore(children, write_quorum=2,
+                                     read_quorum=2)
+        with pytest.raises(QuorumError):
+            store.write_many([(0, b"x" * BS)])
+        store.drain()
+        store.close()
+
+    def test_one_node_down_write_succeeds_concurrently(self):
+        children = [FailingBlockStore(MemoryBlockStore(64, BS))
+                    for _ in range(3)]
+        children[2].fail()
+        store = ReplicatedBlockStore(children, write_quorum=2,
+                                     read_quorum=2)
+        store.write_many([(b, b"d" * BS) for b in range(8)])
+        assert store.read_many(list(range(8))) == [b"d" * BS] * 8
+        assert store.replica_stats.degraded_writes >= 1
+        store.close()
+
+
+class TestConnectionPool:
+    """Pool reuse, rebuild after breakage, and failure isolation."""
+
+    @pytest.fixture
+    def server(self):
+        server = serve_store(MemoryBlockStore(BLOCKS, BS), workers=4)
+        yield server
+        server.close()
+
+    def test_pool_reuses_connections(self, server):
+        host, port = server.address
+        pool = ConnectionPool(
+            lambda: PipelinedTCPTransport(host, port, timeout=5.0), size=3)
+        client = RPCClient(pool, BLOCKSTORE_PROGRAM, BLOCKSTORE_VERSION)
+        for _round in range(50):
+            client.ping()
+        # Sequential pings need exactly one connection; nothing re-dials.
+        assert pool.created == 1
+        futs = [client.call_async(0) for _ in range(30)]
+        for fut in futs:
+            fut.result(timeout=5.0).done()
+        assert pool.created <= pool.size
+        client.close()
+
+    def test_pool_survives_remount(self, server):
+        """Closing one mount and opening another against the same node
+        works and dials fresh connections (no state bleeds across)."""
+        host, port = server.address
+        uri_store = RemoteBlockStore.connect(host, port, workers=2)
+        uri_store.write_many([(b, b"r" * BS) for b in range(64)])
+        uri_store.close()
+        remounted = RemoteBlockStore.connect(host, port, workers=2)
+        assert remounted.read_many(list(range(64))) == [b"r" * BS] * 64
+        pool = remounted._client.transport
+        assert isinstance(pool, ConnectionPool)
+        assert pool.created <= pool.size
+        remounted.close()
+
+    def test_broken_slot_is_redialed(self, server):
+        host, port = server.address
+        pool = ConnectionPool(
+            lambda: PipelinedTCPTransport(host, port, timeout=5.0), size=2)
+        client = RPCClient(pool, BLOCKSTORE_PROGRAM, BLOCKSTORE_VERSION)
+        client.ping()
+        # Break the live connection behind the pool's back.
+        with pool._cond:
+            live = [t for t in pool._slots if t is not None][0]
+        live._fail(TransportError("injected breakage"))
+        client.ping()  # pool discards the broken slot and re-dials
+        assert pool.created == 2
+        assert pool.live_connections == 1
+        client.close()
+
+    def test_pool_slot_failure_does_not_poison_siblings(self, server):
+        """A dead connection fails its own in-flight calls; calls on the
+        other pool connections complete."""
+        host, port = server.address
+        pool = ConnectionPool(
+            lambda: PipelinedTCPTransport(host, port, timeout=5.0), size=2)
+        client = RPCClient(pool, BLOCKSTORE_PROGRAM, BLOCKSTORE_VERSION)
+        # Force both connections into existence with concurrent calls.
+        futs = [client.call_async(0) for _ in range(8)]
+        for fut in futs:
+            fut.result(timeout=5.0)
+        assert pool.live_connections == 2
+        with pool._cond:
+            victim = next(t for t in pool._slots if t is not None)
+        victim._fail(TransportError("node rebooted"))
+        # Every subsequent call still succeeds (rerouted or re-dialed).
+        for _round in range(10):
+            client.ping()
+        client.close()
+
+
+class TestFailureIsolation:
+    """One bad node must not starve or corrupt its siblings."""
+
+    def test_shard_child_failure_does_not_block_others(self):
+        children = [FailingBlockStore(MemoryBlockStore(BLOCKS, BS))
+                    for _ in range(4)]
+        store = ShardedBlockStore(children, fanout=4)
+        payload = b"i" * BS
+        store.write_many([(b, payload) for b in range(64)])
+        children[1].fail()
+        with pytest.raises(StoreUnavailable):
+            store.read_many(list(range(64)))
+        # Healthy children still answered their shares (fan-out ran them
+        # all); and with the node healed everything is intact.
+        children[1].heal()
+        assert store.read_many(list(range(64))) == [payload] * 64
+        store.close()
+
+    @pytest.mark.flaky
+    def test_dead_node_timeout_does_not_starve_replica_reads(self):
+        """A timing-out node occupies only its own lane: reads racing the
+        healthy replicas return promptly."""
+        slow = DelayedBlockStore(MemoryBlockStore(64, BS), delay_ms=500.0)
+        store = ReplicatedBlockStore(
+            [MemoryBlockStore(64, BS), MemoryBlockStore(64, BS), slow],
+            write_quorum=2, read_quorum=2,
+        )
+        store.write_many([(b, b"t" * BS) for b in range(4)])
+        t0 = time.perf_counter()
+        assert store.read_many([0, 1, 2, 3]) == [b"t" * BS] * 4
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 0.4, elapsed
+        store.drain()
+        store.close()
+
+    def test_remote_timeout_surfaces_as_store_unavailable(self):
+        """A server that never answers trips the client timeout instead
+        of hanging the batch forever."""
+        backing = DelayedBlockStore(MemoryBlockStore(BLOCKS, BS),
+                                    delay_ms=2000.0)
+        server = serve_store(backing, workers=2)
+        host, port = server.address
+        store = RemoteBlockStore.connect(host, port, timeout=0.3, workers=2)
+        payload = b"z" * BS
+        with pytest.raises(StoreUnavailable):
+            store.write_many([(b, payload) for b in range(BLOCKS)])
+        # The wedged connection was torn down and its slot released —
+        # a server that never answers must not pin in-flight state.
+        pool = store._client.transport
+        deadline = time.perf_counter() + 2.0
+        while time.perf_counter() < deadline and any(pool._inflight):
+            time.sleep(0.05)
+        assert not any(pool._inflight)
+        store.close()
+        server.close()
+
+
+class TestShardFlushCloseErrorPropagation:
+    """The satellite fix: a raising child no longer truncates the loop."""
+
+    class _TrackingStore(MemoryBlockStore):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self.flushed = 0
+            self.closed = 0
+
+        def flush(self):
+            self.flushed += 1
+
+        def close(self):
+            self.closed += 1
+            super().close()
+
+    def test_flush_attempts_every_child_and_raises_first_error(self):
+        children = [
+            FailingBlockStore(self._TrackingStore(BLOCKS, BS))
+            for _ in range(4)
+        ]
+        store = ShardedBlockStore(children, fanout=4)
+        children[1].fail()
+        with pytest.raises(StoreUnavailable):
+            store.flush()
+        # Children after the failing one were still flushed.
+        assert children[2].child.flushed == 1
+        assert children[3].child.flushed == 1
+
+    def test_close_attempts_every_child_and_raises_first_error(self):
+        class _ExplodingClose(MemoryBlockStore):
+            def close(self):
+                raise StoreUnavailable("close failed")
+
+        tracked = [self._TrackingStore(BLOCKS, BS) for _ in range(3)]
+        children = [_ExplodingClose(BLOCKS, BS), *tracked]
+        store = ShardedBlockStore(children, fanout=2)
+        with pytest.raises(StoreUnavailable):
+            store.close()
+        assert all(t.closed == 1 for t in tracked)
+
+    def test_uri_failing_children_flush(self):
+        from repro.storage import open_store
+
+        store = open_store(
+            "shard://failing://mem://;failing://mem://;failing://mem://")
+        store.children[0].fail()
+        with pytest.raises(StoreUnavailable):
+            store.flush()
+        store.children[0].heal()
+        store.flush()
+        store.close()
+
+
+class TestPipelinedTransport:
+    """xid matching, out-of-order replies, and timeout cleanup."""
+
+    @pytest.fixture
+    def server(self):
+        server = serve_store(MemoryBlockStore(BLOCKS, BS), workers=4)
+        yield server
+        server.close()
+
+    def test_interleaved_reads_on_one_connection(self, server):
+        host, port = server.address
+        transport = PipelinedTCPTransport(host, port, timeout=5.0)
+        store = RemoteBlockStore(transport, timeout=5.0)
+        for b in range(16):
+            store.write(b, bytes([b]) * BS)
+        results = {}
+        errors = []
+
+        def reader(block_no: int) -> None:
+            try:
+                results[block_no] = store.read(block_no)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader, args=(b,))
+                   for b in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert results == {b: bytes([b]) * BS for b in range(16)}
+        assert transport.pending_calls == 0
+        store.close()
+
+    def test_worker_server_serializes_unsafe_backends(self):
+        """cached:// mutates its LRU even on reads, so a workers>0
+        server must wrap it; mem:// declares thread_safe and is served
+        unwrapped (operations still overlap)."""
+        from repro.storage import CachedBlockStore, open_store
+        from repro.storage.net import SerializedBlockStore
+
+        cached = CachedBlockStore(MemoryBlockStore(BLOCKS, BS), capacity=8)
+        server = serve_store(cached, workers=4)
+        try:
+            assert isinstance(server.program.store, SerializedBlockStore)
+            host, port = server.address
+            store = open_store(f"remote://{host}:{port}?workers=2")
+            errors = []
+
+            def hammer(base: int) -> None:
+                try:
+                    for i in range(20):
+                        store.write(base + i, bytes([base & 0xFF]) * BS)
+                        assert store.read(base + i) == bytes([base & 0xFF]) * BS
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer, args=(i * 40,))
+                       for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            store.close()
+        finally:
+            server.close()
+        mem_server = serve_store(MemoryBlockStore(BLOCKS, BS), workers=4)
+        try:
+            assert not isinstance(mem_server.program.store,
+                                  SerializedBlockStore)
+        finally:
+            mem_server.close()
+
+    def test_pool_discards_broken_plain_transport(self, server):
+        """The thread-pool fallback path (transports without submit)
+        must also stop routing to a connection that died."""
+        from repro.rpc.transport import TCPTransport
+
+        host, port = server.address
+        pool = ConnectionPool(lambda: TCPTransport(host, port, timeout=5.0),
+                              size=2)
+        client = RPCClient(pool, BLOCKSTORE_PROGRAM, BLOCKSTORE_VERSION)
+        client.ping()
+        with pool._cond:
+            victim = next(t for t in pool._slots if t is not None)
+        victim._sock.close()  # the node "reboots" under the pool
+        with pytest.raises(TransportError):
+            client.ping()
+        assert getattr(victim, "broken", None)
+        client.ping()  # slot discarded, fresh connection dialed
+        assert pool.created == 2
+        client.close()
+
+    def test_put_many_duplicate_blocks_keep_last_write(self, server,
+                                                       monkeypatch):
+        """A batch carrying the same block twice must end with the later
+        payload even when windows run concurrently out of order."""
+        import repro.storage.net as net_mod
+
+        # Shrink the window so the batch spans several in-flight RPCs.
+        monkeypatch.setattr(net_mod, "MAX_BATCH_BLOCKS", 16)
+        host, port = server.address
+        store = RemoteBlockStore.connect(host, port, workers=2)
+        items = [(7, b"old" + b"\x00" * (BS - 3))]
+        items += [(b, b"x" * BS) for b in range(64)]
+        items += [(7, b"new" + b"\x00" * (BS - 3))]
+        assert store._batch_window == 16
+        store._put_many(items)
+        assert store.read(7).startswith(b"new")
+        store.close()
+
+    def test_concurrent_mixed_traffic_through_worker_server(self, server):
+        """Many threads hammer one remote mount (pool of pipelined
+        connections) and every byte comes back intact."""
+        host, port = server.address
+        store = RemoteBlockStore.connect(host, port, workers=3)
+        errors = []
+
+        def worker(worker_id: int) -> None:
+            rng = random.Random(worker_id)
+            base = worker_id * 32
+            try:
+                for _round in range(5):
+                    items = [(base + i, bytes([worker_id]) * BS)
+                             for i in range(rng.randint(4, 16))]
+                    store.write_many(items)
+                    got = store.read_many([b for b, _ in items])
+                    assert got == [d for _, d in items]
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        store.close()

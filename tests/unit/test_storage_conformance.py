@@ -45,6 +45,7 @@ URI_TEMPLATES = {
     "failing": "failing://mem://",
     "journal": "journal://file://{tmp}/journaled.img",
     "lazy": "lazy://mem://",
+    "slow": "slow://mem://#ms=0",
 }
 
 EXTRA_COMPOSITES = [
@@ -61,6 +62,9 @@ EXTRA_COMPOSITES = [
     "cached://journal://file://{tmp}/cached-journal.img#capacity=8",
     "replica://2/journal://file://{tmp}/jrep-{i}.img#w=2&r=1",
     "lazy://remote://{remote}",
+    "shard://mem://;mem://;mem://#fanout=2",
+    "replica://slow://mem://#ms=1;mem://;mem://#w=2&r=2",
+    "shard://remote://{remote}?workers=2;remote://{remote2}?workers=2",
 ]
 
 ALL_TEMPLATES = list(URI_TEMPLATES.values()) + EXTRA_COMPOSITES

@@ -12,7 +12,6 @@ reconnect.
 from __future__ import annotations
 
 import os
-import signal
 import subprocess
 import sys
 import time
