@@ -155,7 +155,6 @@ def run_replication_ablation(
     from repro.rpc.transport import InProcessTransport
     from repro.storage import MemoryBlockStore, StoreBlockDevice
     from repro.storage.net import BlockStoreProgram, RemoteBlockStore
-    from repro.storage.replica import ReplicatedBlockStore
 
     results: dict = {"system": system, "bonnie": {}, "device": {}, "rpc": {}}
     for uri in configs:
@@ -165,9 +164,12 @@ def run_replication_ablation(
         )
         store = getattr(built.fs.device, "store", None)
         row = _device_row(built)
+        # The uniform protocol names the layer (scheme) and its live
+        # children; no isinstance probing of store internals.
         row["replicas"] = (
-            len(store.children)
-            if isinstance(store, ReplicatedBlockStore) else 1
+            len(store.child_stores())
+            if store is not None and store.scheme == "replica"
+            else 1
         )
         results["device"][uri] = row
         built.fs.device.close()
@@ -243,16 +245,6 @@ REPLAY_BLOCKS = 1024
 REPLAY_BATCH = 64
 
 
-def _unique_stores(store) -> list:
-    """The store plus its leaves, deduplicated (a leaf store is its own
-    leaf), for summing per-layer fsync counters exactly once."""
-    stores = []
-    for candidate in [store, *store.leaf_stores()]:
-        if all(candidate is not seen for seen in stores):
-            stores.append(candidate)
-    return stores
-
-
 def run_journal_ablation(
     system: str = "FFS",
     file_size: int = 1 << 20,
@@ -272,7 +264,7 @@ def run_journal_ablation(
     import tempfile
     import time
 
-    from repro.storage import JournalBlockStore, open_store
+    from repro.storage import iter_stores, open_store
 
     workdir = workdir or tempfile.mkdtemp(prefix="journal-ablation-")
     results: dict = {"system": system, "bonnie": {}, "device": {}}
@@ -284,15 +276,19 @@ def run_journal_ablation(
         )
         store = built.fs.device.store
         row = _device_row(built)
-        row["fsyncs"] = sum(
-            s.stats.fsyncs for s in _unique_stores(store)
+        # Uniform snapshot protocol: walk the mounted tree and read each
+        # layer's counters from its StoreStats — no isinstance probing.
+        snapshots = [s.snapshot() for s in iter_stores(store)]
+        row["fsyncs"] = sum(snap.fsyncs for snap in snapshots)
+        journal_snap = next(
+            (snap for snap in snapshots if snap.scheme == "journal"), None
         )
-        journal = store if isinstance(store, JournalBlockStore) else None
         row["journal_txns"] = (
-            journal.journal_stats.transactions if journal else 0
+            int(journal_snap.extra["transactions"]) if journal_snap else 0
         )
         row["journal_blocks"] = (
-            journal.journal_stats.blocks_journaled if journal else 0
+            int(journal_snap.extra["blocks_journaled"]) if journal_snap
+            else 0
         )
         results["device"][label] = row
         built.fs.device.close()
@@ -310,9 +306,10 @@ def run_journal_ablation(
     t0 = time.monotonic()
     reopened = open_store(uri, num_blocks=max(REPLAY_BLOCKS * 2, 4096))
     replay_seconds = time.monotonic() - t0
+    replay_snap = reopened.snapshot()
     results["replay"] = {
-        "transactions": reopened.journal_stats.replayed_transactions,
-        "blocks": reopened.journal_stats.replayed_blocks,
+        "transactions": int(replay_snap.extra["replayed_transactions"]),
+        "blocks": int(replay_snap.extra["replayed_blocks"]),
         "seconds": replay_seconds,
         "journal_seconds": reopened.journal_stats.replay_seconds,
     }
@@ -531,6 +528,117 @@ def print_fanout_report(results: dict) -> None:
         )
 
 
+#: (nodes_before, nodes_after) ring transitions the reshard ablation
+#: walks, in order, on one live mounted store (scale out, then in).
+RESHARD_TRANSITIONS = ((3, 4), (4, 3))
+
+
+def run_reshard_ablation(
+    transitions: tuple[tuple[int, int], ...] = RESHARD_TRANSITIONS,
+    blocks: int = 1536,
+    block_size: int = 4096,
+    batch: int = 128,
+) -> dict:
+    """Live ring migrations across real TCP nodes, measured.
+
+    Starts enough in-process ``serve_store`` nodes for the largest ring,
+    mounts the first transition's ring as ``shard://remote://...``,
+    writes a seeded workload, then walks each transition with the
+    control plane's :func:`~repro.storage.control.reshard` — on the
+    *live* mounted store, verification on.  Each row reports the cost
+    axis (blocks moved vs total, wall-clock) and the safety axis (all
+    payloads re-read and intact from the new ring).  Consistent hashing
+    is the headline: a 3→4 transition should move ~1/4 of the blocks,
+    nowhere near the ~100% a modulo placement would.
+    """
+    import time as _time
+
+    from repro.storage import MemoryBlockStore, open_store, reshard, serve_store
+    from repro.storage import spec as specs
+
+    max_nodes = max(n for transition in transitions for n in transition)
+    servers = [
+        serve_store(MemoryBlockStore(blocks * 2, block_size), workers=2)
+        for _ in range(max_nodes)
+    ]
+    results: dict = {
+        "params": {"blocks": blocks, "block_size": block_size},
+        "rows": [],
+    }
+
+    def ring_spec(n: int) -> specs.ShardSpec:
+        return specs.shard(
+            *(specs.remote("%s:%d" % s.address, workers=2)
+              for s in servers[:n]),
+            fanout=n,
+        )
+
+    def payload(block_no: int) -> bytes:
+        seed = b"reshard-%d" % block_no
+        return (seed * (block_size // len(seed) + 1))[:block_size]
+
+    try:
+        first = transitions[0][0]
+        store = open_store(ring_spec(first), num_blocks=blocks * 2,
+                           block_size=block_size)
+        try:
+            for start in range(0, blocks, batch):
+                store.write_many([
+                    (b, payload(b)) for b in range(start,
+                                                   min(start + batch, blocks))
+                ])
+            for before, after in transitions:
+                old_spec, new_spec = ring_spec(before), ring_spec(after)
+                t0 = _time.perf_counter()
+                report = reshard(store, old_spec, new_spec, verify=True)
+                seconds = _time.perf_counter() - t0
+                intact = True
+                for start in range(0, blocks, batch):
+                    window = list(range(start, min(start + batch, blocks)))
+                    datas = store.read_many(window)
+                    intact = intact and all(
+                        data == payload(b) for b, data in zip(window, datas)
+                    )
+                results["rows"].append({
+                    "before": before,
+                    "after": after,
+                    "total_blocks": report.total_blocks,
+                    "moved_blocks": report.moved_blocks,
+                    "moved_fraction": report.moved_fraction,
+                    "seconds": seconds,
+                    "verified": report.verified,
+                    "intact": intact,
+                })
+        finally:
+            store.close()
+    finally:
+        for server in servers:
+            server.close()
+    return results
+
+
+def print_reshard_report(results: dict) -> None:
+    """Blocks-moved vs total + wall-clock per ring transition."""
+    params = results["params"]
+    print(
+        f"\nReshard ablation — {params['blocks']} blocks x "
+        f"{params['block_size']}B on live remote:// rings "
+        "(verification on)"
+    )
+    print(
+        f"  {'ring':>9}{'total':>8}{'moved':>8}{'moved %':>9}"
+        f"{'wall-clock':>12}{'intact':>8}"
+    )
+    for row in results["rows"]:
+        print(
+            f"  {row['before']:>4}->{row['after']:<4}"
+            f"{row['total_blocks']:>7}{row['moved_blocks']:>8}"
+            f"{row['moved_fraction'] * 100:>8.1f}%"
+            f"{row['seconds'] * 1000:>10.1f}ms"
+            f"{'yes' if row['intact'] else 'NO':>8}"
+        )
+
+
 def print_report(results: dict) -> None:
     systems = list(results["bonnie"])
     for phase in PHASES:
@@ -569,6 +677,10 @@ def main() -> None:
                         help="also run the concurrent fan-out ablation: "
                              "sequential vs concurrent shard/replica "
                              "I/O across 1/2/4/8 in-process TCP nodes")
+    parser.add_argument("--reshard", action="store_true",
+                        help="also run the reshard ablation: live ring "
+                             "migrations across in-process TCP nodes "
+                             "(blocks moved vs total, wall-clock)")
     args = parser.parse_args()
     results = run_evaluation(
         systems=tuple(args.systems),
@@ -594,6 +706,8 @@ def main() -> None:
         ))
     if args.fanout:
         print_fanout_report(run_fanout_ablation())
+    if args.reshard:
+        print_reshard_report(run_reshard_ablation())
 
 
 if __name__ == "__main__":

@@ -19,6 +19,11 @@ Commands
                     ``--backend URI`` picks the storage backend
 ``store-serve``     export a storage backend over RPC on a TCP port —
                     the node other servers reach as ``remote://``
+``store-inspect``   mount a backend URI and print its live topology:
+                    per-layer capabilities and stats (``--json`` for
+                    machines, ``--parse`` to validate without mounting)
+``reshard``         migrate a mounted ``shard://`` ring to a new layout,
+                    moving only the blocks whose ring owner changed
 ``backends``        list the registered storage-backend URI schemes
 ``journal-inspect`` dump and verify a ``journal://`` write-ahead log
 ``ls/cat/put/rm``   client operations against a running server
@@ -302,6 +307,63 @@ def cmd_store_serve(args) -> int:
     return 0
 
 
+def cmd_store_inspect(args) -> int:
+    """Mount a backend and print the live topology (the control plane's
+    ``describe`` tree: per-layer capabilities + stats snapshots)."""
+    import json as _json
+
+    from repro.storage import describe, open_store, parse_spec
+
+    spec = parse_spec(args.backend)
+    if args.parse:
+        print(f"spec ok: {spec.to_uri()}")
+        return 0
+    store = open_store(spec)
+    try:
+        if args.exercise:
+            # Two reads of block 0 so counters (and a cache hit) show up
+            # in demos.  Reads only: inspection must NEVER mutate the
+            # backend — block 0 of a real image is the superblock.
+            store.read(0)
+            store.read(0)
+        tree = describe(store)
+        if args.json:
+            print(_json.dumps(tree.to_dict(), indent=2))
+        else:
+            print(f"backend: {spec.to_uri()}")
+            print(tree.render())
+    finally:
+        store.close()
+    return 0
+
+
+def cmd_reshard(args) -> int:
+    """Migrate a shard:// ring to a new layout (the control plane's
+    flagship: only blocks whose consistent-hash owner changed move)."""
+    from repro.storage import open_store, parse_spec, reshard
+
+    old_spec = parse_spec(args.old)
+    new_spec = parse_spec(args.new)
+    store = open_store(old_spec)
+    try:
+        report = reshard(store, old_spec, new_spec,
+                         verify=not args.no_verify)
+        store.flush()
+    finally:
+        store.close()
+    pct = report.moved_fraction * 100.0
+    print(f"resharded {args.old}")
+    print(f"       -> {args.new}")
+    print(f"moved      : {report.moved_blocks}/{report.total_blocks} "
+          f"blocks ({pct:.1f}%)")
+    print(f"children   : {report.reused_children} reused, "
+          f"{report.added_children} added, "
+          f"{report.removed_children} removed")
+    print(f"verified   : {'yes' if report.verified else 'skipped'}")
+    print(f"wall-clock : {report.seconds * 1000:.1f} ms")
+    return 0
+
+
 def cmd_backends(args) -> int:
     """List storage schemes and a usage example for each."""
     from repro.storage import registered_schemes
@@ -316,7 +378,9 @@ def cmd_backends(args) -> int:
         "remote": "remote://127.0.0.1:9001  (serve with: discfs store-serve; "
                   "options: ?timeout=S&batch=on|off&workers=N)",
         "replica": "replica://3?w=2&r=2  |  replica://3/file:///d/r-{i}.img#w=2"
-                   "  |  replica://remote://h1:9001;remote://h2:9002#w=1&r=1",
+                   "  |  replica://remote://h1:9001;remote://h2:9002#w=1&r=1"
+                   "  (also #hedge_ms=N tail-capped reads, #stamps=P "
+                   "restart-safe repair stamps)",
         "failing": "failing://mem://#fail=1  (fault injection for drills)",
         "journal": "journal://file:///var/lib/discfs.img  (crash recovery: "
                    "fsynced intent log, replay on reopen; #cap=N&path=P)",
@@ -566,6 +630,33 @@ def build_parser() -> argparse.ArgumentParser:
                         "sequentially (default 4)")
     p.add_argument("--oneshot", action="store_true", help=argparse.SUPPRESS)
     p.set_defaults(func=cmd_store_serve)
+
+    p = sub.add_parser("store-inspect",
+                       help="print a backend's live topology "
+                            "(capabilities + stats per layer)")
+    p.add_argument("backend", metavar="URI",
+                   help="backend URI to mount and inspect")
+    p.add_argument("--json", action="store_true",
+                   help="emit the topology tree as JSON")
+    p.add_argument("--parse", action="store_true",
+                   help="validate and canonicalize the URI without "
+                        "mounting anything")
+    p.add_argument("--exercise", action="store_true",
+                   help="read block 0 twice first so the stats are "
+                        "non-zero (demos; never writes)")
+    p.set_defaults(func=cmd_store_inspect)
+
+    p = sub.add_parser("reshard",
+                       help="migrate a shard:// ring to a new layout "
+                            "(moves only ring-owner-changed blocks)")
+    p.add_argument("old", metavar="OLD_URI",
+                   help="the currently deployed shard:// layout")
+    p.add_argument("new", metavar="NEW_URI",
+                   help="the target shard:// layout")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip re-reading moved blocks from their new "
+                        "owner before the swap")
+    p.set_defaults(func=cmd_reshard)
 
     p = sub.add_parser("backends", help="list storage-backend URI schemes")
     p.set_defaults(func=cmd_backends)

@@ -1,11 +1,14 @@
 """Pluggable storage backends for the DisCFS substrate.
 
-The block layer under FFS is chosen by URI::
+The block layer under FFS is chosen by URI — or, since the typed-spec
+redesign, by a programmatic :mod:`~repro.storage.spec` builder::
 
-    from repro.storage import open_device
+    from repro.storage import open_device, open_store
+    from repro.storage.spec import shard, remote
 
     device = open_device("sqlite:///var/lib/discfs.db")
-    fs = FFS(device)
+    store = open_store(shard(remote("h1:9001"), remote("h2:9001"),
+                             fanout=4))
 
 Backends compose: ``cached://shard://4#capacity=512`` is a write-back
 LRU in front of four consistent-hashed memory shards, and
@@ -13,11 +16,24 @@ LRU in front of four consistent-hashed memory shards, and
 real nodes served by ``discfs store-serve``.  See
 :mod:`repro.storage.registry` for the URI grammar and README "Storage
 backends" for worked examples.
+
+The control plane (:mod:`repro.storage.control`) inspects and
+reconfigures mounted topologies: :func:`describe` dumps the live tree
+with per-node capabilities and stats, and :func:`reshard` migrates a
+``shard://`` ring to a new layout moving only the blocks whose
+consistent-hash owner changed.
 """
 
 from repro.storage.adapter import StoreBlockDevice
-from repro.storage.base import BlockStore
+from repro.storage.base import BlockStore, Capabilities, StoreStats
 from repro.storage.cache import CachedBlockStore, CacheStats
+from repro.storage.control import (
+    ReshardReport,
+    SpecTree,
+    describe,
+    iter_stores,
+    reshard,
+)
 from repro.storage.filestore import FileBlockStore
 from repro.storage.journal import (
     JournalBlockStore,
@@ -36,6 +52,7 @@ from repro.storage.net import (
 )
 from repro.storage.registry import (
     DEFAULT_NUM_BLOCKS,
+    build,
     open_device,
     open_store,
     register_scheme,
@@ -49,6 +66,7 @@ from repro.storage.replica import (
     ReplicatedBlockStore,
 )
 from repro.storage.shard import ShardedBlockStore
+from repro.storage.spec import SpecError, StoreSpec, parse_spec
 from repro.storage.sqlitestore import SQLiteBlockStore
 
 __all__ = [
@@ -57,6 +75,7 @@ __all__ = [
     "BlockStoreProgram",
     "CacheStats",
     "CachedBlockStore",
+    "Capabilities",
     "DEFAULT_NUM_BLOCKS",
     "DelayedBlockStore",
     "FailingBlockStore",
@@ -69,15 +88,25 @@ __all__ = [
     "RemoteBlockStore",
     "ReplicaStats",
     "ReplicatedBlockStore",
-    "ShardedBlockStore",
+    "ReshardReport",
     "SQLiteBlockStore",
+    "ShardedBlockStore",
+    "SpecError",
+    "SpecTree",
     "StoreBlockDevice",
     "StoreServer",
+    "StoreSpec",
+    "StoreStats",
+    "build",
+    "describe",
     "inspect_journal",
+    "iter_stores",
     "open_device",
     "open_store",
+    "parse_spec",
     "register_scheme",
     "registered_schemes",
+    "reshard",
     "serve_store",
     "split_uri",
 ]

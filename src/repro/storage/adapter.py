@@ -59,6 +59,18 @@ class StoreBlockDevice(BlockDevice):
     def used_blocks(self) -> int:
         return self.store.used_blocks()
 
+    def used_block_numbers(self) -> list[int]:
+        return self.store.used_block_numbers()
+
+    def capabilities(self):
+        """The wrapped store's typed capability flags (uniform probe for
+        the fs/bench layers — no duck-typing on store internals)."""
+        return self.store.capabilities()
+
+    def snapshot(self):
+        """The wrapped store's :class:`~repro.storage.base.StoreStats`."""
+        return self.store.snapshot()
+
     def __enter__(self) -> "StoreBlockDevice":
         return self
 

@@ -14,8 +14,78 @@ per-layer and per-shard traffic.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro.errors import InvalidArgument, NoSpace
 from repro.fs.blockdev import DEFAULT_BLOCK_SIZE, BlockDeviceStats
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What a store *is*, as typed flags instead of duck-typed probes.
+
+    ``serve_store``'s wrap-or-not decision, the control plane's
+    topology dumps and the bench report tables all consume this
+    instead of poking at per-class attributes.
+    """
+
+    #: Data operations tolerate concurrent callers (``mem://`` is
+    #: GIL-atomic, ``sqlite://`` locks internally).  ``serve_store``
+    #: serializes backends that do not claim this.
+    thread_safe: bool = False
+    #: Writes survive process exit once flushed (``file://``,
+    #: ``sqlite://``; composites derive from their children).
+    durable: bool = False
+    #: At least one layer crosses a network/RPC boundary.
+    networked: bool = False
+    #: Wraps or fans out over child stores.
+    composite: bool = False
+
+    def flags(self) -> str:
+        """Compact ``thread-safe,durable,...`` rendering for reports."""
+        names = [
+            name for name, on in (
+                ("thread-safe", self.thread_safe), ("durable", self.durable),
+                ("networked", self.networked), ("composite", self.composite),
+            ) if on
+        ]
+        return ",".join(names) or "-"
+
+
+@dataclass
+class StoreStats:
+    """Uniform point-in-time stats snapshot every store can produce.
+
+    Core I/O counters come from the store's
+    :class:`~repro.fs.blockdev.BlockDeviceStats`; layer-specific
+    counters (cache hits, quorum repairs, journal transactions, ...)
+    ride in ``extra`` keyed by counter name, so consumers — the bench
+    report tables, ``discfs store-inspect`` — read one shape no matter
+    which backend (or stack of backends) they are looking at.
+    """
+
+    scheme: str = ""
+    description: str = ""
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    seeks: int = 0
+    fsyncs: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "description": self.description,
+            "reads": self.reads,
+            "writes": self.writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "seeks": self.seeks,
+            "fsyncs": self.fsyncs,
+            "extra": dict(self.extra),
+        }
 
 
 class BlockStore:
@@ -48,8 +118,17 @@ class BlockStore:
     #: ``journal://`` lock internally).  ``serve_store(..., workers=N)``
     #: serializes backends that do not claim this, so a worker-pool
     #: server never races an unlocked backend (``cached://``'s LRU
-    #: mutates even on reads).
+    #: mutates even on reads).  Surface through
+    #: :meth:`capabilities`; composites derive from their children.
     thread_safe: bool = False
+
+    #: Writes survive process exit once flushed (class default; see
+    #: :meth:`capabilities`).
+    durable: bool = False
+
+    #: This layer crosses a network boundary (class default; see
+    #: :meth:`capabilities`).
+    networked: bool = False
 
     def __init__(self, num_blocks: int, block_size: int = DEFAULT_BLOCK_SIZE):
         if num_blocks <= 0:
@@ -181,6 +260,63 @@ class BlockStore:
     def used_blocks(self) -> int:
         """Number of distinct blocks ever written, where knowable."""
         raise NotImplementedError
+
+    def used_block_numbers(self) -> list[int]:
+        """The distinct block numbers ever written, sorted.
+
+        The enumeration primitive the control plane's ``reshard`` is
+        built on: diffing two ring layouts needs to know *which* blocks
+        a child holds, not just how many.  Composites union their
+        children; ``remote://`` pages the listing over RPC.
+        """
+        raise NotImplementedError
+
+    def capabilities(self) -> Capabilities:
+        """Typed capability flags for this store instance.
+
+        The default reads the class-level declarations; composite
+        stores override to derive from their children (a ring is as
+        durable as its least durable child, and networked if any child
+        is).
+        """
+        return Capabilities(
+            thread_safe=self.thread_safe,
+            durable=self.durable,
+            networked=self.networked,
+            composite=bool(self.child_stores()),
+        )
+
+    def child_stores(self) -> list["BlockStore"]:
+        """The *live* child stores one layer down (empty for leaves).
+
+        Unlike :meth:`leaf_stores` this does not flatten: walking
+        ``child_stores`` recursively reproduces the mounted topology,
+        which is what ``describe()``/``store-inspect`` render.
+        """
+        return []
+
+    def snapshot(self) -> StoreStats:
+        """Uniform point-in-time stats snapshot (see :class:`StoreStats`)."""
+        return StoreStats(
+            scheme=self.scheme,
+            description=self.describe(),
+            reads=self.stats.reads,
+            writes=self.stats.writes,
+            bytes_read=self.stats.bytes_read,
+            bytes_written=self.stats.bytes_written,
+            seeks=self.stats.seeks,
+            fsyncs=self.stats.fsyncs,
+            extra=self._extra_stats(),
+        )
+
+    def _extra_stats(self) -> dict[str, float]:
+        """Layer-specific counters folded into :meth:`snapshot`."""
+        return {}
+
+    def remote_stats(self) -> StoreStats | None:
+        """The *served* store's snapshot, for stores that proxy one over
+        the network (``remote://``); None for local stores."""
+        return None
 
     def leaf_stores(self) -> list["BlockStore"]:
         """The physical stores at the bottom of this stack.

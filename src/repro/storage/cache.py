@@ -19,7 +19,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import InvalidArgument
-from repro.storage.base import BlockStore
+from repro.storage.base import BlockStore, Capabilities
 
 DEFAULT_CAPACITY = 256
 
@@ -145,8 +145,34 @@ class CachedBlockStore(BlockStore):
         )
         return self.child.used_blocks() + new_dirty
 
+    def used_block_numbers(self) -> list[int]:
+        # Dirty blocks the child has never seen, plus the child's own —
+        # without flushing (introspection must stay stats-pure).
+        return sorted(set(self.child.used_block_numbers()) | self._dirty)
+
     def leaf_stores(self) -> list[BlockStore]:
         return self.child.leaf_stores()
+
+    def child_stores(self) -> list[BlockStore]:
+        return [self.child]
+
+    def capabilities(self) -> Capabilities:
+        child_caps = self.child.capabilities()
+        return Capabilities(
+            thread_safe=False,  # the LRU mutates even on reads
+            durable=False,      # write-back holds dirty blocks in memory
+            networked=child_caps.networked,
+            composite=True,
+        )
+
+    def _extra_stats(self) -> dict[str, float]:
+        return {
+            "hits": self.cache_stats.hits,
+            "misses": self.cache_stats.misses,
+            "evictions": self.cache_stats.evictions,
+            "writebacks": self.cache_stats.writebacks,
+            "dirty": len(self._dirty),
+        }
 
     def describe(self) -> str:
         return f"cached(cap={self.capacity}) over {self.child.describe()}"

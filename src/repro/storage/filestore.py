@@ -36,6 +36,7 @@ class FileBlockStore(BlockStore):
     """Blocks stored in one host file; never-written regions read as zeros."""
 
     scheme = "file"
+    durable = True
 
     def __init__(
         self, path: str, num_blocks: int = 16384, block_size: int = DEFAULT_BLOCK_SIZE
@@ -138,6 +139,11 @@ class FileBlockStore(BlockStore):
         if self._fd < 0:
             return 0
         return len(self._written)
+
+    def used_block_numbers(self) -> list[int]:
+        if self._fd < 0:
+            return []
+        return sorted(self._written)
 
     def describe(self) -> str:
         return f"file://{self.path}  {self.num_blocks}x{self.block_size}B"

@@ -385,8 +385,40 @@ class JournalBlockStore(BlockStore):
     def used_blocks(self) -> int:
         return self.child.used_blocks()
 
+    def used_block_numbers(self) -> list[int]:
+        # Writes reach the child right after the log append, so the
+        # child's enumeration is complete even before a checkpoint.
+        return self.child.used_block_numbers()
+
     def leaf_stores(self) -> list[BlockStore]:
         return self.child.leaf_stores()
+
+    def child_stores(self) -> list[BlockStore]:
+        return [self.child]
+
+    def capabilities(self):
+        from repro.storage.base import Capabilities
+
+        child_caps = self.child.capabilities()
+        return Capabilities(
+            thread_safe=self.thread_safe,
+            durable=child_caps.durable,
+            networked=child_caps.networked,
+            composite=True,
+        )
+
+    def _extra_stats(self) -> dict[str, float]:
+        return {
+            "transactions": self.journal_stats.transactions,
+            "blocks_journaled": self.journal_stats.blocks_journaled,
+            "journal_fsyncs": self.journal_stats.fsyncs,
+            "checkpoints": self.journal_stats.checkpoints,
+            "auto_checkpoints": self.journal_stats.auto_checkpoints,
+            "replayed_transactions":
+                self.journal_stats.replayed_transactions,
+            "replayed_blocks": self.journal_stats.replayed_blocks,
+            "pending_transactions": self._txns_in_log,
+        }
 
     def describe(self) -> str:
         return (

@@ -37,15 +37,24 @@ DEFAULT_RETRY_INTERVAL = 1.0
 
 
 class LazyBlockStore(BlockStore):
-    """Defer and retry opening ``uri`` until the backend is reachable."""
+    """Defer and retry opening ``uri`` until the backend is reachable.
+
+    ``uri`` may also be a :class:`~repro.storage.spec.StoreSpec` —
+    programmatic-only topologies have no URI form, and ``open_store``
+    accepts either.
+    """
 
     scheme = "lazy"
 
-    def __init__(self, uri: str, num_blocks: int = 16384,
+    def __init__(self, uri, num_blocks: int = 16384,
                  block_size: int = DEFAULT_BLOCK_SIZE,
                  retry_interval: float = DEFAULT_RETRY_INTERVAL):
         super().__init__(num_blocks, block_size)
         self.uri = uri
+        #: Short human name for messages (spec objects repr verbosely).
+        self._label = uri if isinstance(uri, str) else (
+            f"<{type(uri).__name__}>"
+        )
         self.retry_interval = retry_interval
         self.reconnects = 0
         self._child: BlockStore | None = None
@@ -73,13 +82,13 @@ class LazyBlockStore(BlockStore):
     def _ensure(self) -> BlockStore:
         with self._connect_lock:
             if self._closed:
-                raise InvalidArgument(f"lazy store {self.uri} is closed")
+                raise InvalidArgument(f"lazy store {self._label} is closed")
             if self._child is not None:
                 return self._child
             now = time.monotonic()
             if now < self._next_attempt:
                 raise StoreUnavailable(
-                    f"{self.uri} is down (next retry in "
+                    f"{self._label} is down (next retry in "
                     f"{self._next_attempt - now:.1f}s)"
                 )
             from repro.storage.registry import open_store
@@ -93,7 +102,7 @@ class LazyBlockStore(BlockStore):
             if child.block_size != self.block_size:
                 child.close()
                 raise InvalidArgument(
-                    f"{self.uri} has block size {child.block_size}; "
+                    f"{self._label} has block size {child.block_size}; "
                     f"this mount expected {self.block_size}"
                 )
             self.num_blocks = child.num_blocks  # adopt the real geometry
@@ -148,9 +157,36 @@ class LazyBlockStore(BlockStore):
     def used_blocks(self) -> int:
         return self._forward(lambda c: c.used_blocks())
 
+    def used_block_numbers(self) -> list[int]:
+        return self._forward(lambda c: c.used_block_numbers())
+
     def leaf_stores(self) -> list[BlockStore]:
         return self._child.leaf_stores() if self._child is not None else [self]
 
+    def child_stores(self) -> list[BlockStore]:
+        return [self._child] if self._child is not None else []
+
+    def capabilities(self):
+        from repro.storage.base import Capabilities
+
+        if self._child is not None:
+            child_caps = self._child.capabilities()
+            return Capabilities(
+                thread_safe=False,
+                durable=child_caps.durable,
+                networked=child_caps.networked,
+                composite=True,
+            )
+        # Down children are almost always remote nodes; claim nothing
+        # beyond the composite wrapper until the child connects.
+        return Capabilities(composite=True)
+
+    def _extra_stats(self) -> dict[str, float]:
+        return {
+            "reconnects": self.reconnects,
+            "connected": 1.0 if self.connected else 0.0,
+        }
+
     def describe(self) -> str:
         state = "up" if self.connected else "DOWN"
-        return f"lazy({state}) over {self.uri}"
+        return f"lazy({state}) over {self._label}"

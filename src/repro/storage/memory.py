@@ -24,3 +24,6 @@ class MemoryBlockStore(BlockStore):
 
     def used_blocks(self) -> int:
         return len(self._blocks)
+
+    def used_block_numbers(self) -> list[int]:
+        return sorted(self._blocks)

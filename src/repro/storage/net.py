@@ -38,10 +38,17 @@ Procedures (version 1)::
     6 FLUSH       void -> void
     7 USED        void -> uhyper used_blocks
     8 CONTAINS    uint block_no -> bool      (stats-free, for overlays)
+    9 LIST        uint start, uint limit -> uint<> block_nos
+                                              (paginated enumeration —
+                                               the reshard primitive)
+   10 STATS       void -> string json        (served store's snapshot +
+                                               capabilities, for
+                                               ``store-inspect``)
 """
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -57,7 +64,7 @@ from repro.rpc.transport import (
     serve_tcp,
 )
 from repro.rpc.xdr import XDRDecoder, XDREncoder
-from repro.storage.base import BlockStore
+from repro.storage.base import BlockStore, Capabilities, StoreStats
 
 #: DisCFS-private program number, next to AUTH_CHANNEL's 390000 range.
 BLOCKSTORE_PROGRAM = 390010
@@ -71,6 +78,11 @@ PROC_WRITE_MANY = 5
 PROC_FLUSH = 6
 PROC_USED = 7
 PROC_CONTAINS = 8
+PROC_LIST = 9
+PROC_STATS = 10
+
+#: Block numbers one LIST page may carry.
+LIST_PAGE = 4096
 
 #: Upper bounds on one READ_MANY/WRITE_MANY message.  The client
 #: window is the smaller of an item cap and a byte budget computed from
@@ -104,6 +116,8 @@ class BlockStoreProgram(RPCProgram):
         self.register(PROC_FLUSH, self._proc_flush)
         self.register(PROC_USED, self._proc_used)
         self.register(PROC_CONTAINS, self._proc_contains)
+        self.register(PROC_LIST, self._proc_list)
+        self.register(PROC_STATS, self._proc_stats)
 
     def _proc_geom(self, dec: XDRDecoder, ctx: CallContext) -> bytes:
         dec.done()
@@ -161,6 +175,41 @@ class BlockStoreProgram(RPCProgram):
         dec.done()
         return XDREncoder().pack_bool(self.store._contains(block_no)).getvalue()
 
+    def _proc_list(self, dec: XDRDecoder, ctx: CallContext) -> bytes:
+        """One page of used block numbers at or past ``start``; the
+        client advances ``start`` past the last entry until a page comes
+        back empty.  The enumeration is recomputed per page (stateless —
+        pages stay correct across concurrent writes) but sliced by
+        bisection, so a page costs one sorted listing, not a linear
+        filter over it."""
+        import bisect
+
+        start = dec.unpack_uint()
+        limit = dec.unpack_uint()
+        dec.done()
+        limit = max(1, min(limit, LIST_PAGE))
+        numbers = self.store.used_block_numbers()  # sorted by contract
+        lo = bisect.bisect_left(numbers, start)
+        page = numbers[lo:lo + limit]
+        enc = XDREncoder()
+        enc.pack_array(page, lambda e, b: e.pack_uint(b))
+        return enc.getvalue()
+
+    def _proc_stats(self, dec: XDRDecoder, ctx: CallContext) -> bytes:
+        """The served store's snapshot + capabilities, as JSON — the
+        control plane's window into the node's own counters."""
+        dec.done()
+        snap = self.store.snapshot()
+        caps = self.store.capabilities()
+        payload = snap.to_dict()
+        payload["capabilities"] = {
+            "thread_safe": caps.thread_safe,
+            "durable": caps.durable,
+            "networked": caps.networked,
+            "composite": caps.composite,
+        }
+        return XDREncoder().pack_string(json.dumps(payload)).getvalue()
+
 
 class SerializedBlockStore(BlockStore):
     """Lock wrapper making any store safe under concurrent callers.
@@ -217,8 +266,27 @@ class SerializedBlockStore(BlockStore):
         with self._op_lock:
             return self.child.used_blocks()
 
+    def used_block_numbers(self) -> list[int]:
+        with self._op_lock:
+            return self.child.used_block_numbers()
+
     def leaf_stores(self) -> list[BlockStore]:
         return [self]
+
+    def child_stores(self) -> list[BlockStore]:
+        return [self.child]
+
+    def capabilities(self) -> Capabilities:
+        child_caps = self.child.capabilities()
+        return Capabilities(
+            thread_safe=True,  # that is the point of the wrapper
+            durable=child_caps.durable,
+            networked=child_caps.networked,
+            composite=True,
+        )
+
+    def _extra_stats(self) -> dict[str, float]:
+        return self.child._extra_stats()
 
     def describe(self) -> str:
         return f"serialized {self.child.describe()}"
@@ -236,9 +304,10 @@ class StoreServer:
                  port: int = 0, workers: int = 0):
         self.store = store
         served = store
-        if workers > 0 and not store.thread_safe:
-            # Worker threads would race an unlocked backend; serialize
-            # its operations (network/pipelining still overlaps).
+        if workers > 0 and not store.capabilities().thread_safe:
+            # Worker threads would race a backend that does not claim
+            # concurrent-caller safety; serialize its operations
+            # (network/pipelining still overlaps).
             served = SerializedBlockStore(store)
         self.program = BlockStoreProgram(served)
         rpc = RPCServer()
@@ -291,14 +360,22 @@ class RemoteBlockStore(BlockStore):
     """
 
     scheme = "remote"
+    networked = True
 
     def __init__(self, transport: Transport, batch: bool = True,
-                 workers: int = 1, timeout: float | None = None):
+                 workers: int = 1, timeout: float | None = None,
+                 endpoint: tuple[str, int] | None = None):
         self._client = RPCClient(transport, BLOCKSTORE_PROGRAM,
                                  BLOCKSTORE_VERSION)
         self.batch = batch
         self.workers = max(1, workers)
         self.timeout = timeout
+        #: ``(host, port)`` for TCP mounts (None for in-process
+        #: transports) — lets the control plane name the node.
+        self.endpoint = endpoint
+        # A connection pool multiplexes concurrent callers safely; a
+        # single blocking transport does not.
+        self.thread_safe = self.workers > 1
         dec = self._call(PROC_GEOM)
         num_blocks = dec.unpack_uint()
         block_size = dec.unpack_uint()
@@ -324,7 +401,7 @@ class RemoteBlockStore(BlockStore):
             )
             try:
                 return cls(pool, batch=batch, workers=workers,
-                           timeout=timeout)
+                           timeout=timeout, endpoint=(host, port))
             except Exception:
                 # Handshake failed: don't leak dialed connections (retry
                 # loops waiting for a node would pile up descriptors).
@@ -337,7 +414,8 @@ class RemoteBlockStore(BlockStore):
                 f"cannot reach block store at {host}:{port}: {exc}"
             ) from exc
         try:
-            return cls(transport, batch=batch, timeout=timeout)
+            return cls(transport, batch=batch, timeout=timeout,
+                       endpoint=(host, port))
         except Exception:
             # GEOM handshake failed: don't leak the connected socket
             # (retry loops waiting for a node would pile up descriptors).
@@ -522,11 +600,45 @@ class RemoteBlockStore(BlockStore):
         dec.done()
         return used
 
+    def used_block_numbers(self) -> list[int]:
+        """Page the served store's enumeration over LIST round trips."""
+        numbers: list[int] = []
+        start = 0
+        while True:
+            args = (XDREncoder().pack_uint(start).pack_uint(LIST_PAGE)
+                    .getvalue())
+            dec = self._call(PROC_LIST, args)
+            page = dec.unpack_array(
+                lambda d: d.unpack_uint(), max_items=LIST_PAGE
+            )
+            dec.done()
+            if not page:
+                return numbers
+            numbers.extend(page)
+            start = page[-1] + 1
+
+    def remote_stats(self) -> StoreStats:
+        """The *served* store's snapshot (its own counters, not this
+        client's), fetched over STATS — what ``store-inspect`` shows
+        under a ``remote://`` node."""
+        dec = self._call(PROC_STATS)
+        payload = json.loads(dec.unpack_string())
+        dec.done()
+        caps = payload.pop("capabilities", {})
+        snap = StoreStats(**payload)
+        snap.extra = dict(snap.extra)
+        snap.extra["served_thread_safe"] = 1.0 if caps.get(
+            "thread_safe") else 0.0
+        snap.extra["served_durable"] = 1.0 if caps.get("durable") else 0.0
+        return snap
+
     def describe(self) -> str:
+        where = f"{self.endpoint[0]}:{self.endpoint[1]}" if self.endpoint \
+            else ""
         workers = f" workers={self.workers}" if self.workers > 1 else ""
         return (
-            f"remote://  {self.num_blocks}x{self.block_size}B{workers} "
-            f"[{self.remote_description}]"
+            f"remote://{where}  {self.num_blocks}x{self.block_size}B"
+            f"{workers} [{self.remote_description}]"
         )
 
     def ping(self) -> None:

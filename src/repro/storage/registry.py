@@ -1,9 +1,24 @@
-"""URI-driven backend registry: ``open_store("sqlite:///tmp/fs.db")``.
+"""Backend resolution: ``open_store("sqlite:///tmp/fs.db")`` and friends.
 
-Every storage backend registers a URI scheme; callers name a backend with
-a string instead of constructing classes, so the CLI, servers, examples
-and benchmarks all accept ``--backend <uri>`` uniformly.  Supported
-grammars (see README "Storage backends" for examples):
+The registry is now a thin two-stage pipeline over the typed spec layer
+(:mod:`repro.storage.spec`):
+
+1. :func:`~repro.storage.spec.parse_spec` turns a backend URI into its
+   :class:`~repro.storage.spec.StoreSpec` (strict option validation,
+   typo suggestions for schemes *and* options);
+2. :func:`build` turns a spec into a live
+   :class:`~repro.storage.base.BlockStore` — one builder per spec type,
+   each a few lines, because all string plumbing already happened.
+
+``open_store``/``open_device`` accept either form (URI string or spec
+object), so callers can keep their ``--backend <uri>`` flags while
+programmatic topologies use the builder API::
+
+    from repro.storage.spec import shard, remote
+    store = open_store(shard(remote("h1:9001"), remote("h2:9001"),
+                             fanout=4))
+
+Supported URI grammars (see README "Storage backends" for examples):
 
 ``mem://``
     In-memory store.  Options: ``?blocks=N&bs=N``.
@@ -33,14 +48,16 @@ grammars (see README "Storage backends" for examples):
     ``n``-way replication.  Options: ``?w=W&r=R`` (write/read quorums,
     default write-all/read-one), ``?fanout=N`` (1 = sequential fan-out;
     anything larger fans writes to all replicas in parallel and returns
-    at quorum W) plus ``base=mem|file|sqlite&dir=PATH`` like
-    ``shard://``.
+    at quorum W), ``?hedge_ms=N`` (dispatch one extra racing read after
+    ``N`` ms — tail capping past a slow-but-alive child), ``?stamps=P``
+    (persist version stamps to sidecar ``P`` so read-repair survives a
+    restart) plus ``base=mem|file|sqlite&dir=PATH`` like ``shard://``.
 ``replica://<n>/<child-uri>``
     ``n`` copies built from a child template; ``{i}`` in the template is
     replaced with the replica index.  Replica options ride in the
-    *fragment* (``#w=2&r=2&fanout=N``) since the child may use its own
-    query.
-``replica://<uri>;<uri>;...[#w=W&r=R&fanout=N]``
+    *fragment* (``#w=2&r=2&fanout=N&hedge_ms=N&stamps=P``) since the
+    child may use its own query.
+``replica://<uri>;<uri>;...[#w=W&r=R&...]``
     Explicit replica URIs, semicolon-separated.
 ``failing://<child-uri>[#fail=1]``
     Pass-through that can be switched to reject every operation — the
@@ -66,90 +83,124 @@ grammars (see README "Storage backends" for examples):
 Composition nests naturally: ``cached://shard://4#capacity=512``, or a
 real cluster: ``shard://remote://h1:9001;remote://h2:9002``, or crash-
 safe local durability: ``journal://sqlite:///var/lib/discfs.db``.
+
+Unknown ``?``/``#`` options now *raise* (with a did-you-mean hint that
+searches every scheme's option names) instead of being silently
+ignored — a misspelled quorum is a configuration bug, not a default.
 """
 
 from __future__ import annotations
 
-import difflib
-import os
-import re
 from typing import Callable
-from urllib.parse import parse_qsl
 
 from repro.errors import InvalidArgument, StoreUnavailable
 from repro.fs.blockdev import DEFAULT_BLOCK_SIZE
+from repro.storage import spec as specs
 from repro.storage.base import BlockStore
 from repro.storage.cache import DEFAULT_CAPACITY, CachedBlockStore
 from repro.storage.filestore import FileBlockStore
 from repro.storage.memory import MemoryBlockStore
 from repro.storage.shard import ShardedBlockStore
+from repro.storage.spec import (
+    CachedSpec,
+    FailingSpec,
+    FileSpec,
+    JournalSpec,
+    LazySpec,
+    MemSpec,
+    OpaqueSpec,
+    RemoteSpec,
+    ReplicaSpec,
+    ShardSpec,
+    SlowSpec,
+    SpecLike,
+    SqliteSpec,
+    StoreSpec,
+    parse_spec,
+    split_uri,
+)
 from repro.storage.sqlitestore import SQLiteBlockStore
 
 DEFAULT_NUM_BLOCKS = 16384
 
-#: scheme -> factory(rest-of-uri, num_blocks, block_size) -> BlockStore
+#: Legacy extension hook: scheme -> factory(rest, num_blocks, block_size).
+#: Third-party schemes registered this way parse to ``OpaqueSpec`` and
+#: build through their factory, so ``register_scheme`` keeps working.
 _FACTORIES: dict[str, Callable[[str, int, int], BlockStore]] = {}
+
+#: spec type -> builder(spec, num_blocks, block_size) -> BlockStore.
+_BUILDERS: dict[type[StoreSpec], Callable[[StoreSpec, int, int], BlockStore]] = {}
 
 
 def register_scheme(
     scheme: str, factory: Callable[[str, int, int], BlockStore]
 ) -> None:
-    """Register (or replace) a backend factory for ``scheme``."""
+    """Register (or replace) a legacy backend factory for ``scheme``.
+
+    New code should define a :class:`~repro.storage.spec.StoreSpec`
+    subclass and a builder instead; this hook remains for third-party
+    backends that only need string-in/store-out."""
     _FACTORIES[scheme] = factory
 
 
 def registered_schemes() -> tuple[str, ...]:
     """All URI schemes ``open_store`` currently resolves."""
-    return tuple(sorted(_FACTORIES))
+    return tuple(sorted(set(specs.known_schemes()) | set(_FACTORIES)))
 
 
-def split_uri(uri: str) -> tuple[str, str]:
-    """Split ``scheme://rest`` (InvalidArgument if malformed)."""
-    scheme, sep, rest = uri.partition("://")
-    if not sep or not scheme:
-        raise InvalidArgument(
-            f"backend URI {uri!r} must look like '<scheme>://...'"
-        )
-    return scheme, rest
-
-
-def _parse_options(rest: str) -> tuple[str, dict[str, str]]:
-    body, sep, query = rest.partition("?")
-    return body, (dict(parse_qsl(query)) if sep else {})
+specs._install_legacy_schemes(lambda: tuple(_FACTORIES))
 
 
 def _geometry(
-    options: dict[str, str], num_blocks: int, block_size: int
+    spec: MemSpec | FileSpec | SqliteSpec, num_blocks: int, block_size: int
 ) -> tuple[int, int]:
-    """Apply ``blocks=``/``bs=`` URI overrides to the requested geometry."""
-    if "blocks" in options:
-        num_blocks = int(options["blocks"])
-    if "bs" in options:
-        block_size = int(options["bs"])
+    """Apply a leaf spec's ``blocks=``/``bs=`` overrides."""
+    if spec.blocks is not None:
+        num_blocks = spec.blocks
+    if spec.bs is not None:
+        block_size = spec.bs
     return num_blocks, block_size
 
 
-def open_store(
-    uri: str,
+def build(
+    spec: SpecLike,
     *,
     num_blocks: int = DEFAULT_NUM_BLOCKS,
     block_size: int = DEFAULT_BLOCK_SIZE,
 ) -> BlockStore:
-    """Resolve a backend URI to a live :class:`BlockStore`."""
-    scheme, rest = split_uri(uri)
-    factory = _FACTORIES.get(scheme)
-    if factory is None:
-        close = difflib.get_close_matches(scheme, registered_schemes(), n=1)
-        hint = f"did you mean {close[0]!r}? " if close else ""
+    """Build a live :class:`BlockStore` from a spec (or URI string).
+
+    ``num_blocks``/``block_size`` are the mount-time geometry defaults;
+    a leaf spec's own ``blocks``/``bs`` win where set.
+    """
+    spec = parse_spec(spec)
+    if isinstance(spec, OpaqueSpec):
+        factory = _FACTORIES.get(spec.scheme_name)
+        if factory is None:
+            raise InvalidArgument(
+                f"scheme {spec.scheme_name!r} lost its registered factory"
+            )
+        return factory(spec.rest, num_blocks, block_size)
+    builder = _BUILDERS.get(type(spec))
+    if builder is None:
         raise InvalidArgument(
-            f"unknown storage scheme {scheme!r}; {hint}"
-            f"registered: {', '.join(registered_schemes())}"
+            f"no builder for spec type {type(spec).__name__}"
         )
-    return factory(rest, num_blocks, block_size)
+    return builder(spec, num_blocks, block_size)
+
+
+def open_store(
+    uri: SpecLike,
+    *,
+    num_blocks: int = DEFAULT_NUM_BLOCKS,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> BlockStore:
+    """Resolve a backend URI (or spec) to a live :class:`BlockStore`."""
+    return build(uri, num_blocks=num_blocks, block_size=block_size)
 
 
 def open_device(
-    uri: str,
+    uri: SpecLike,
     *,
     num_blocks: int = DEFAULT_NUM_BLOCKS,
     block_size: int = DEFAULT_BLOCK_SIZE,
@@ -162,247 +213,176 @@ def open_device(
     """
     from repro.storage.adapter import StoreBlockDevice
 
-    return StoreBlockDevice(
-        open_store(uri, num_blocks=num_blocks, block_size=block_size), uri=uri
-    )
+    spec = parse_spec(uri)
+    try:
+        canonical: str | None = spec.to_uri()
+    except specs.SpecError:
+        canonical = None  # programmatic-only topology: no URI form
+    store = build(spec, num_blocks=num_blocks, block_size=block_size)
+    return StoreBlockDevice(store, uri=canonical)
 
 
 # ---------------------------------------------------------------------------
-# Built-in scheme factories
+# Built-in spec builders
 # ---------------------------------------------------------------------------
 
 
-def _make_mem(rest: str, num_blocks: int, block_size: int) -> BlockStore:
-    body, options = _parse_options(rest)
-    if body:
-        raise InvalidArgument(f"mem:// takes no path (got {body!r})")
-    num_blocks, block_size = _geometry(options, num_blocks, block_size)
+def _build_mem(spec: MemSpec, num_blocks: int, block_size: int) -> BlockStore:
+    num_blocks, block_size = _geometry(spec, num_blocks, block_size)
     return MemoryBlockStore(num_blocks, block_size)
 
 
-def _make_file(rest: str, num_blocks: int, block_size: int) -> BlockStore:
-    path, options = _parse_options(rest)
-    if not path:
-        raise InvalidArgument("file:// needs a path, e.g. file:///tmp/fs.img")
-    num_blocks, block_size = _geometry(options, num_blocks, block_size)
-    return FileBlockStore(path, num_blocks, block_size)
+def _build_file(spec: FileSpec, num_blocks: int, block_size: int) -> BlockStore:
+    num_blocks, block_size = _geometry(spec, num_blocks, block_size)
+    return FileBlockStore(spec.path, num_blocks, block_size)
 
 
-def _make_sqlite(rest: str, num_blocks: int, block_size: int) -> BlockStore:
-    path, options = _parse_options(rest)
-    if not path:
-        raise InvalidArgument("sqlite:// needs a path, e.g. sqlite:///tmp/fs.db")
-    num_blocks, block_size = _geometry(options, num_blocks, block_size)
-    return SQLiteBlockStore(path, num_blocks, block_size)
+def _build_sqlite(
+    spec: SqliteSpec, num_blocks: int, block_size: int
+) -> BlockStore:
+    num_blocks, block_size = _geometry(spec, num_blocks, block_size)
+    return SQLiteBlockStore(spec.path, num_blocks, block_size)
 
 
-def _make_shard(rest: str, num_blocks: int, block_size: int) -> BlockStore:
-    if "://" in rest:
-        body, fragment_options = _split_fragment_options(rest, {"fanout"})
-        fanout = (int(fragment_options["fanout"])
-                  if "fanout" in fragment_options else None)
-        child_uris = [u for u in body.split(";") if u]
-        children = [
-            open_store(u, num_blocks=num_blocks, block_size=block_size)
-            for u in child_uris
-        ]
-        return ShardedBlockStore(children, fanout=fanout)
+def close_quietly(stores: list[BlockStore]) -> None:
+    """Best-effort close of partially built stacks on the error path —
+    a child that fails to close must not mask the original error."""
+    for store in stores:
+        try:
+            store.close()
+        except Exception:
+            pass
 
-    body, options = _parse_options(rest)
+
+def _build_children(
+    children: list[StoreSpec], num_blocks: int, block_size: int,
+    open_child: Callable[[StoreSpec, int, int], BlockStore] | None = None,
+) -> list[BlockStore]:
+    """Build every child spec, closing the already-built on failure.
+    ``open_child`` lets composites customize the per-child open (the
+    replica builder wraps unreachable children lazily)."""
+    opener = open_child or (
+        lambda child, nb, bs: build(child, num_blocks=nb, block_size=bs)
+    )
+    built: list[BlockStore] = []
     try:
-        n = int(body)
-    except ValueError:
-        raise InvalidArgument(
-            f"shard:// needs a shard count or child URIs (got {rest!r})"
-        ) from None
-    if n <= 0:
-        raise InvalidArgument("shard count must be positive")
-    num_blocks, block_size = _geometry(options, num_blocks, block_size)
-    fanout = int(options["fanout"]) if "fanout" in options else None
+        for child in children:
+            built.append(opener(child, num_blocks, block_size))
+    except Exception:
+        close_quietly(built)
+        raise
+    return built
+
+
+def _build_shard(
+    spec: ShardSpec, num_blocks: int, block_size: int
+) -> BlockStore:
     return ShardedBlockStore(
-        _numbered_children("shard", n, options, num_blocks, block_size),
-        fanout=fanout,
+        _build_children(spec.shards, num_blocks, block_size),
+        fanout=spec.fanout,
     )
 
 
-def _numbered_children(
-    prefix: str, n: int, options: dict[str, str],
-    num_blocks: int, block_size: int,
-) -> list[BlockStore]:
-    """Children for the count forms of ``shard://<n>``/``replica://<n>``:
-    ``?base=mem|file|sqlite`` with file/sqlite children created as
-    ``<dir>/<prefix>-<i>.blk|.db``."""
-    base = options.get("base", "mem")
-    directory = options.get("dir", "")
-    children: list[BlockStore] = []
-    for i in range(n):
-        if base == "mem":
-            child_uri = "mem://"
-        elif base in ("file", "sqlite"):
-            if not directory:
-                raise InvalidArgument(
-                    f"{prefix}://{n}?base={base} needs &dir=PATH "
-                    "for child files"
-                )
-            ext = "blk" if base == "file" else "db"
-            child_uri = (
-                f"{base}://{os.path.join(directory, f'{prefix}-{i}.{ext}')}"
-            )
-        else:
-            raise InvalidArgument(f"unknown {prefix} base {base!r}")
-        children.append(
-            open_store(child_uri, num_blocks=num_blocks, block_size=block_size)
-        )
-    return children
+def _build_cached(
+    spec: CachedSpec, num_blocks: int, block_size: int
+) -> BlockStore:
+    child = build(spec.child, num_blocks=num_blocks, block_size=block_size)
+    capacity = spec.capacity if spec.capacity is not None else DEFAULT_CAPACITY
+    try:
+        return CachedBlockStore(child, capacity=capacity)
+    except Exception:
+        child.close()
+        raise
 
 
-def _make_cached(rest: str, num_blocks: int, block_size: int) -> BlockStore:
-    child_uri, sep, fragment = rest.rpartition("#")
-    if not sep:
-        child_uri, fragment = rest, ""
-    options = dict(parse_qsl(fragment)) if fragment else {}
-    capacity = int(options.get("capacity", DEFAULT_CAPACITY))
-    if not child_uri:
-        raise InvalidArgument(
-            "cached:// needs a child URI, e.g. cached://mem://#capacity=64"
-        )
-    child = open_store(child_uri, num_blocks=num_blocks, block_size=block_size)
-    return CachedBlockStore(child, capacity=capacity)
-
-
-def _make_remote(rest: str, num_blocks: int, block_size: int) -> BlockStore:
+def _build_remote(
+    spec: RemoteSpec, num_blocks: int, block_size: int
+) -> BlockStore:
     from repro.storage.net import RemoteBlockStore
 
-    body, options = _parse_options(rest)
-    host, sep, port = body.rpartition(":")
-    if not sep or not host or not port.isdigit():
-        raise InvalidArgument(
-            f"remote:// needs host:port (got {body!r}), "
-            "e.g. remote://127.0.0.1:9001"
-        )
-    timeout = float(options.get("timeout", 10.0))
-    batch = options.get("batch", "on") not in ("off", "0", "false")
-    workers = int(options.get("workers", 1))
-    if workers < 1:
-        raise InvalidArgument("remote:// workers must be at least 1")
     # num_blocks/block_size are ignored: the serving node owns geometry.
-    return RemoteBlockStore.connect(host, int(port), timeout=timeout,
-                                    batch=batch, workers=workers)
+    return RemoteBlockStore.connect(
+        spec.host, spec.port,
+        timeout=spec.timeout if spec.timeout is not None else 10.0,
+        batch=spec.batch if spec.batch is not None else True,
+        workers=spec.workers if spec.workers is not None else 1,
+    )
 
 
-def _split_fragment_options(
-    rest: str, keys: frozenset[str] | set[str]
-) -> tuple[str, dict[str, str]]:
-    """Peel a trailing ``#key=value&...`` fragment off a composite URI.
-
-    Only fragments made exclusively of ``keys`` are consumed, so a child
-    URI ending in its own fragment (``cached://...#capacity=8``) passes
-    through intact.
-    """
-    body, sep, fragment = rest.rpartition("#")
-    if sep:
-        options = dict(parse_qsl(fragment))
-        if options and set(options) <= set(keys):
-            return body, options
-    return rest, {}
+def _lazy_target(child: StoreSpec) -> SpecLike:
+    """What a LazyBlockStore should reopen later: the canonical URI
+    where one exists, else the spec object itself (programmatic-only
+    topologies have no URI form, and `open_store` accepts specs)."""
+    try:
+        return child.to_uri()
+    except specs.SpecError:
+        return child
 
 
-def _open_replica_child(uri: str, num_blocks: int, block_size: int) -> BlockStore:
+def _open_replica_child(
+    child: StoreSpec, num_blocks: int, block_size: int
+) -> BlockStore:
     """Open one replica child; a child that is unreachable at mount time
     (a dead ``remote://`` node) becomes a lazy wrapper instead of failing
     the whole mount — the quorum covers for it until it heals."""
     from repro.storage.lazy import LazyBlockStore
 
     try:
-        return open_store(uri, num_blocks=num_blocks, block_size=block_size)
+        return build(child, num_blocks=num_blocks, block_size=block_size)
     except StoreUnavailable:
-        return LazyBlockStore(uri, num_blocks=num_blocks,
+        return LazyBlockStore(_lazy_target(child), num_blocks=num_blocks,
                               block_size=block_size)
 
 
-def _make_replica(rest: str, num_blocks: int, block_size: int) -> BlockStore:
+def _build_replica(
+    spec: ReplicaSpec, num_blocks: int, block_size: int
+) -> BlockStore:
     from repro.storage.replica import ReplicatedBlockStore
 
-    body, options = _split_fragment_options(rest, {"w", "r", "fanout"})
-    children: list[BlockStore]
-    template_match = re.match(r"^(\d+)/(.+)$", body)
-    if template_match and "://" in template_match.group(2):
-        # replica://<n>/<child-template>, {i} = replica index
-        n = int(template_match.group(1))
-        if n <= 0:
-            raise InvalidArgument("replica count must be positive")
-        template = template_match.group(2)
-        children = [
-            _open_replica_child(template.replace("{i}", str(i)),
-                                num_blocks, block_size)
-            for i in range(n)
-        ]
-    elif "://" in body:
-        # replica://<uri>;<uri>;...
-        children = [
-            _open_replica_child(u, num_blocks, block_size)
-            for u in body.split(";") if u
-        ]
-    else:
-        # replica://<n>?w=&r=&base=&dir= — count form, options in query
-        count, qopts = _parse_options(body)
-        options = {**qopts, **options}
-        try:
-            n = int(count)
-        except ValueError:
-            raise InvalidArgument(
-                f"replica:// needs a count or child URIs (got {rest!r})"
-            ) from None
-        if n <= 0:
-            raise InvalidArgument("replica count must be positive")
-        num_blocks, block_size = _geometry(options, num_blocks, block_size)
-        children = _numbered_children("replica", n, options, num_blocks,
-                                      block_size)
-    write_quorum = int(options["w"]) if "w" in options else None
-    read_quorum = int(options.get("r", 1))
-    fanout = int(options["fanout"]) if "fanout" in options else None
-    return ReplicatedBlockStore(children, write_quorum=write_quorum,
-                                read_quorum=read_quorum, fanout=fanout)
+    children = _build_children(spec.replicas, num_blocks, block_size,
+                               open_child=_open_replica_child)
+    try:
+        return ReplicatedBlockStore(
+            children,
+            write_quorum=spec.w,
+            read_quorum=spec.r if spec.r is not None else 1,
+            fanout=spec.fanout,
+            hedge_ms=spec.hedge_ms,
+            stamps_path=spec.stamps,
+        )
+    except Exception:
+        close_quietly(children)
+        raise
 
 
-def _make_failing(rest: str, num_blocks: int, block_size: int) -> BlockStore:
+def _build_failing(
+    spec: FailingSpec, num_blocks: int, block_size: int
+) -> BlockStore:
     from repro.storage.replica import FailingBlockStore
 
-    child_uri, options = _split_fragment_options(rest, {"fail"})
-    if not child_uri:
-        raise InvalidArgument(
-            "failing:// needs a child URI, e.g. failing://mem://"
-        )
-    child = open_store(child_uri, num_blocks=num_blocks,
-                       block_size=block_size)
-    return FailingBlockStore(child, failing=options.get("fail") == "1")
+    child = build(spec.child, num_blocks=num_blocks, block_size=block_size)
+    return FailingBlockStore(child, failing=bool(spec.fail))
 
 
-def _journal_path_for(child_uri: str) -> str:
+def _journal_path_for(child: StoreSpec) -> str:
     """Default journal location next to a path-addressed child."""
-    scheme, rest = split_uri(child_uri)
-    body = rest.partition("?")[0]
-    if scheme in ("file", "sqlite") and body and body != ":memory:":
-        return body + ".journal"
+    if isinstance(child, (FileSpec, SqliteSpec)) \
+            and child.path and child.path != ":memory:":
+        return child.path + ".journal"
     raise InvalidArgument(
-        f"journal:// cannot derive a log path for a {scheme}:// child; "
-        "pass an explicit #path=/path/to.journal"
+        f"journal:// cannot derive a log path for a {child.scheme}:// "
+        "child; pass an explicit #path=/path/to.journal"
     )
 
 
-def _make_journal(rest: str, num_blocks: int, block_size: int) -> BlockStore:
+def _build_journal(
+    spec: JournalSpec, num_blocks: int, block_size: int
+) -> BlockStore:
     from repro.storage.journal import DEFAULT_JOURNAL_CAP, JournalBlockStore
 
-    child_uri, options = _split_fragment_options(rest, {"cap", "path"})
-    if not child_uri:
-        raise InvalidArgument(
-            "journal:// needs a child URI, "
-            "e.g. journal://file:///var/lib/discfs.img"
-        )
-    path = options.get("path") or _journal_path_for(child_uri)
-    cap = int(options.get("cap", DEFAULT_JOURNAL_CAP))
-    child = open_store(child_uri, num_blocks=num_blocks,
-                       block_size=block_size)
+    path = spec.path or _journal_path_for(spec.child)
+    cap = spec.cap if spec.cap is not None else DEFAULT_JOURNAL_CAP
+    child = build(spec.child, num_blocks=num_blocks, block_size=block_size)
     try:
         return JournalBlockStore(child, path, cap=cap)
     except Exception:
@@ -410,42 +390,44 @@ def _make_journal(rest: str, num_blocks: int, block_size: int) -> BlockStore:
         raise
 
 
-def _make_slow(rest: str, num_blocks: int, block_size: int) -> BlockStore:
-    from repro.storage.replica import DelayedBlockStore
-
-    child_uri, options = _split_fragment_options(rest, {"ms"})
-    if not child_uri:
-        raise InvalidArgument(
-            "slow:// needs a child URI, e.g. slow://mem://#ms=5"
-        )
-    child = open_store(child_uri, num_blocks=num_blocks,
-                       block_size=block_size)
-    return DelayedBlockStore(child, delay_ms=float(options.get("ms", 0.0)))
-
-
-def _make_lazy(rest: str, num_blocks: int, block_size: int) -> BlockStore:
+def _build_lazy(spec: LazySpec, num_blocks: int, block_size: int) -> BlockStore:
     from repro.storage.lazy import DEFAULT_RETRY_INTERVAL, LazyBlockStore
 
-    child_uri, options = _split_fragment_options(rest, {"retry"})
-    if not child_uri:
-        raise InvalidArgument(
-            "lazy:// needs a child URI, e.g. lazy://remote://127.0.0.1:9001"
-        )
-    retry = float(options.get("retry", DEFAULT_RETRY_INTERVAL))
-    store = LazyBlockStore(child_uri, num_blocks=num_blocks,
+    retry = spec.retry if spec.retry is not None else DEFAULT_RETRY_INTERVAL
+    store = LazyBlockStore(_lazy_target(spec.child), num_blocks=num_blocks,
                            block_size=block_size, retry_interval=retry)
     store.try_connect()  # eager best effort; a down child is tolerated
     return store
 
 
-register_scheme("mem", _make_mem)
-register_scheme("file", _make_file)
-register_scheme("sqlite", _make_sqlite)
-register_scheme("shard", _make_shard)
-register_scheme("cached", _make_cached)
-register_scheme("remote", _make_remote)
-register_scheme("replica", _make_replica)
-register_scheme("failing", _make_failing)
-register_scheme("journal", _make_journal)
-register_scheme("lazy", _make_lazy)
-register_scheme("slow", _make_slow)
+def _build_slow(spec: SlowSpec, num_blocks: int, block_size: int) -> BlockStore:
+    from repro.storage.replica import DelayedBlockStore
+
+    child = build(spec.child, num_blocks=num_blocks, block_size=block_size)
+    return DelayedBlockStore(child, delay_ms=spec.ms if spec.ms is not None
+                             else 0.0)
+
+
+_BUILDERS.update({
+    MemSpec: _build_mem,
+    FileSpec: _build_file,
+    SqliteSpec: _build_sqlite,
+    ShardSpec: _build_shard,
+    CachedSpec: _build_cached,
+    RemoteSpec: _build_remote,
+    ReplicaSpec: _build_replica,
+    FailingSpec: _build_failing,
+    JournalSpec: _build_journal,
+    LazySpec: _build_lazy,
+    SlowSpec: _build_slow,
+})
+
+__all__ = [
+    "DEFAULT_NUM_BLOCKS",
+    "build",
+    "open_device",
+    "open_store",
+    "register_scheme",
+    "registered_schemes",
+    "split_uri",
+]

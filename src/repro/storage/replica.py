@@ -44,15 +44,20 @@ is the injectable failure used to test exactly that, and
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 
 from repro.errors import InvalidArgument, QuorumError, ReproError, StoreUnavailable
-from repro.storage.base import BlockStore
+from repro.storage.base import BlockStore, Capabilities
 
 _CHILD_FAILURES = (ReproError, OSError)
+
+#: Version of the stamps-sidecar JSON format (``#stamps=PATH``).
+_STAMPS_FORMAT = 1
 
 
 @dataclass
@@ -65,11 +70,13 @@ class ReplicaStats:
     child_failures: int = 0     # individual child operations that failed
     background_writes: int = 0  # child writes that finished after quorum-W
                                 # already let the caller continue
+    hedged_reads: int = 0       # extra reads dispatched past hedge_ms
 
     def reset(self) -> None:
         self.degraded_writes = self.degraded_reads = 0
         self.repaired_blocks = self.child_failures = 0
         self.background_writes = 0
+        self.hedged_reads = 0
 
 
 class ReplicatedBlockStore(BlockStore):
@@ -86,7 +93,8 @@ class ReplicatedBlockStore(BlockStore):
 
     def __init__(self, children: list[BlockStore],
                  write_quorum: int | None = None, read_quorum: int = 1,
-                 fanout: int | None = None):
+                 fanout: int | None = None, hedge_ms: float | None = None,
+                 stamps_path: str | None = None):
         n = len(children)
         if n == 0:
             raise InvalidArgument("replica:// needs at least one child store")
@@ -103,16 +111,34 @@ class ReplicatedBlockStore(BlockStore):
             raise InvalidArgument(f"read quorum {read_quorum} outside 1..{n}")
         if fanout is not None and fanout < 1:
             raise InvalidArgument("replica fanout must be at least 1")
+        if hedge_ms is not None and hedge_ms < 0:
+            raise InvalidArgument("replica hedge_ms must be >= 0")
         super().__init__(min(c.num_blocks for c in children), block_size)
         self.children = list(children)
         self.write_quorum = write_quorum
         self.read_quorum = read_quorum
         self.fanout = n if fanout is None else min(int(fanout), n)
+        #: After this many milliseconds waiting on a racing read, one
+        #: extra child is recruited — capping the tail a slow-but-alive
+        #: child inside the chosen R would otherwise impose.  None
+        #: disables hedging (the pre-hedge behaviour).
+        self.hedge_ms = hedge_ms
+        #: Sidecar file persisting version stamps across restarts, so
+        #: last-write-wins read-repair still knows which child is stale
+        #: after the process reopens the same children.  None keeps the
+        #: old presume-all-fresh reopen semantics.
+        self.stamps_path = stamps_path
         self.replica_stats = ReplicaStats()
         #: Lamport-ish write counter; bumped once per write batch.
         self._clock = 0
         #: Per-child block -> version stamp of the copy that child holds.
         self._versions: list[dict[int, int]] = [dict() for _ in children]
+        #: Whether the stamps changed since the last sidecar save —
+        #: flush() runs on the fsync hot path, so an unchanged map must
+        #: not re-serialize the whole sidecar.
+        self._stamps_dirty = False
+        if stamps_path:
+            self._load_stamps()
         #: Per-child block -> newest version *scheduled* onto the child
         #: (in flight on its lane or already acknowledged).  Read-repair
         #: consults this so it never queues a redundant repair behind a
@@ -179,6 +205,70 @@ class ReplicatedBlockStore(BlockStore):
             while self._pending:
                 self._drain_cv.wait()
 
+    # -- stamp persistence -------------------------------------------------
+
+    def _load_stamps(self) -> None:
+        """Restore per-child version stamps from the sidecar, if present.
+
+        A sidecar whose shape no longer matches the mounted topology
+        (child count changed) is ignored: wrong stamps are worse than
+        no stamps, because repair trusts them to name the freshest copy.
+        """
+        try:
+            with open(self.stamps_path, "r", encoding="utf-8") as f:
+                raw = json.load(f)
+        except FileNotFoundError:
+            return
+        except (OSError, ValueError):
+            return  # unreadable/corrupt sidecar: presume all fresh
+        if (not isinstance(raw, dict)
+                or raw.get("format") != _STAMPS_FORMAT
+                or len(raw.get("children", ())) != len(self.children)):
+            return
+        try:
+            clock = int(raw.get("clock", 0))
+            versions = [
+                {int(block): int(version) for block, version in stamps.items()}
+                for stamps in raw["children"]
+            ]
+        except (AttributeError, TypeError, ValueError):
+            return  # valid JSON, wrong shape: same presume-fresh fallback
+        self._clock = clock
+        self._versions = versions
+
+    def _save_stamps(self) -> None:
+        """Write the stamps sidecar atomically (tmp + fsync + rename),
+        called from ``flush``/``close`` after the drain barrier so every
+        stamp reflects an acknowledged child write.  Skipped while the
+        map is unchanged — ``flush`` runs on the fsync hot path."""
+        if not self.stamps_path:
+            return
+        with self._lock:
+            if not self._stamps_dirty:
+                return
+            payload = {
+                "format": _STAMPS_FORMAT,
+                "clock": self._clock,
+                "children": [
+                    {str(block): version for block, version in stamps.items()}
+                    for stamps in self._versions
+                ],
+            }
+            self._stamps_dirty = False
+        parent = os.path.dirname(self.stamps_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        tmp_path = self.stamps_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+            # rename-into-place is atomic for the *name* only: without
+            # flushing the payload first, a crash can leave the new
+            # name pointing at truncated data — exactly the restart the
+            # sidecar exists to survive.
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_path, self.stamps_path)
+
     # -- write path --------------------------------------------------------
 
     def _put(self, block_no: int, data: bytes) -> None:
@@ -220,6 +310,7 @@ class ReplicatedBlockStore(BlockStore):
         with self._lock:
             self._clock += 1
             version = self._clock
+            self._stamps_dirty = True
         if not self._concurrent:
             self._put_many_sequential(items, version)
             return
@@ -348,7 +439,13 @@ class ReplicatedBlockStore(BlockStore):
         self, block_nos: list[int]
     ) -> tuple[list[tuple[int, list[bytes]]], int]:
         """Race the read quorum: R children in flight at once, the next
-        child dispatched whenever one fails, first R answers win."""
+        child dispatched whenever one fails, first R answers win.
+
+        With ``hedge_ms`` set, a round that produces no answer within
+        the budget recruits **one** extra child beyond the chosen R —
+        the hedge that caps the tail when a raced child is slow but
+        alive (a dead child already triggers recruitment via failure).
+        """
         n = len(self.children)
         responses: list[tuple[int, list[bytes]]] = []
         failed = 0
@@ -368,9 +465,24 @@ class ReplicatedBlockStore(BlockStore):
 
         for _ in range(min(self.read_quorum, n)):
             submit_next()
+        hedge_armed = self.hedge_ms is not None and next_idx < n
         fatal: BaseException | None = None
         while pending and len(responses) < self.read_quorum and fatal is None:
-            done, _running = wait(list(pending), return_when=FIRST_COMPLETED)
+            timeout = self.hedge_ms / 1000.0 if hedge_armed else None
+            done, _running = wait(list(pending), timeout=timeout,
+                                  return_when=FIRST_COMPLETED)
+            if not done:
+                # Hedge budget elapsed with a slow-but-alive child still
+                # holding up the quorum: dispatch one extra read.  Count
+                # only when a spare child actually existed to dispatch
+                # (failures may have exhausted the list meanwhile).
+                hedge_armed = False
+                dispatched_before = next_idx
+                submit_next()
+                if next_idx > dispatched_before:
+                    with self._lock:
+                        self.replica_stats.hedged_reads += 1
+                continue
             for fut in done:
                 idx = pending.pop(fut)
                 exc = fut.exception()
@@ -485,6 +597,7 @@ class ReplicatedBlockStore(BlockStore):
                     if scheduled.get(block_no, 0) < version:
                         scheduled[block_no] = version
                 self.replica_stats.repaired_blocks += len(triples)
+                self._stamps_dirty = True
 
     # -- everything else ---------------------------------------------------
 
@@ -515,6 +628,7 @@ class ReplicatedBlockStore(BlockStore):
                     self.replica_stats.child_failures += 1
                 continue
             successes += 1
+        self._save_stamps()
         if successes < self.write_quorum:
             raise QuorumError(
                 f"flush reached {successes} replicas, "
@@ -523,6 +637,7 @@ class ReplicatedBlockStore(BlockStore):
 
     def close(self) -> None:
         self.drain()
+        self._save_stamps()
         with self._lanes_lock:
             lanes, self._lanes = self._lanes, [None] * len(self.children)
         for lane in lanes:
@@ -546,8 +661,50 @@ class ReplicatedBlockStore(BlockStore):
             raise StoreUnavailable("no replica reachable for used_blocks()")
         return best
 
+    def used_block_numbers(self) -> list[int]:
+        numbers: set[int] = set()
+        reachable = 0
+        for idx in range(len(self.children)):
+            try:
+                numbers.update(
+                    self._child_op(idx, lambda c: c.used_block_numbers())
+                )
+            except _CHILD_FAILURES:
+                continue
+            reachable += 1
+        if not reachable:
+            raise StoreUnavailable(
+                "no replica reachable for used_block_numbers()"
+            )
+        return sorted(numbers)
+
     def leaf_stores(self) -> list[BlockStore]:
         return [leaf for c in self.children for leaf in c.leaf_stores()]
+
+    def child_stores(self) -> list[BlockStore]:
+        return list(self.children)
+
+    def capabilities(self) -> Capabilities:
+        child_caps = [c.capabilities() for c in self.children]
+        return Capabilities(
+            thread_safe=False,  # version stamps assume one caller
+            durable=all(c.durable for c in child_caps),
+            networked=any(c.networked for c in child_caps),
+            composite=True,
+        )
+
+    def _extra_stats(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "degraded_writes": self.replica_stats.degraded_writes,
+                "degraded_reads": self.replica_stats.degraded_reads,
+                "repaired_blocks": self.replica_stats.repaired_blocks,
+                "child_failures": self.replica_stats.child_failures,
+                "background_writes": self.replica_stats.background_writes,
+                "hedged_reads": self.replica_stats.hedged_reads,
+                "write_quorum": self.write_quorum,
+                "read_quorum": self.read_quorum,
+            }
 
     def describe(self) -> str:
         kinds = ",".join(c.scheme for c in self.children)
@@ -631,12 +788,32 @@ class FailingBlockStore(BlockStore):
         self._check_up()
         return self.child.used_blocks()
 
+    def used_block_numbers(self) -> list[int]:
+        self._check_up()
+        return self.child.used_block_numbers()
+
     def leaf_stores(self) -> list[BlockStore]:
         # Physical traffic bypasses the child's public counters (see
         # above), so this wrapper stands in for its child in the
         # leaf-stats contract — summing leaf stats must still equal the
         # I/O that reached backing storage.
         return [self]
+
+    def child_stores(self) -> list[BlockStore]:
+        return [self.child]
+
+    def capabilities(self) -> Capabilities:
+        child_caps = self.child.capabilities()
+        return Capabilities(
+            thread_safe=False, durable=child_caps.durable,
+            networked=child_caps.networked, composite=True,
+        )
+
+    def _extra_stats(self) -> dict[str, float]:
+        return {
+            "failures": self.failures,
+            "failing": 1.0 if self.failing else 0.0,
+        }
 
     def describe(self) -> str:
         state = "DOWN" if self.failing else "up"
@@ -700,8 +877,24 @@ class DelayedBlockStore(BlockStore):
     def used_blocks(self) -> int:
         return self.child.used_blocks()
 
+    def used_block_numbers(self) -> list[int]:
+        return self.child.used_block_numbers()
+
     def leaf_stores(self) -> list[BlockStore]:
         return [self]
+
+    def child_stores(self) -> list[BlockStore]:
+        return [self.child]
+
+    def capabilities(self) -> Capabilities:
+        child_caps = self.child.capabilities()
+        return Capabilities(
+            thread_safe=False, durable=child_caps.durable,
+            networked=child_caps.networked, composite=True,
+        )
+
+    def _extra_stats(self) -> dict[str, float]:
+        return {"delayed_ops": self.delayed_ops, "delay_ms": self.delay_ms}
 
     def describe(self) -> str:
         return f"slow({self.delay_ms:g}ms) over {self.child.describe()}"

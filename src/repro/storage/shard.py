@@ -30,7 +30,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.errors import InvalidArgument
-from repro.storage.base import BlockStore
+from repro.storage.base import BlockStore, Capabilities
 
 #: Virtual nodes per shard; 64 keeps the ring balanced within a few
 #: percent while the ring stays tiny (n*64 entries).
@@ -44,6 +44,34 @@ DEFAULT_MAX_FANOUT = 8
 
 def _ring_hash(key: str) -> int:
     return int.from_bytes(hashlib.sha1(key.encode("ascii")).digest()[:8], "big")
+
+
+def build_ring(n: int) -> tuple[list[int], list[int]]:
+    """The consistent-hash ring for ``n`` children: sorted vnode points
+    and the owning child index per point.  A module-level function so
+    the control plane can compute the ring of a *prospective* topology
+    (``reshard`` diffs the current ring against the target's) without
+    mounting it."""
+    ring: list[int] = []
+    ring_shard: list[int] = []
+    points = sorted(
+        (_ring_hash(f"shard-{idx}:vnode-{v}"), idx)
+        for idx in range(n)
+        for v in range(VNODES_PER_SHARD)
+    )
+    for point, idx in points:
+        ring.append(point)
+        ring_shard.append(idx)
+    return ring, ring_shard
+
+
+def ring_owner(ring: list[int], ring_shard: list[int], block_no: int) -> int:
+    """Index of the child owning ``block_no`` on this ring."""
+    point = _ring_hash(f"block-{block_no}")
+    i = bisect.bisect_right(ring, point)
+    if i == len(ring):
+        i = 0
+    return ring_shard[i]
 
 
 class ShardedBlockStore(BlockStore):
@@ -73,7 +101,6 @@ class ShardedBlockStore(BlockStore):
             raise InvalidArgument("shard children must share one block size")
         num_blocks = min(c.num_blocks for c in children)
         super().__init__(num_blocks, block_size)
-        self.children = list(children)
         if fanout is None:
             fanout = min(len(children), DEFAULT_MAX_FANOUT)
         if fanout < 1:
@@ -81,26 +108,61 @@ class ShardedBlockStore(BlockStore):
         self.fanout = min(int(fanout), len(children))
         self._executor: ThreadPoolExecutor | None = None
         self._executor_lock = threading.Lock()
-        self._ring: list[int] = []
-        self._ring_shard: list[int] = []
-        points = sorted(
-            (_ring_hash(f"shard-{idx}:vnode-{v}"), idx)
-            for idx in range(len(children))
-            for v in range(VNODES_PER_SHARD)
+        # children + ring live in ONE attribute so a topology swap
+        # (reshard) is a single atomic assignment: a concurrent reader
+        # never sees the new children with the old ring or vice versa.
+        ring, ring_shard = build_ring(len(children))
+        self._topology: tuple[list[BlockStore], list[int], list[int]] = (
+            list(children), ring, ring_shard,
         )
-        for point, idx in points:
-            self._ring.append(point)
-            self._ring_shard.append(idx)
+
+    @property
+    def children(self) -> list[BlockStore]:
+        return self._topology[0]
 
     # -- placement ---------------------------------------------------------
 
     def shard_for(self, block_no: int) -> int:
         """Index of the child that owns ``block_no`` (deterministic)."""
-        point = _ring_hash(f"block-{block_no}")
-        i = bisect.bisect_right(self._ring, point)
-        if i == len(self._ring):
-            i = 0
-        return self._ring_shard[i]
+        _children, ring, ring_shard = self._topology
+        return ring_owner(ring, ring_shard, block_no)
+
+    def swap_children(self, children: list[BlockStore],
+                      fanout: int | None = None) -> None:
+        """Atomically replace the child list (and its ring).
+
+        The control plane's ``reshard`` calls this *after* migrating
+        every block whose owner changes, so the swap is the commit
+        point: one attribute assignment flips placement for all
+        subsequent operations.  The new children must cover the store's
+        existing geometry.
+        """
+        if not children:
+            raise InvalidArgument("shard:// needs at least one child store")
+        if any(c.block_size != self.block_size for c in children):
+            raise InvalidArgument("shard children must share one block size")
+        if min(c.num_blocks for c in children) < self.num_blocks:
+            raise InvalidArgument(
+                "swapped-in children must cover the store's "
+                f"{self.num_blocks} blocks"
+            )
+        ring, ring_shard = build_ring(len(children))
+        if fanout is not None:
+            if fanout < 1:
+                raise InvalidArgument("shard fanout must be at least 1")
+            new_fanout = min(int(fanout), len(children))
+        else:
+            new_fanout = min(self.fanout, len(children))
+        if new_fanout != self.fanout:
+            # The lazily created pool was sized for the old fanout;
+            # retire it so the next fan-out builds one at the new width
+            # (in-flight tasks on the old pool run to completion).
+            self.fanout = new_fanout
+            with self._executor_lock:
+                executor, self._executor = self._executor, None
+            if executor is not None:
+                executor.shutdown(wait=False)
+        self._topology = (list(children), ring, ring_shard)
 
     # -- fan-out machinery -------------------------------------------------
 
@@ -135,33 +197,50 @@ class ShardedBlockStore(BlockStore):
 
     # -- BlockStore interface ----------------------------------------------
 
+    # Every data-path operation snapshots ``self._topology`` exactly
+    # once and uses children + ring from the SAME snapshot: reading them
+    # through separate attribute accesses could pair the new ring with
+    # the old child list across a concurrent swap_children (the reshard
+    # commit point), which is precisely what the single-assignment swap
+    # exists to prevent.
+
     def _get(self, block_no: int) -> bytes | None:
-        child = self.children[self.shard_for(block_no)]
-        data = child.read(block_no)
-        return data
+        children, ring, ring_shard = self._topology
+        child = children[ring_owner(ring, ring_shard, block_no)]
+        return child.read(block_no)
 
     def _put(self, block_no: int, data: bytes) -> None:
-        self.children[self.shard_for(block_no)].write(block_no, data)
+        children, ring, ring_shard = self._topology
+        children[ring_owner(ring, ring_shard, block_no)].write(block_no, data)
 
     def _contains(self, block_no: int) -> bool:
-        return self.children[self.shard_for(block_no)]._contains(block_no)
+        children, ring, ring_shard = self._topology
+        child = children[ring_owner(ring, ring_shard, block_no)]
+        return child._contains(block_no)
 
-    def _group_by_shard(self, block_nos: list[int]) -> dict[int, list[int]]:
-        """Positions into ``block_nos`` grouped by owning child index."""
+    @staticmethod
+    def _group_by_shard(topology, block_nos: list[int]) -> dict[int, list[int]]:
+        """Positions into ``block_nos`` grouped by owning child index,
+        placed on the given topology snapshot's ring."""
+        _children, ring, ring_shard = topology
         groups: dict[int, list[int]] = {}
         for pos, block_no in enumerate(block_nos):
-            groups.setdefault(self.shard_for(block_no), []).append(pos)
+            groups.setdefault(
+                ring_owner(ring, ring_shard, block_no), []
+            ).append(pos)
         return groups
 
     def _get_many(self, block_nos: list[int]) -> list[bytes | None]:
         # One read_many per owning child instead of one read per block —
         # and, past fanout=1, all children at once: with remote:// nodes
         # that is one *overlapped* RPC round trip per shard.
+        topology = self._topology
+        children = topology[0]
         out: list[bytes | None] = [None] * len(block_nos)
-        groups = list(self._group_by_shard(block_nos).items())
+        groups = list(self._group_by_shard(topology, block_nos).items())
 
         def fetch(child_idx: int, positions: list[int]):
-            datas = self.children[child_idx].read_many(
+            datas = children[child_idx].read_many(
                 [block_nos[pos] for pos in positions]
             )
             for pos, data in zip(positions, datas):
@@ -174,12 +253,16 @@ class ShardedBlockStore(BlockStore):
         return out
 
     def _put_many(self, items: list[tuple[int, bytes]]) -> None:
+        topology = self._topology
+        children = topology[0]
         groups = list(
-            self._group_by_shard([block_no for block_no, _ in items]).items()
+            self._group_by_shard(
+                topology, [block_no for block_no, _ in items]
+            ).items()
         )
         self._fan_out([
             (lambda idx=idx, positions=positions:
-                self.children[idx].write_many([items[pos] for pos in positions]))
+                children[idx].write_many([items[pos] for pos in positions]))
             for idx, positions in groups
         ])
 
@@ -215,8 +298,26 @@ class ShardedBlockStore(BlockStore):
     def used_blocks(self) -> int:
         return sum(c.used_blocks() for c in self.children)
 
+    def used_block_numbers(self) -> list[int]:
+        numbers: set[int] = set()
+        for child in self.children:
+            numbers.update(child.used_block_numbers())
+        return sorted(numbers)
+
     def leaf_stores(self) -> list[BlockStore]:
         return [leaf for c in self.children for leaf in c.leaf_stores()]
+
+    def child_stores(self) -> list[BlockStore]:
+        return list(self.children)
+
+    def capabilities(self) -> Capabilities:
+        child_caps = [c.capabilities() for c in self.children]
+        return Capabilities(
+            thread_safe=False,  # fan-out bookkeeping assumes one caller
+            durable=all(c.durable for c in child_caps),
+            networked=any(c.networked for c in child_caps),
+            composite=True,
+        )
 
     def shard_distribution(self) -> list[int]:
         """Blocks currently held per shard (for balance reporting)."""

@@ -1,0 +1,1028 @@
+"""Typed storage configuration: ``StoreSpec`` dataclasses and the URI codec.
+
+Four PRs of organic growth configured the storage stack through ad-hoc
+string parsing scattered across the registry — fragment peeling here,
+per-scheme query handling there, silently ignored options everywhere.
+This module is the single typed description of a store topology:
+
+* one :class:`StoreSpec` dataclass per URI scheme (composites hold child
+  specs), comparable with ``==`` and safe to diff — which is what the
+  control plane's :func:`repro.storage.control.reshard` does with two
+  ring layouts;
+* :func:`parse_spec` turns any backend URI into a spec, and
+  :meth:`StoreSpec.to_uri` renders it back — ``parse_spec(s.to_uri())
+  == s`` holds for every spec this module can parse (the property test
+  in ``tests/property/test_prop_storage_spec.py`` proves it);
+* a programmatic builder API so topologies can be composed without
+  string plumbing::
+
+      from repro.storage.spec import shard, remote
+
+      spec = shard(remote("h1:9001"), remote("h2:9001"), fanout=4)
+      store = open_store(spec)          # registry builds from specs too
+
+* validation that *names the offending scheme and option*: unknown
+  schemes and unknown ``?``/``#`` options raise :class:`SpecError` with
+  a difflib suggestion, and the suggestion pool covers every scheme's
+  option names, so ``cached://mem://#capasity=8`` points at
+  ``#capacity=`` even though the typo lands on the ``mem://`` child.
+
+This module is pure data — it never imports store classes.  Building a
+live :class:`~repro.storage.base.BlockStore` from a spec is
+:func:`repro.storage.registry.build`'s job.
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, Iterator, Union
+
+from repro.errors import InvalidArgument
+
+
+class SpecError(InvalidArgument):
+    """A backend URI or spec that names an unknown scheme or option,
+    or fails a scheme's validation rules."""
+
+
+# ---------------------------------------------------------------------------
+# Option plumbing
+# ---------------------------------------------------------------------------
+
+#: scheme -> option names that scheme accepts (query or fragment).
+#: Populated by ``_register``; the cross-scheme suggestion pool.
+OPTIONS_BY_SCHEME: dict[str, frozenset[str]] = {}
+
+#: scheme -> spec class, for parse dispatch.
+SPEC_TYPES: dict[str, type["StoreSpec"]] = {}
+
+
+def _suggest_option(name: str, scheme: str) -> str:
+    """A ``did you mean`` hint for a misspelled option, searched first in
+    ``scheme``'s own options and then across every scheme's."""
+    own = OPTIONS_BY_SCHEME.get(scheme, frozenset())
+    close = difflib.get_close_matches(name, sorted(own), n=1)
+    if close:
+        return f"; did you mean '{close[0]}'?"
+    pool = {
+        option: owner
+        for owner, options in OPTIONS_BY_SCHEME.items()
+        for option in options
+    }
+    close = difflib.get_close_matches(name, sorted(pool), n=1)
+    if close:
+        return f"; did you mean '{close[0]}' (a {pool[close[0]]}:// option)?"
+    return ""
+
+
+def _parse_pairs(text: str, scheme: str, where: str) -> dict[str, str]:
+    """Parse ``key=value&key=value`` strictly (no silent drops)."""
+    options: dict[str, str] = {}
+    for chunk in text.split("&"):
+        if not chunk:
+            continue
+        key, sep, value = chunk.partition("=")
+        if not sep or not key:
+            raise SpecError(
+                f"{scheme}:// {where} option {chunk!r} is not 'key=value'"
+            )
+        options[key] = value
+    return options
+
+
+def _check_known(
+    options: dict[str, str], known: frozenset[str], scheme: str, where: str
+) -> None:
+    for name in options:
+        if name not in known:
+            raise SpecError(
+                f"unknown {scheme}:// {where} option {name!r}"
+                f"{_suggest_option(name, scheme)} "
+                f"(known: {', '.join(sorted(known)) or 'none'})"
+            )
+
+
+def _int_option(options: dict[str, str], name: str, scheme: str) -> int | None:
+    if name not in options:
+        return None
+    try:
+        return int(options[name])
+    except ValueError:
+        raise SpecError(
+            f"{scheme}:// option {name}={options[name]!r} is not an integer"
+        ) from None
+
+
+def _float_option(
+    options: dict[str, str], name: str, scheme: str
+) -> float | None:
+    if name not in options:
+        return None
+    try:
+        return float(options[name])
+    except ValueError:
+        raise SpecError(
+            f"{scheme}:// option {name}={options[name]!r} is not a number"
+        ) from None
+
+
+def _bool_option(
+    options: dict[str, str], name: str, scheme: str
+) -> bool | None:
+    if name not in options:
+        return None
+    value = options[name].lower()
+    if value in ("on", "1", "true", "yes"):
+        return True
+    if value in ("off", "0", "false", "no"):
+        return False
+    raise SpecError(
+        f"{scheme}:// option {name}={options[name]!r} is not on/off"
+    )
+
+
+def _split_query(rest: str, scheme: str, known: frozenset[str]) -> tuple[str, dict[str, str]]:
+    """``body?query`` with strict option validation."""
+    body, sep, query = rest.partition("?")
+    if not sep:
+        return body, {}
+    options = _parse_pairs(query, scheme, "query")
+    _check_known(options, known, scheme, "query")
+    return body, options
+
+
+def _peel_fragment(
+    rest: str, scheme: str, known: frozenset[str]
+) -> tuple[str, dict[str, str]]:
+    """Peel a trailing ``#key=value&...`` fragment off a composite URI.
+
+    A fragment made exclusively of ``known`` keys belongs to this layer
+    and is consumed; a fragment sharing *no* keys with this layer passes
+    through intact (it belongs to the child URI, whose own parser will
+    validate it); a mix is ambiguous and raises, naming the stray keys.
+    """
+    body, sep, fragment = rest.rpartition("#")
+    if not sep or not fragment:
+        return rest, {}
+    options = _parse_pairs(fragment, scheme, "fragment")
+    if not options:
+        return rest, {}
+    names = set(options)
+    if names <= known:
+        _check_known(options, known, scheme, "fragment")
+        return body, options
+    if names & known:
+        stray = sorted(names - known)
+        hints = "".join(_suggest_option(name, scheme) for name in stray)
+        raise SpecError(
+            f"{scheme}:// fragment mixes its own options with unknown "
+            f"{', '.join(repr(s) for s in stray)}{hints} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return rest, {}  # belongs to the child URI
+
+
+def _leaf_fragment_check(rest: str, scheme: str) -> str:
+    """Leaf schemes take no fragment: reject one with a suggestion, so a
+    typo'd overlay option that slid down to the child is still caught
+    (``cached://mem://#capasity=8`` names ``#capacity=``)."""
+    body, sep, fragment = rest.rpartition("#")
+    if not sep:
+        return rest
+    options = _parse_pairs(fragment, scheme, "fragment")
+    if not options:
+        return body
+    name = sorted(options)[0]
+    raise SpecError(
+        f"{scheme}:// takes no #fragment options (got {name!r})"
+        f"{_suggest_option(name, scheme)}"
+    )
+
+
+def _encode_options(pairs: list[tuple[str, object]]) -> str:
+    """Render the set (non-``None``) options as ``key=value&...``."""
+    chunks = []
+    for key, value in pairs:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            value = "on" if value else "off"
+        chunks.append(f"{key}={value}")
+    return "&".join(chunks)
+
+
+# ---------------------------------------------------------------------------
+# The spec classes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StoreSpec:
+    """Base class: a typed, comparable description of one store layer."""
+
+    #: URI scheme this spec (de)serializes as.
+    scheme: ClassVar[str] = ""
+    #: Option names this scheme accepts in its query/fragment.
+    options: ClassVar[frozenset[str]] = frozenset()
+
+    def children(self) -> list["StoreSpec"]:
+        """Child specs, outermost first (empty for leaves)."""
+        return []
+
+    def walk(self) -> Iterator["StoreSpec"]:
+        """This spec and every descendant, depth-first."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def validate(self) -> None:
+        """Raise :class:`SpecError` on out-of-range values; recursive."""
+        for child in self.children():
+            child.validate()
+
+    def to_uri(self) -> str:
+        """Render the canonical URI; inverse of :func:`parse_spec`."""
+        raise NotImplementedError
+
+    @classmethod
+    def parse(cls, rest: str) -> "StoreSpec":
+        """Parse everything after ``scheme://`` into a spec."""
+        raise NotImplementedError
+
+    # -- shared rendering helpers ------------------------------------------
+
+    def _child_list_uri(self, child_specs: list["StoreSpec"]) -> str:
+        """Semicolon-joined child URIs, rejecting shapes the flat list
+        grammar cannot express (a nested multi-child composite would be
+        re-split at the parent's semicolons)."""
+        rendered = [child.to_uri() for child in child_specs]
+        for uri in rendered:
+            if ";" in uri:
+                raise SpecError(
+                    f"{self.scheme}:// cannot express child {uri!r} in a "
+                    "semicolon list (nested multi-child composites have "
+                    "no URI form; pass the spec object instead)"
+                )
+        return ";".join(rendered)
+
+    def _with_fragment(self, body: str, pairs: list[tuple[str, object]]) -> str:
+        """Append ``#key=value`` options; reject ambiguous shapes where
+        an option-less composite would re-parse the child's trailing
+        fragment as its own."""
+        encoded = _encode_options(pairs)
+        if encoded:
+            return f"{self.scheme}://{body}#{encoded}"
+        head, sep, fragment = body.rpartition("#")
+        if sep and fragment:
+            trailing = _parse_pairs(fragment, self.scheme, "fragment")
+            if trailing and set(trailing) & self.options:
+                raise SpecError(
+                    f"{self.scheme}:// with no options of its own cannot "
+                    f"be rendered over a child ending in #{fragment!r} "
+                    "(the fragment would re-parse as this layer's; pass "
+                    "the spec object instead)"
+                )
+        return f"{self.scheme}://{body}"
+
+
+@dataclass
+class MemSpec(StoreSpec):
+    """``mem://`` — in-memory store.  Options: ``?blocks=N&bs=N``."""
+
+    scheme: ClassVar[str] = "mem"
+    options: ClassVar[frozenset[str]] = frozenset({"blocks", "bs"})
+
+    blocks: int | None = None
+    bs: int | None = None
+
+    def validate(self) -> None:
+        _validate_geometry(self)
+
+    def to_uri(self) -> str:
+        query = _encode_options([("blocks", self.blocks), ("bs", self.bs)])
+        return f"mem://?{query}" if query else "mem://"
+
+    @classmethod
+    def parse(cls, rest: str) -> "MemSpec":
+        rest = _leaf_fragment_check(rest, cls.scheme)
+        body, options = _split_query(rest, cls.scheme, cls.options)
+        if body:
+            raise SpecError(f"mem:// takes no path (got {body!r})")
+        spec = cls(
+            blocks=_int_option(options, "blocks", cls.scheme),
+            bs=_int_option(options, "bs", cls.scheme),
+        )
+        spec.validate()
+        return spec
+
+
+def _validate_geometry(spec: "MemSpec | FileSpec | SqliteSpec") -> None:
+    if spec.blocks is not None and spec.blocks <= 0:
+        raise SpecError(
+            f"{spec.scheme}:// option blocks={spec.blocks} must be positive"
+        )
+    if spec.bs is not None and (spec.bs <= 0 or spec.bs % 512):
+        raise SpecError(
+            f"{spec.scheme}:// option bs={spec.bs} must be a positive "
+            "multiple of 512"
+        )
+
+
+@dataclass
+class FileSpec(StoreSpec):
+    """``file://<path>`` — one host file.  Options: ``?blocks=N&bs=N``."""
+
+    scheme: ClassVar[str] = "file"
+    options: ClassVar[frozenset[str]] = frozenset({"blocks", "bs"})
+
+    path: str = ""
+    blocks: int | None = None
+    bs: int | None = None
+
+    def validate(self) -> None:
+        if not self.path:
+            raise SpecError(
+                "file:// needs a path, e.g. file:///tmp/fs.img"
+            )
+        _validate_geometry(self)
+
+    def to_uri(self) -> str:
+        query = _encode_options([("blocks", self.blocks), ("bs", self.bs)])
+        return f"file://{self.path}?{query}" if query else f"file://{self.path}"
+
+    @classmethod
+    def parse(cls, rest: str) -> "FileSpec":
+        rest = _leaf_fragment_check(rest, cls.scheme)
+        body, options = _split_query(rest, cls.scheme, cls.options)
+        spec = cls(
+            path=body,
+            blocks=_int_option(options, "blocks", cls.scheme),
+            bs=_int_option(options, "bs", cls.scheme),
+        )
+        spec.validate()
+        return spec
+
+
+@dataclass
+class SqliteSpec(StoreSpec):
+    """``sqlite://<path>`` — SQLite database file (``:memory:`` works)."""
+
+    scheme: ClassVar[str] = "sqlite"
+    options: ClassVar[frozenset[str]] = frozenset({"blocks", "bs"})
+
+    path: str = ""
+    blocks: int | None = None
+    bs: int | None = None
+
+    def validate(self) -> None:
+        if not self.path:
+            raise SpecError(
+                "sqlite:// needs a path, e.g. sqlite:///tmp/fs.db"
+            )
+        _validate_geometry(self)
+
+    def to_uri(self) -> str:
+        query = _encode_options([("blocks", self.blocks), ("bs", self.bs)])
+        return (f"sqlite://{self.path}?{query}" if query
+                else f"sqlite://{self.path}")
+
+    @classmethod
+    def parse(cls, rest: str) -> "SqliteSpec":
+        rest = _leaf_fragment_check(rest, cls.scheme)
+        body, options = _split_query(rest, cls.scheme, cls.options)
+        spec = cls(
+            path=body,
+            blocks=_int_option(options, "blocks", cls.scheme),
+            bs=_int_option(options, "bs", cls.scheme),
+        )
+        spec.validate()
+        return spec
+
+
+@dataclass
+class RemoteSpec(StoreSpec):
+    """``remote://<host>:<port>`` — client for a served block store.
+
+    Options: ``?timeout=SECONDS&batch=on|off&workers=N``.
+    """
+
+    scheme: ClassVar[str] = "remote"
+    options: ClassVar[frozenset[str]] = frozenset(
+        {"timeout", "batch", "workers"}
+    )
+
+    host: str = ""
+    port: int = 0
+    timeout: float | None = None
+    batch: bool | None = None
+    workers: int | None = None
+
+    def validate(self) -> None:
+        if not self.host or not 0 < self.port < 65536:
+            raise SpecError(
+                f"remote:// needs host:port (got {self.host!r}:{self.port}), "
+                "e.g. remote://127.0.0.1:9001"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise SpecError(
+                f"remote:// option workers={self.workers} must be at least 1"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise SpecError(
+                f"remote:// option timeout={self.timeout} must be positive"
+            )
+
+    def to_uri(self) -> str:
+        query = _encode_options([
+            ("timeout", self.timeout), ("batch", self.batch),
+            ("workers", self.workers),
+        ])
+        base = f"remote://{self.host}:{self.port}"
+        return f"{base}?{query}" if query else base
+
+    @classmethod
+    def parse(cls, rest: str) -> "RemoteSpec":
+        rest = _leaf_fragment_check(rest, cls.scheme)
+        body, options = _split_query(rest, cls.scheme, cls.options)
+        host, sep, port = body.rpartition(":")
+        if not sep or not host or not port.isdigit():
+            raise SpecError(
+                f"remote:// needs host:port (got {body!r}), "
+                "e.g. remote://127.0.0.1:9001"
+            )
+        spec = cls(
+            host=host,
+            port=int(port),
+            timeout=_float_option(options, "timeout", cls.scheme),
+            batch=_bool_option(options, "batch", cls.scheme),
+            workers=_int_option(options, "workers", cls.scheme),
+        )
+        spec.validate()
+        return spec
+
+
+#: base=... values the shard/replica count forms expand children from.
+_COUNT_BASES = ("mem", "file", "sqlite")
+
+
+def _expand_count_children(
+    scheme: str, prefix: str, n: int, options: dict[str, str]
+) -> list[StoreSpec]:
+    """Children for ``shard://<n>`` / ``replica://<n>``: ``?base=`` picks
+    the child scheme, ``?dir=`` the directory for path-addressed ones,
+    and ``?blocks=&bs=`` ride down onto each child."""
+    if n <= 0:
+        raise SpecError(f"{scheme}:// count must be positive (got {n})")
+    base = options.get("base", "mem")
+    directory = options.get("dir", "")
+    blocks = _int_option(options, "blocks", scheme)
+    bs = _int_option(options, "bs", scheme)
+    if base not in _COUNT_BASES:
+        close = difflib.get_close_matches(base, _COUNT_BASES, n=1)
+        hint = f"; did you mean {close[0]!r}?" if close else ""
+        raise SpecError(
+            f"unknown {scheme}:// base {base!r}{hint} "
+            f"(known: {', '.join(_COUNT_BASES)})"
+        )
+    children: list[StoreSpec] = []
+    for i in range(n):
+        if base == "mem":
+            children.append(MemSpec(blocks=blocks, bs=bs))
+            continue
+        if not directory:
+            raise SpecError(
+                f"{scheme}://{n}?base={base} needs &dir=PATH for child files"
+            )
+        ext = "blk" if base == "file" else "db"
+        path = os.path.join(directory, f"{prefix}-{i}.{ext}")
+        spec_cls = FileSpec if base == "file" else SqliteSpec
+        children.append(spec_cls(path=path, blocks=blocks, bs=bs))
+    return children
+
+
+def _parse_child_list(body: str, scheme: str) -> list[StoreSpec]:
+    children = [parse_spec(u) for u in body.split(";") if u]
+    if not children:
+        raise SpecError(f"{scheme}:// needs at least one child URI")
+    return children
+
+
+@dataclass
+class ShardSpec(StoreSpec):
+    """``shard://`` — consistent-hash ring over child stores.
+
+    URI forms: ``shard://<n>[?base=&dir=&fanout=&blocks=&bs=]`` (count
+    form, expanded to explicit children at parse time) and
+    ``shard://<uri>;<uri>;...[#fanout=N]``.
+    """
+
+    scheme: ClassVar[str] = "shard"
+    options: ClassVar[frozenset[str]] = frozenset(
+        {"base", "dir", "fanout", "blocks", "bs"}
+    )
+    #: the subset valid on the explicit-children fragment
+    fragment_options: ClassVar[frozenset[str]] = frozenset({"fanout"})
+
+    shards: list[StoreSpec] = field(default_factory=list)
+    fanout: int | None = None
+
+    def children(self) -> list[StoreSpec]:
+        return list(self.shards)
+
+    def validate(self) -> None:
+        if not self.shards:
+            raise SpecError("shard:// needs at least one child store")
+        if self.fanout is not None and self.fanout < 1:
+            raise SpecError(
+                f"shard:// option fanout={self.fanout} must be at least 1"
+            )
+        super().validate()
+
+    def to_uri(self) -> str:
+        return self._with_fragment(
+            self._child_list_uri(self.shards), [("fanout", self.fanout)]
+        )
+
+    @classmethod
+    def parse(cls, rest: str) -> "ShardSpec":
+        if "://" in rest:
+            body, options = _peel_fragment(rest, cls.scheme,
+                                           cls.fragment_options)
+            spec = cls(
+                shards=_parse_child_list(body, cls.scheme),
+                fanout=_int_option(options, "fanout", cls.scheme),
+            )
+            spec.validate()
+            return spec
+        body, options = _split_query(rest, cls.scheme, cls.options)
+        try:
+            n = int(body)
+        except ValueError:
+            raise SpecError(
+                f"shard:// needs a shard count or child URIs (got {rest!r})"
+            ) from None
+        spec = cls(
+            shards=_expand_count_children(cls.scheme, "shard", n, options),
+            fanout=_int_option(options, "fanout", cls.scheme),
+        )
+        spec.validate()
+        return spec
+
+
+@dataclass
+class ReplicaSpec(StoreSpec):
+    """``replica://`` — quorum replication over child stores.
+
+    URI forms: ``replica://<n>[?w=&r=&fanout=&hedge_ms=&stamps=&base=&
+    dir=&blocks=&bs=]`` (count form), ``replica://<n>/<child-template>``
+    (``{i}`` = replica index) and ``replica://<uri>;<uri>;...`` — the
+    template and explicit forms carry options in the fragment
+    (``#w=2&r=2&fanout=N&hedge_ms=5&stamps=/path``).
+    """
+
+    scheme: ClassVar[str] = "replica"
+    options: ClassVar[frozenset[str]] = frozenset(
+        {"w", "r", "fanout", "hedge_ms", "stamps", "base", "dir",
+         "blocks", "bs"}
+    )
+    fragment_options: ClassVar[frozenset[str]] = frozenset(
+        {"w", "r", "fanout", "hedge_ms", "stamps"}
+    )
+
+    replicas: list[StoreSpec] = field(default_factory=list)
+    w: int | None = None
+    r: int | None = None
+    fanout: int | None = None
+    hedge_ms: float | None = None
+    stamps: str | None = None
+
+    def children(self) -> list[StoreSpec]:
+        return list(self.replicas)
+
+    def validate(self) -> None:
+        n = len(self.replicas)
+        if n == 0:
+            raise SpecError("replica:// needs at least one child store")
+        if self.w is not None and not 1 <= self.w <= n:
+            raise SpecError(
+                f"replica:// write quorum w={self.w} outside 1..{n}"
+            )
+        if self.r is not None and not 1 <= self.r <= n:
+            raise SpecError(
+                f"replica:// read quorum r={self.r} outside 1..{n}"
+            )
+        if self.fanout is not None and self.fanout < 1:
+            raise SpecError(
+                f"replica:// option fanout={self.fanout} must be at least 1"
+            )
+        if self.hedge_ms is not None and self.hedge_ms < 0:
+            raise SpecError(
+                f"replica:// option hedge_ms={self.hedge_ms} must be >= 0"
+            )
+        super().validate()
+
+    def _option_pairs(self) -> list[tuple[str, object]]:
+        return [
+            ("w", self.w), ("r", self.r), ("fanout", self.fanout),
+            ("hedge_ms", self.hedge_ms), ("stamps", self.stamps),
+        ]
+
+    def to_uri(self) -> str:
+        return self._with_fragment(
+            self._child_list_uri(self.replicas), self._option_pairs()
+        )
+
+    @classmethod
+    def _from_options(
+        cls, children: list[StoreSpec], options: dict[str, str]
+    ) -> "ReplicaSpec":
+        spec = cls(
+            replicas=children,
+            w=_int_option(options, "w", cls.scheme),
+            r=_int_option(options, "r", cls.scheme),
+            fanout=_int_option(options, "fanout", cls.scheme),
+            hedge_ms=_float_option(options, "hedge_ms", cls.scheme),
+            stamps=options.get("stamps"),
+        )
+        spec.validate()
+        return spec
+
+    @classmethod
+    def parse(cls, rest: str) -> "ReplicaSpec":
+        body, options = _peel_fragment(rest, cls.scheme,
+                                       cls.fragment_options)
+        template_match = re.match(r"^(\d+)/(.+)$", body)
+        if template_match and "://" in template_match.group(2):
+            n = int(template_match.group(1))
+            if n <= 0:
+                raise SpecError(
+                    f"replica:// count must be positive (got {n})"
+                )
+            template = template_match.group(2)
+            children: list[StoreSpec] = [
+                parse_spec(template.replace("{i}", str(i))) for i in range(n)
+            ]
+            return cls._from_options(children, options)
+        if "://" in body:
+            return cls._from_options(
+                _parse_child_list(body, cls.scheme), options
+            )
+        # count form: options live in the query (fragment also accepted)
+        count, qoptions = _split_query(body, cls.scheme, cls.options)
+        options = {**qoptions, **options}
+        try:
+            n = int(count)
+        except ValueError:
+            raise SpecError(
+                f"replica:// needs a count or child URIs (got {rest!r})"
+            ) from None
+        return cls._from_options(
+            _expand_count_children(cls.scheme, "replica", n, options), options
+        )
+
+
+@dataclass
+class _WrapperSpec(StoreSpec):
+    """Shared machinery for single-child overlay schemes."""
+
+    child: StoreSpec = field(default_factory=MemSpec)
+
+    def children(self) -> list[StoreSpec]:
+        return [self.child]
+
+    def _option_pairs(self) -> list[tuple[str, object]]:
+        return []
+
+    def to_uri(self) -> str:
+        return self._with_fragment(self.child.to_uri(), self._option_pairs())
+
+    @classmethod
+    def _parse_child(cls, rest: str) -> tuple[StoreSpec, dict[str, str]]:
+        body, options = _peel_fragment(rest, cls.scheme, cls.options)
+        if not body:
+            raise SpecError(
+                f"{cls.scheme}:// needs a child URI, "
+                f"e.g. {cls.scheme}://mem://"
+            )
+        return parse_spec(body), options
+
+
+@dataclass
+class CachedSpec(_WrapperSpec):
+    """``cached://<child>[#capacity=N]`` — write-back LRU overlay."""
+
+    scheme: ClassVar[str] = "cached"
+    options: ClassVar[frozenset[str]] = frozenset({"capacity"})
+
+    capacity: int | None = None
+
+    def validate(self) -> None:
+        if self.capacity is not None and self.capacity <= 0:
+            raise SpecError(
+                f"cached:// option capacity={self.capacity} must be positive"
+            )
+        super().validate()
+
+    def _option_pairs(self) -> list[tuple[str, object]]:
+        return [("capacity", self.capacity)]
+
+    @classmethod
+    def parse(cls, rest: str) -> "CachedSpec":
+        child, options = cls._parse_child(rest)
+        spec = cls(child=child,
+                   capacity=_int_option(options, "capacity", cls.scheme))
+        spec.validate()
+        return spec
+
+
+@dataclass
+class FailingSpec(_WrapperSpec):
+    """``failing://<child>[#fail=1]`` — injectable outage wrapper."""
+
+    scheme: ClassVar[str] = "failing"
+    options: ClassVar[frozenset[str]] = frozenset({"fail"})
+
+    fail: bool | None = None
+
+    def _option_pairs(self) -> list[tuple[str, object]]:
+        # fail is rendered 1/0 (not on/off) to match the documented form.
+        return [("fail", {True: "1", False: "0", None: None}[self.fail])]
+
+    @classmethod
+    def parse(cls, rest: str) -> "FailingSpec":
+        child, options = cls._parse_child(rest)
+        fail: bool | None = None
+        if "fail" in options:
+            fail = _bool_option(options, "fail", cls.scheme)
+        spec = cls(child=child, fail=fail)
+        spec.validate()
+        return spec
+
+
+@dataclass
+class JournalSpec(_WrapperSpec):
+    """``journal://<child>[#cap=N&path=P]`` — write-ahead intent log."""
+
+    scheme: ClassVar[str] = "journal"
+    options: ClassVar[frozenset[str]] = frozenset({"cap", "path"})
+
+    cap: int | None = None
+    path: str | None = None
+
+    def validate(self) -> None:
+        if self.cap is not None and self.cap <= 0:
+            raise SpecError(
+                f"journal:// option cap={self.cap} must be positive"
+            )
+        super().validate()
+
+    def _option_pairs(self) -> list[tuple[str, object]]:
+        return [("cap", self.cap), ("path", self.path)]
+
+    @classmethod
+    def parse(cls, rest: str) -> "JournalSpec":
+        child, options = cls._parse_child(rest)
+        spec = cls(
+            child=child,
+            cap=_int_option(options, "cap", cls.scheme),
+            path=options.get("path"),
+        )
+        spec.validate()
+        return spec
+
+
+@dataclass
+class LazySpec(_WrapperSpec):
+    """``lazy://<child>[#retry=S]`` — defer/retry opening the child."""
+
+    scheme: ClassVar[str] = "lazy"
+    options: ClassVar[frozenset[str]] = frozenset({"retry"})
+
+    retry: float | None = None
+
+    def validate(self) -> None:
+        if self.retry is not None and self.retry < 0:
+            raise SpecError(
+                f"lazy:// option retry={self.retry} must be >= 0"
+            )
+        super().validate()
+
+    def _option_pairs(self) -> list[tuple[str, object]]:
+        return [("retry", self.retry)]
+
+    @classmethod
+    def parse(cls, rest: str) -> "LazySpec":
+        child, options = cls._parse_child(rest)
+        spec = cls(child=child,
+                   retry=_float_option(options, "retry", cls.scheme))
+        spec.validate()
+        return spec
+
+
+@dataclass
+class SlowSpec(_WrapperSpec):
+    """``slow://<child>[#ms=N]`` — injectable per-operation delay."""
+
+    scheme: ClassVar[str] = "slow"
+    options: ClassVar[frozenset[str]] = frozenset({"ms"})
+
+    ms: float | None = None
+
+    def validate(self) -> None:
+        if self.ms is not None and self.ms < 0:
+            raise SpecError(f"slow:// option ms={self.ms} must be >= 0")
+        super().validate()
+
+    def _option_pairs(self) -> list[tuple[str, object]]:
+        return [("ms", self.ms)]
+
+    @classmethod
+    def parse(cls, rest: str) -> "SlowSpec":
+        child, options = cls._parse_child(rest)
+        spec = cls(child=child, ms=_float_option(options, "ms", cls.scheme))
+        spec.validate()
+        return spec
+
+
+@dataclass
+class OpaqueSpec(StoreSpec):
+    """A scheme registered through the legacy ``register_scheme(scheme,
+    factory)`` hook: the registry knows how to build it, but its option
+    grammar is the factory's own, so the spec layer carries the raw
+    ``rest`` string opaquely (round-tripping verbatim)."""
+
+    scheme_name: str = ""
+    rest: str = ""
+
+    def to_uri(self) -> str:
+        return f"{self.scheme_name}://{self.rest}"
+
+
+# ---------------------------------------------------------------------------
+# Parse dispatch
+# ---------------------------------------------------------------------------
+
+
+def _register(cls: type[StoreSpec]) -> None:
+    SPEC_TYPES[cls.scheme] = cls
+    OPTIONS_BY_SCHEME[cls.scheme] = cls.options
+
+
+for _cls in (MemSpec, FileSpec, SqliteSpec, ShardSpec, CachedSpec,
+             RemoteSpec, ReplicaSpec, FailingSpec, JournalSpec, LazySpec,
+             SlowSpec):
+    _register(_cls)
+
+
+def split_uri(uri: str) -> tuple[str, str]:
+    """Split ``scheme://rest`` (SpecError if malformed)."""
+    scheme, sep, rest = uri.partition("://")
+    if not sep or not scheme:
+        raise SpecError(
+            f"backend URI {uri!r} must look like '<scheme>://...'"
+        )
+    return scheme, rest
+
+
+#: Callback the registry installs so parse_spec can recognize legacy
+#: factory-registered schemes without importing the registry (which
+#: imports store classes).
+_legacy_schemes: Callable[[], tuple[str, ...]] = lambda: ()
+
+
+def _install_legacy_schemes(hook: Callable[[], tuple[str, ...]]) -> None:
+    global _legacy_schemes
+    _legacy_schemes = hook
+
+
+def known_schemes() -> tuple[str, ...]:
+    """Every scheme :func:`parse_spec` resolves to a typed spec."""
+    return tuple(sorted(SPEC_TYPES))
+
+
+SpecLike = Union[StoreSpec, str]
+
+
+def parse_spec(uri: SpecLike) -> StoreSpec:
+    """Parse a backend URI into its typed :class:`StoreSpec`.
+
+    A spec passed in is validated and returned as-is, so every API that
+    takes a URI string transparently takes specs too.
+    """
+    if isinstance(uri, StoreSpec):
+        uri.validate()
+        return uri
+    scheme, rest = split_uri(uri)
+    # A factory registered through the legacy hook wins even over a
+    # built-in scheme: register_scheme has always meant "register OR
+    # REPLACE", and replacement would be silently ignored if the typed
+    # spec were consulted first.
+    if scheme in _legacy_schemes():
+        return OpaqueSpec(scheme_name=scheme, rest=rest)
+    spec_cls = SPEC_TYPES.get(scheme)
+    if spec_cls is None:
+        pool = sorted(set(known_schemes()) | set(_legacy_schemes()))
+        close = difflib.get_close_matches(scheme, pool, n=1)
+        hint = f"did you mean {close[0]!r}? " if close else ""
+        raise SpecError(
+            f"unknown storage scheme {scheme!r}; {hint}"
+            f"registered: {', '.join(pool)}"
+        )
+    return spec_cls.parse(rest)
+
+
+# ---------------------------------------------------------------------------
+# Builder API
+# ---------------------------------------------------------------------------
+
+
+def _coerce(child: SpecLike) -> StoreSpec:
+    return parse_spec(child)
+
+
+def mem(blocks: int | None = None, bs: int | None = None) -> MemSpec:
+    """In-memory store spec."""
+    return MemSpec(blocks=blocks, bs=bs)
+
+
+def file(path: str, blocks: int | None = None,
+         bs: int | None = None) -> FileSpec:
+    """Host-file store spec."""
+    return FileSpec(path=path, blocks=blocks, bs=bs)
+
+
+def sqlite(path: str, blocks: int | None = None,
+           bs: int | None = None) -> SqliteSpec:
+    """SQLite store spec."""
+    return SqliteSpec(path=path, blocks=blocks, bs=bs)
+
+
+def remote(endpoint: str, *, timeout: float | None = None,
+           batch: bool | None = None,
+           workers: int | None = None) -> RemoteSpec:
+    """Remote node spec from an ``"host:port"`` endpoint."""
+    host, sep, port = endpoint.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise SpecError(
+            f"remote() needs 'host:port' (got {endpoint!r})"
+        )
+    spec = RemoteSpec(host=host, port=int(port), timeout=timeout,
+                      batch=batch, workers=workers)
+    spec.validate()
+    return spec
+
+
+def shard(*children: SpecLike, fanout: int | None = None) -> ShardSpec:
+    """Consistent-hash ring spec over ``children`` (specs or URIs)."""
+    spec = ShardSpec(shards=[_coerce(c) for c in children], fanout=fanout)
+    spec.validate()
+    return spec
+
+
+def replica(*children: SpecLike, w: int | None = None, r: int | None = None,
+            fanout: int | None = None, hedge_ms: float | None = None,
+            stamps: str | None = None) -> ReplicaSpec:
+    """Quorum-replication spec over ``children`` (specs or URIs)."""
+    spec = ReplicaSpec(replicas=[_coerce(c) for c in children], w=w, r=r,
+                       fanout=fanout, hedge_ms=hedge_ms, stamps=stamps)
+    spec.validate()
+    return spec
+
+
+def cached(child: SpecLike, capacity: int | None = None) -> CachedSpec:
+    """Write-back LRU overlay spec."""
+    spec = CachedSpec(child=_coerce(child), capacity=capacity)
+    spec.validate()
+    return spec
+
+
+def journal(child: SpecLike, cap: int | None = None,
+            path: str | None = None) -> JournalSpec:
+    """Write-ahead journal overlay spec."""
+    spec = JournalSpec(child=_coerce(child), cap=cap, path=path)
+    spec.validate()
+    return spec
+
+
+def lazy(child: SpecLike, retry: float | None = None) -> LazySpec:
+    """Lazy/retrying-connect overlay spec."""
+    spec = LazySpec(child=_coerce(child), retry=retry)
+    spec.validate()
+    return spec
+
+
+def slow(child: SpecLike, ms: float | None = None) -> SlowSpec:
+    """Injectable-delay overlay spec."""
+    spec = SlowSpec(child=_coerce(child), ms=ms)
+    spec.validate()
+    return spec
+
+
+def failing(child: SpecLike, fail: bool | None = None) -> FailingSpec:
+    """Injectable-outage overlay spec."""
+    spec = FailingSpec(child=_coerce(child), fail=fail)
+    spec.validate()
+    return spec

@@ -33,11 +33,14 @@ class SQLiteBlockStore(BlockStore):
 
     scheme = "sqlite"
     thread_safe = True  # every statement runs under an internal lock
+    durable = True
 
     def __init__(
         self, path: str, num_blocks: int = 16384, block_size: int = DEFAULT_BLOCK_SIZE
     ):
         self.path = path
+        if path == ":memory:":
+            self.durable = False  # instance override: nothing on disk
         if path != ":memory:":
             parent = os.path.dirname(path)
             if parent:
@@ -131,6 +134,15 @@ class SQLiteBlockStore(BlockStore):
             return int(
                 self._conn.execute("SELECT COUNT(*) FROM blocks").fetchone()[0]
             )
+
+    def used_block_numbers(self) -> list[int]:
+        with self._lock:
+            if self._conn is None:
+                return []
+            rows = self._conn.execute(
+                "SELECT block_no FROM blocks ORDER BY block_no"
+            ).fetchall()
+        return [int(row[0]) for row in rows]
 
     def describe(self) -> str:
         return f"sqlite://{self.path}  {self.num_blocks}x{self.block_size}B"

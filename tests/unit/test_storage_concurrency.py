@@ -36,6 +36,7 @@ from repro.storage import (
     RemoteBlockStore,
     ReplicatedBlockStore,
     ShardedBlockStore,
+    open_store,
     serve_store,
 )
 from repro.storage.net import BLOCKSTORE_PROGRAM, BLOCKSTORE_VERSION
@@ -519,3 +520,68 @@ class TestPipelinedTransport:
             t.join()
         assert not errors
         store.close()
+
+
+class TestHedgedReads:
+    """``#hedge_ms=N``: a slow-but-alive child inside the chosen R no
+    longer bounds the read — after N ms one extra child is recruited.
+    (A *dead* child was already covered by failure recruitment; hedging
+    is specifically for the alive straggler.)"""
+
+    def _mount(self, slow_ms, hedge_ms):
+        uri = (f"slow://mem://#ms={slow_ms};mem://;mem://"
+               f"#w=2&r=1&hedge_ms={hedge_ms}")
+        return open_store(f"replica://{uri}", num_blocks=BLOCKS,
+                          block_size=BS)
+
+    def test_hedge_recruits_one_extra_past_the_straggler(self):
+        store = self._mount(slow_ms=250, hedge_ms=5)
+        try:
+            store.write(7, b"hedged payload")
+            store.drain()  # straggler lane settles before the read race
+            assert store.read(7).startswith(b"hedged payload")
+            assert store.replica_stats.hedged_reads == 1
+        finally:
+            store.close()
+
+    def test_no_hedge_when_children_answer_in_budget(self):
+        store = self._mount(slow_ms=0, hedge_ms=500)
+        try:
+            store.write(3, b"fast enough")
+            store.drain()
+            for _ in range(4):
+                assert store.read(3).startswith(b"fast enough")
+            assert store.replica_stats.hedged_reads == 0
+        finally:
+            store.close()
+
+    def test_hedge_disabled_by_default(self):
+        store = open_store(
+            "replica://slow://mem://#ms=40;mem://;mem://#w=2&r=1",
+            num_blocks=BLOCKS, block_size=BS,
+        )
+        try:
+            store.write(1, b"no hedge configured")
+            store.drain()
+            t0 = time.perf_counter()
+            assert store.read(1).startswith(b"no hedge")
+            elapsed = time.perf_counter() - t0
+            # the r=1 read is pinned behind the 40 ms straggler
+            assert elapsed >= 0.035
+            assert store.replica_stats.hedged_reads == 0
+        finally:
+            store.close()
+
+    @pytest.mark.flaky
+    def test_hedge_caps_the_tail(self):
+        store = self._mount(slow_ms=250, hedge_ms=10)
+        try:
+            store.write(9, b"tail capped")
+            store.drain()
+            t0 = time.perf_counter()
+            assert store.read(9).startswith(b"tail capped")
+            elapsed = time.perf_counter() - t0
+            # well under the 250 ms the un-hedged read would pay
+            assert elapsed < 0.2
+        finally:
+            store.close()

@@ -953,3 +953,78 @@ class TestReadRepair:
         assert rep.read(0).startswith(b"works")
         assert rep.children[0].failing
         assert rep.replica_stats.degraded_writes == 1
+
+
+# ---------------------------------------------------------------------------
+# The uniform control-plane protocol (spec redesign PR)
+# ---------------------------------------------------------------------------
+
+
+class TestUniformProtocol:
+    """Every backend — leaf, wrapper or fan-out — answers the typed
+    protocol: spec round-trip, capabilities, snapshot, child_stores and
+    block enumeration.  This is what replaced the old duck-typed
+    probing (``thread_safe`` attributes, per-class stats objects)."""
+
+    def test_capabilities_shape(self, store):
+        caps = store.capabilities()
+        assert isinstance(caps.thread_safe, bool)
+        assert isinstance(caps.durable, bool)
+        assert isinstance(caps.networked, bool)
+        assert isinstance(caps.composite, bool)
+        # composite iff the store exposes live children (lazy:// may
+        # report no children while down, but stays composite)
+        if store.child_stores():
+            assert caps.composite
+
+    def test_snapshot_counts_logical_traffic(self, store):
+        store.write(1, b"snap")
+        store.read(1)
+        snap = store.snapshot()
+        assert snap.scheme == store.scheme
+        assert snap.reads == 1 and snap.writes == 1
+        assert snap.bytes_written == BS and snap.bytes_read == BS
+        assert isinstance(snap.extra, dict)
+        assert snap.description == store.describe()
+
+    def test_used_block_numbers_matches_contains(self, store):
+        for block_no in (2, 3, 60):
+            store.write(block_no, b"enumerated")
+        numbers = store.used_block_numbers()
+        assert {2, 3, 60} <= set(numbers)
+        assert numbers == sorted(numbers)
+        for block_no in numbers:
+            assert store._contains(block_no)
+
+    def test_describe_tree_covers_every_layer(self, store):
+        from repro.storage import describe, iter_stores
+
+        tree = describe(store)
+        nodes = list(tree.walk())
+        stores = list(iter_stores(store))
+        assert len(nodes) == len(stores)
+        assert [n.scheme for n in nodes] == [s.scheme for s in stores]
+
+
+class TestSpecPipeline:
+    """open_store is now parse_spec + build; the two entry points must
+    agree for every conformance template."""
+
+    @pytest.mark.parametrize("template", ALL_TEMPLATES,
+                             ids=lambda t: t.replace("{tmp}/", ""))
+    def test_uri_and_canonical_spec_open_the_same_store(
+        self, template, tmp_path, remote_servers
+    ):
+        from repro.storage import parse_spec
+
+        uri = fill_template(template, tmp_path, remote_servers)
+        spec = parse_spec(uri)
+        assert parse_spec(spec.to_uri()) == spec
+        # the canonical form opens too (distinct scratch state is fine;
+        # the point is the grammar agrees with itself)
+        reopened = open_store(spec, num_blocks=BLOCKS, block_size=BS)
+        try:
+            assert reopened.scheme == split_uri(spec.to_uri())[0]
+            assert reopened.block_size == BS
+        finally:
+            reopened.close()

@@ -435,6 +435,10 @@ class TestLazyConnect:
             assert not lazy.connected
 
             rep.write(1, b"written during the outage")
+            # The write returns at quorum W=2; the down child's failure
+            # may still be in flight on its lane — drain so the
+            # degraded-write count is settled before asserting.
+            rep.drain()
             assert rep.replica_stats.degraded_writes >= 1
             assert rep.read(1).startswith(b"written during")
 
@@ -487,3 +491,127 @@ class TestFilesystemOnJournal:
         assert restored.read_file("/durable.txt") == \
             b"acknowledged and journaled"
         restored.device.close()
+
+
+# ---------------------------------------------------------------------------
+# Replica version-stamp persistence (#stamps=PATH)
+# ---------------------------------------------------------------------------
+
+
+class TestStampPersistence:
+    """Version stamps survive a restart, so last-write-wins read-repair
+    still knows which replica is stale after the process reopens the
+    same children (the ROADMAP follow-up to read-repair)."""
+
+    def _uri(self, tmp_path, stamps=True):
+        base = f"replica://3/failing://file://{tmp_path}/r-{{i}}.img#w=2&r=1"
+        return base + f"&stamps={tmp_path}/stamps.json" if stamps else base
+
+    def _write_with_node2_down(self, tmp_path, stamps=True):
+        """Session one: node 2 is down for the whole write burst."""
+        rep = open_store(self._uri(tmp_path, stamps), num_blocks=BLOCKS,
+                         block_size=BS)
+        try:
+            rep.children[2].fail()
+            rep.write_many([(b, b"stamped-%d" % b) for b in range(8)])
+            rep.flush()  # quorum ok (2/3) + stamps sidecar written
+        finally:
+            rep.close()
+
+    def test_repair_after_restart_with_stamps(self, tmp_path):
+        self._write_with_node2_down(tmp_path)
+
+        rep = open_store(self._uri(tmp_path), num_blocks=BLOCKS,
+                         block_size=BS)
+        try:
+            # All three children are up again; the reloaded stamps say
+            # node 2 never acknowledged these blocks.
+            for b in range(8):
+                assert rep.read(b).startswith(b"stamped-%d" % b)
+            rep.drain()
+            assert rep.replica_stats.repaired_blocks >= 8
+        finally:
+            rep.close()
+        healed = open_store(f"file://{tmp_path}/r-2.img",
+                            num_blocks=BLOCKS, block_size=BS)
+        try:
+            for b in range(8):
+                assert healed.read(b).startswith(b"stamped-%d" % b)
+        finally:
+            healed.close()
+
+    def test_without_stamps_restart_presumes_fresh(self, tmp_path):
+        """The control: no sidecar means a reopened layer cannot see the
+        divergence, so nothing is repaired — exactly the gap stamps
+        close."""
+        self._write_with_node2_down(tmp_path, stamps=False)
+
+        rep = open_store(self._uri(tmp_path, stamps=False),
+                         num_blocks=BLOCKS, block_size=BS)
+        try:
+            for b in range(8):
+                rep.read(b)
+            rep.drain()
+            assert rep.replica_stats.repaired_blocks == 0
+        finally:
+            rep.close()
+
+    @pytest.mark.parametrize("garbage", [
+        "{not json",            # unparsable
+        "[]",                   # valid JSON, wrong top-level shape
+        '{"format": 1, "clock": "x", "children": [1, 2, 3]}',  # wrong leaves
+    ])
+    def test_corrupt_sidecar_is_ignored(self, tmp_path, garbage):
+        self._write_with_node2_down(tmp_path)
+        with open(f"{tmp_path}/stamps.json", "w") as f:
+            f.write(garbage)
+        rep = open_store(self._uri(tmp_path), num_blocks=BLOCKS,
+                         block_size=BS)
+        try:
+            assert rep.read(0).startswith(b"stamped-0")
+        finally:
+            rep.close()
+
+    def test_mismatched_child_count_is_ignored(self, tmp_path):
+        self._write_with_node2_down(tmp_path)
+        two = open_store(
+            f"replica://file://{tmp_path}/r-0.img;file://{tmp_path}/r-1.img"
+            f"#w=1&r=1&stamps={tmp_path}/stamps.json",
+            num_blocks=BLOCKS, block_size=BS,
+        )
+        try:
+            # 3-child stamps against a 2-child mount: presumed fresh,
+            # not misapplied.
+            assert two.read(0).startswith(b"stamped-0")
+            two.drain()
+            assert two.replica_stats.repaired_blocks == 0
+        finally:
+            two.close()
+
+    def test_stamps_update_across_generations(self, tmp_path):
+        """A second session's writes advance the persisted clock, so a
+        third session repairs to the *newest* generation."""
+        self._write_with_node2_down(tmp_path)
+
+        rep = open_store(self._uri(tmp_path), num_blocks=BLOCKS,
+                         block_size=BS)
+        try:
+            rep.children[2].fail()  # down again for generation two
+            rep.write(0, b"generation-two")
+            rep.flush()
+        finally:
+            rep.close()
+
+        rep = open_store(self._uri(tmp_path), num_blocks=BLOCKS,
+                         block_size=BS)
+        try:
+            assert rep.read(0).startswith(b"generation-two")
+            rep.drain()
+        finally:
+            rep.close()
+        healed = open_store(f"file://{tmp_path}/r-2.img",
+                            num_blocks=BLOCKS, block_size=BS)
+        try:
+            assert healed.read(0).startswith(b"generation-two")
+        finally:
+            healed.close()
