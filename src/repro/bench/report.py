@@ -639,6 +639,152 @@ def print_reshard_report(results: dict) -> None:
         )
 
 
+#: Session mounts timed by the auth ablation's handshake row.
+AUTH_MOUNTS = 8
+
+
+def run_auth_ablation(
+    blocks: int = 96,
+    rounds: int = 12,
+    block_size: int = 4096,
+    mounts: int = AUTH_MOUNTS,
+) -> dict:
+    """Authenticated vs open served stores: what the credential gate
+    costs, on real TCP sockets.
+
+    Three mounts of the same memory-backed ``serve_store`` node are
+    measured over identical ``write_many``/``read_many`` workloads:
+
+    * **open** — no gate, the pre-auth behaviour (baseline);
+    * **session (operator)** — KeyNote-gated server, whole-store
+      operator session: every proc carries a token the server looks up
+      and rank-checks;
+    * **session (tenant)** — same gate plus a tenant table: the session
+      is confined to a :class:`~repro.storage.tenant.TenantBlockStore`
+      region with quota accounting on every write.
+
+    The handshake row prices SESSION_OPEN itself (DSA challenge
+    signature + compliance query, paid once per mount); the steady-state
+    rows show the per-proc overhead, which is where the design earns its
+    keep: authorization is a dict lookup + rank compare, not a per-call
+    KeyNote query.
+    """
+    import time as _time
+
+    from repro.crypto.dsa import generate_dsa_keypair
+    from repro.crypto.keycodec import encode_public_key
+    from repro.crypto.numbers import seeded_random_bits
+    from repro.storage import MemoryBlockStore, serve_store
+    from repro.storage.auth import (
+        StoreAuthGate,
+        TenantQuota,
+        issue_store_credential,
+    )
+    from repro.storage.net import RemoteBlockStore
+
+    operator = generate_dsa_keypair(
+        rand=seeded_random_bits(b"auth-ablation-operator"))
+    tenant_key = generate_dsa_keypair(
+        rand=seeded_random_bits(b"auth-ablation-tenant"))
+    policy = (
+        'Authorizer: "POLICY"\n'
+        f'Licensees: "{encode_public_key(operator)}"\n'
+        'Conditions: (app_domain == "discfs-store") -> "admin";\n'
+    )
+    credential = issue_store_credential(
+        operator, encode_public_key(tenant_key), "t0", rights="rw")
+
+    payload = bytes(range(256)) * (block_size // 256)
+    items = [(b, payload) for b in range(blocks)]
+    block_nos = list(range(blocks))
+    results: dict = {
+        "params": {"blocks": blocks, "rounds": rounds,
+                   "block_size": block_size, "mounts": mounts},
+        "rows": {},
+    }
+
+    def measure(server, **auth) -> dict:
+        host, port = server.address
+        t0 = _time.perf_counter()
+        for _i in range(mounts):
+            RemoteBlockStore.connect(host, port, **auth).close()
+        mount_seconds = _time.perf_counter() - t0
+        store = RemoteBlockStore.connect(host, port, workers=2, **auth)
+        try:
+            t0 = _time.perf_counter()
+            for _round in range(rounds):
+                store.write_many(items)
+            write_seconds = _time.perf_counter() - t0
+            t0 = _time.perf_counter()
+            for _round in range(rounds):
+                datas = store.read_many(block_nos)
+            read_seconds = _time.perf_counter() - t0
+            assert all(d == payload for d in datas)
+        finally:
+            store.close()
+        ops = blocks * rounds
+        return {
+            "mount_ms": mount_seconds * 1000 / mounts,
+            "write_s": write_seconds,
+            "read_s": read_seconds,
+            "write_ops_s": ops / write_seconds if write_seconds else 0.0,
+            "read_ops_s": ops / read_seconds if read_seconds else 0.0,
+        }
+
+    server = serve_store(MemoryBlockStore(blocks * 4, block_size),
+                         workers=4)
+    try:
+        results["rows"]["open"] = measure(server)
+    finally:
+        server.close()
+
+    server = serve_store(MemoryBlockStore(blocks * 4, block_size),
+                         workers=4, gate=StoreAuthGate(policy))
+    try:
+        results["rows"]["session (operator)"] = measure(
+            server, key=operator, rights="rw")
+    finally:
+        server.close()
+
+    gate = StoreAuthGate(
+        policy, tenants=[TenantQuota(name="t0", blocks=blocks * 2)])
+    server = serve_store(MemoryBlockStore(blocks * 4, block_size),
+                         workers=4, gate=gate)
+    try:
+        results["rows"]["session (tenant)"] = measure(
+            server, key=tenant_key, credentials=[credential], tenant="t0")
+    finally:
+        server.close()
+    return results
+
+
+def print_auth_report(results: dict) -> None:
+    """Open vs authenticated served-store comparison table."""
+    params = results["params"]
+    print(
+        f"\nAuth ablation — {params['blocks']} blocks x "
+        f"{params['rounds']} rounds per cell, {params['block_size']}B "
+        f"blocks, handshake averaged over {params['mounts']} mounts"
+    )
+    print(
+        f"  {'mount':<20}{'handshake ms':>13}{'write ops/s':>13}"
+        f"{'read ops/s':>12}{'write cost':>12}{'read cost':>11}"
+    )
+    base = results["rows"].get("open")
+    for label, row in results["rows"].items():
+        write_cost = (base["write_s"] and
+                      (row["write_s"] / base["write_s"] - 1) * 100
+                      if base else 0.0)
+        read_cost = (base["read_s"] and
+                     (row["read_s"] / base["read_s"] - 1) * 100
+                     if base else 0.0)
+        print(
+            f"  {label:<20}{row['mount_ms']:>13.1f}"
+            f"{row['write_ops_s']:>13.0f}{row['read_ops_s']:>12.0f}"
+            f"{write_cost:>11.1f}%{read_cost:>10.1f}%"
+        )
+
+
 def print_report(results: dict) -> None:
     systems = list(results["bonnie"])
     for phase in PHASES:
@@ -681,6 +827,10 @@ def main() -> None:
                         help="also run the reshard ablation: live ring "
                              "migrations across in-process TCP nodes "
                              "(blocks moved vs total, wall-clock)")
+    parser.add_argument("--auth", action="store_true",
+                        help="also run the auth ablation: open vs "
+                             "credential-gated served stores (handshake "
+                             "latency, per-proc session overhead)")
     args = parser.parse_args()
     results = run_evaluation(
         systems=tuple(args.systems),
@@ -708,6 +858,8 @@ def main() -> None:
         print_fanout_report(run_fanout_ablation())
     if args.reshard:
         print_reshard_report(run_reshard_ablation())
+    if args.auth:
+        print_auth_report(run_auth_ablation())
 
 
 if __name__ == "__main__":

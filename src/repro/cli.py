@@ -18,7 +18,10 @@ Commands
                     importing a host directory into its filesystem;
                     ``--backend URI`` picks the storage backend
 ``store-serve``     export a storage backend over RPC on a TCP port —
-                    the node other servers reach as ``remote://``
+                    the node other servers reach as ``remote://``;
+                    ``--policy FILE`` gates every call behind a KeyNote
+                    session, ``--tenant-quota`` carves tenant regions
+``store-issue``     issue a storage-plane credential (tenant + rights)
 ``store-inspect``   mount a backend URI and print its live topology:
                     per-layer capabilities and stats (``--json`` for
                     machines, ``--parse`` to validate without mounting)
@@ -263,11 +266,47 @@ def cmd_serve(args) -> int:
     return 0
 
 
+#: ``store-serve`` bind addresses that never leave the machine — anything
+#: else is reachable by peers and demands --policy (or an explicit
+#: --insecure acknowledgement).
+_LOOPBACK_HOSTS = ("127.0.0.1", "localhost", "::1")
+
+
 def cmd_store_serve(args) -> int:
     """Serve one storage backend over RPC (the ``remote://`` server side)."""
     from repro.fs.blockdev import DEFAULT_BLOCK_SIZE
     from repro.storage import DEFAULT_NUM_BLOCKS, open_store
+    from repro.storage.auth import AuditLog, StoreAuthGate, TenantQuota
     from repro.storage.net import serve_store
+
+    if (args.host not in _LOOPBACK_HOSTS and not args.policy
+            and not args.insecure):
+        print(
+            f"store-serve: refusing to bind {args.host} without --policy.\n"
+            f"An open block store on a non-loopback address gives every "
+            f"peer that can\nreach the port full read/write on the backend. "
+            f"Either gate it:\n"
+            f"    discfs store-serve --host {args.host} --policy "
+            f"POLICY_FILE ...\n"
+            f"or accept the exposure explicitly with --insecure.",
+            file=sys.stderr,
+        )
+        return 2
+
+    gate = None
+    if args.policy:
+        audit = AuditLog(path=args.audit_log) if args.audit_log else None
+        gate = StoreAuthGate(
+            _read(args.policy),
+            tenants=[TenantQuota.parse(q) for q in args.tenant_quota or []],
+            audit=audit,
+        )
+    elif args.tenant_quota:
+        raise ReproError("--tenant-quota needs --policy: tenants only exist "
+                         "inside an authenticated session")
+    elif args.audit_log:
+        raise ReproError("--audit-log needs --policy: an open server makes "
+                         "no auth decisions to log")
 
     store = open_store(
         args.backend,
@@ -275,7 +314,7 @@ def cmd_store_serve(args) -> int:
         block_size=args.bs if args.bs else DEFAULT_BLOCK_SIZE,
     )
     server = serve_store(store, host=args.host, port=args.port,
-                         workers=args.workers)
+                         workers=args.workers, gate=gate)
     host, port = server.address
 
     stop = None
@@ -291,9 +330,11 @@ def cmd_store_serve(args) -> int:
 
     # The announce line is machine-readable: the integration tests (and a
     # two-terminal walkthrough) parse host:port out of it.
+    auth = (f"keynote, {len(gate.tenants)} tenant(s)" if gate is not None
+            else "open")
     print(f"block store serving on {host}:{port} "
           f"(backend {args.backend}, "
-          f"{store.num_blocks}x{store.block_size}B)", flush=True)
+          f"{store.num_blocks}x{store.block_size}B, auth {auth})", flush=True)
     if args.oneshot:  # used by the tests: exit instead of blocking
         server.close()
         store.close()
@@ -307,12 +348,34 @@ def cmd_store_serve(args) -> int:
     return 0
 
 
+def cmd_store_issue(args) -> int:
+    """Issue a KeyNote credential for the *storage* plane: the artifact a
+    client presents at SESSION_OPEN (``remote://...#cred=FILE``)."""
+    from repro.storage.auth import issue_store_credential
+
+    issuer = _load_keypair(args.key)
+    licensee = _read(args.licensee).strip() if os.path.exists(args.licensee) \
+        else args.licensee
+    text = issue_store_credential(
+        issuer, licensee, args.tenant, rights=args.rights,
+        expires_at=args.expires_at, comment=args.comment,
+    )
+    _emit_credential(text, args.out)
+    return 0
+
+
 def cmd_store_inspect(args) -> int:
     """Mount a backend and print the live topology (the control plane's
     ``describe`` tree: per-layer capabilities + stats snapshots)."""
     import json as _json
 
-    from repro.storage import describe, open_store, parse_spec
+    from repro.storage import (
+        describe,
+        open_store,
+        parse_spec,
+        render_tenant_table,
+        tenant_usage,
+    )
 
     spec = parse_spec(args.backend)
     if args.parse:
@@ -332,6 +395,24 @@ def cmd_store_inspect(args) -> int:
         else:
             print(f"backend: {spec.to_uri()}")
             print(tree.render())
+            # A gated server folds its auth verdicts and every tenant
+            # view's counters into the STATS extras; local tenant://
+            # mounts publish the same flat keys.  Regroup them into the
+            # per-tenant usage table.
+            tenants: dict[str, dict[str, float]] = {}
+            auth_denied = 0.0
+            for node in tree.walk():
+                for snap in (node.stats, node.remote):
+                    if snap is None:
+                        continue
+                    auth_denied += snap.extra.get("auth_denied", 0.0)
+                    for name, fields in tenant_usage(snap.extra).items():
+                        tenants.setdefault(name, {}).update(fields)
+            if tenants:
+                print()
+                print(render_tenant_table(tenants))
+            if auth_denied:
+                print(f"auth: {int(auth_denied)} request(s) denied")
     finally:
         store.close()
     return 0
@@ -376,7 +457,12 @@ def cmd_backends(args) -> int:
                  "shard://mem://;mem://#fanout=2",
         "cached": "cached://sqlite:///var/lib/discfs.db#capacity=512",
         "remote": "remote://127.0.0.1:9001  (serve with: discfs store-serve; "
-                  "options: ?timeout=S&batch=on|off&workers=N)",
+                  "options: ?timeout=S&batch=on|off&workers=N; against a "
+                  "--policy server add #cred=FILE&key=FILE&tenant=NAME"
+                  "&rights=r|rw|admin)",
+        "tenant": "tenant://mem://#name=alice&offset=0&blocks=64&quota=32  "
+                  "(private region with block/byte quotas + op rate limit; "
+                  "store-serve --tenant-quota builds these server-side)",
         "replica": "replica://3?w=2&r=2  |  replica://3/file:///d/r-{i}.img#w=2"
                    "  |  replica://remote://h1:9001;remote://h2:9002#w=1&r=1"
                    "  (also #hedge_ms=N tail-capped reads, #stamps=P "
@@ -628,8 +714,38 @@ def build_parser() -> argparse.ArgumentParser:
                         "clients (remote://...?workers=N) overlap calls "
                         "on one connection; 0 = answer each connection "
                         "sequentially (default 4)")
+    p.add_argument("--policy", metavar="FILE",
+                   help="KeyNote policy file: require an authenticated "
+                        "SESSION_OPEN (clients mount with "
+                        "remote://...#cred=FILE&key=FILE) and authorize "
+                        "every call against the session's rights")
+    p.add_argument("--tenant-quota", action="append", metavar="SPEC",
+                   help="carve a private tenant region on the served "
+                        "store: NAME=BLOCKS[:BYTES[:RATE]] (repeatable; "
+                        "needs --policy)")
+    p.add_argument("--audit-log", metavar="FILE",
+                   help="append one JSON line per auth decision "
+                        "(needs --policy)")
+    p.add_argument("--insecure", action="store_true",
+                   help="serve a non-loopback address WITHOUT --policy "
+                        "(anyone reaching the port gets full read/write)")
     p.add_argument("--oneshot", action="store_true", help=argparse.SUPPRESS)
     p.set_defaults(func=cmd_store_serve)
+
+    p = sub.add_parser("store-issue",
+                       help="issue a storage-plane credential "
+                            "(tenant + r/rw/admin rights)")
+    p.add_argument("--key", required=True, help="issuer private key file")
+    p.add_argument("--licensee", required=True,
+                   help="principal id or file containing one")
+    p.add_argument("--tenant", default="",
+                   help="tenant the grant is scoped to (empty: whole store)")
+    p.add_argument("--rights", default="rw", choices=("r", "rw", "admin"))
+    p.add_argument("--comment", default="")
+    p.add_argument("--expires-at", type=int, default=None,
+                   help="unix time after which the credential is dead")
+    p.add_argument("--out")
+    p.set_defaults(func=cmd_store_issue)
 
     p = sub.add_parser("store-inspect",
                        help="print a backend's live topology "

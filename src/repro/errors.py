@@ -128,6 +128,29 @@ class QuorumError(StoreUnavailable):
     """Too few replicas answered to satisfy the read or write quorum."""
 
 
+class AuthError(FSError):
+    """A store session or operation was denied by policy.
+
+    Deliberately *not* a :class:`StoreUnavailable`: a credential the
+    server rejects is a caller problem, and ``replica://`` must not
+    treat it as a down node and fail over around it.
+    """
+
+    errno_name = "EACCES"
+
+
+class QuotaExceeded(FSError):
+    """A tenant exceeded its block-count or byte-budget quota."""
+
+    errno_name = "EDQUOT"
+
+
+class RateLimited(FSError):
+    """A tenant exceeded its token-bucket operation rate limit."""
+
+    errno_name = "EBUSY"
+
+
 # ---------------------------------------------------------------------------
 # RPC / NFS / transport
 # ---------------------------------------------------------------------------

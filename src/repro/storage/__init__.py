@@ -25,6 +25,12 @@ consistent-hash owner changed.
 """
 
 from repro.storage.adapter import StoreBlockDevice
+from repro.storage.auth import (
+    AuditLog,
+    StoreAuthGate,
+    TenantQuota,
+    issue_store_credential,
+)
 from repro.storage.base import BlockStore, Capabilities, StoreStats
 from repro.storage.cache import CachedBlockStore, CacheStats
 from repro.storage.control import (
@@ -32,7 +38,9 @@ from repro.storage.control import (
     SpecTree,
     describe,
     iter_stores,
+    render_tenant_table,
     reshard,
+    tenant_usage,
 )
 from repro.storage.filestore import FileBlockStore
 from repro.storage.journal import (
@@ -68,8 +76,10 @@ from repro.storage.replica import (
 from repro.storage.shard import ShardedBlockStore
 from repro.storage.spec import SpecError, StoreSpec, parse_spec
 from repro.storage.sqlitestore import SQLiteBlockStore
+from repro.storage.tenant import TenantBlockStore
 
 __all__ = [
+    "AuditLog",
     "BLOCKSTORE_PROGRAM",
     "BlockStore",
     "BlockStoreProgram",
@@ -93,20 +103,26 @@ __all__ = [
     "ShardedBlockStore",
     "SpecError",
     "SpecTree",
+    "StoreAuthGate",
     "StoreBlockDevice",
     "StoreServer",
     "StoreSpec",
     "StoreStats",
+    "TenantBlockStore",
+    "TenantQuota",
     "build",
     "describe",
     "inspect_journal",
+    "issue_store_credential",
     "iter_stores",
     "open_device",
     "open_store",
     "parse_spec",
     "register_scheme",
     "registered_schemes",
+    "render_tenant_table",
     "reshard",
     "serve_store",
     "split_uri",
+    "tenant_usage",
 ]

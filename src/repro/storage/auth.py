@@ -1,0 +1,457 @@
+"""Credential-gated sessions for served block stores.
+
+DisCFS's central idea is that *credentials, not host identity* decide
+access (conf_usenix_MiltchevPIIKS03).  The NFS layer already authorizes
+per-request with KeyNote; this module brings the same model to the
+distributed block plane, so a `store-serve` ring can sit on a shared
+network and still admit only principals a policy file trusts.
+
+The handshake (procs ``CHALLENGE`` + ``SESSION_OPEN`` in
+:mod:`repro.storage.net`):
+
+1. the client fetches a single-use server nonce (``CHALLENGE``);
+2. it signs ``context || nonce || identity || tenant || rights`` with
+   its private key and sends identity, requested tenant + rights, its
+   KeyNote credentials and the signature (``SESSION_OPEN``);
+3. the server checks the nonce (popped on first use — replay-safe over
+   plain TCP, no ipsec channel required), verifies the signature
+   against the claimed key, then runs a KeyNote compliance query:
+   policy + presented credentials, action attributes
+   ``app_domain "discfs-store"``, ``tenant``, ``rights``, ``now``, with
+   the client key as action authorizer and the ordered compliance
+   values ``none < r < rw < admin``;
+4. if the chain supports at least the requested rights, the server
+   mints an opaque session token; every subsequent proc carries it and
+   is authorized against the session's granted rights and confined to
+   the session tenant's :class:`~repro.storage.tenant.TenantBlockStore`
+   view.
+
+Every grant/deny — session and per-proc — can be appended to a
+structured audit log (JSON lines), the process-accounting substrate the
+security-analysis literature builds on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, TextIO
+
+from repro.crypto.keycodec import (
+    decode_key,
+    decode_signature,
+    encode_public_key,
+    signature_scheme,
+)
+from repro.errors import (
+    AuthError,
+    CryptoError,
+    InvalidArgument,
+    KeyNoteError,
+)
+from repro.keynote.ast import ComplianceValues
+from repro.keynote.session import KeyNoteSession
+from repro.keynote.signing import sign_assertion
+from repro.storage.base import BlockStore
+from repro.storage.tenant import TenantBlockStore
+
+#: The ``app_domain`` action attribute every store query carries.
+APP_DOMAIN = "discfs-store"
+
+#: Ordered compliance values for store queries, least to most.
+RIGHTS_LADDER = ("none", "r", "rw", "admin")
+
+#: Domain-separation context for session-open signatures.
+SIGN_CONTEXT = b"discfs-store-session"
+
+#: How long an issued challenge nonce stays redeemable (seconds).
+NONCE_TTL = 120.0
+#: How many outstanding nonces the server keeps before shedding.
+MAX_NONCES = 1024
+#: How long a session token stays valid (seconds).
+SESSION_TTL = 3600.0
+
+
+def rights_rank(rights: str) -> int:
+    """Position of ``rights`` on the ladder; raises AuthError if unknown."""
+    try:
+        return RIGHTS_LADDER.index(rights)
+    except ValueError:
+        raise AuthError(
+            f"unknown rights {rights!r} (expected one of "
+            f"{', '.join(RIGHTS_LADDER[1:])})"
+        ) from None
+
+
+def session_signature_payload(nonce: bytes, identity: str, tenant: str,
+                              rights: str) -> bytes:
+    """The exact bytes a client signs to open a session."""
+    return b"\x00".join(
+        [SIGN_CONTEXT, nonce, identity.encode("utf-8"),
+         tenant.encode("utf-8"), rights.encode("utf-8")]
+    )
+
+
+def sign_session_request(key, nonce: bytes, identity: str, tenant: str,
+                         rights: str) -> str:
+    """Client half of the handshake: sign the challenge, return the
+    encoded signature identifier."""
+    from repro.crypto.keycodec import encode_signature
+
+    payload = session_signature_payload(nonce, identity, tenant, rights)
+    raw = key.sign(payload, hash_name="sha1")
+    return encode_signature(key.algorithm, "sha1", raw, "hex")
+
+
+def issue_store_credential(
+    issuer,
+    licensee: str,
+    tenant: Optional[str],
+    rights: str = "rw",
+    expires_at: Optional[int] = None,
+    comment: str = "",
+) -> str:
+    """Sign a store credential: *licensee may use ``tenant`` at ``rights``*.
+
+    ``tenant=None`` omits the tenant clause — a whole-store grant (the
+    operator mount).  ``expires_at`` appends an ``@now`` expiry, the
+    paper's suggested revocation aid.
+    """
+    rights_rank(rights)  # validate early
+    clauses = [f'(app_domain == "{APP_DOMAIN}")']
+    if tenant is not None:
+        escaped = tenant.replace("\\", "\\\\").replace('"', '\\"')
+        clauses.append(f'(tenant == "{escaped}")')
+    if expires_at is not None:
+        clauses.append(f"(@now < {int(expires_at)})")
+    conditions = " && ".join(clauses) + f' -> "{rights}";'
+    body = f'Authorizer: "{encode_public_key(issuer)}"\n'
+    body += f'Licensees: "{licensee}"\n'
+    body += f"Conditions: {conditions}\n"
+    if comment:
+        body += f"Comment: {comment}\n"
+    return sign_assertion(body, issuer)
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One ``--tenant-quota`` declaration: region span plus limits."""
+
+    name: str
+    blocks: int
+    quota_bytes: Optional[int] = None
+    rate_ops: Optional[float] = None
+
+    @classmethod
+    def parse(cls, text: str) -> "TenantQuota":
+        """Parse the CLI grammar ``NAME=BLOCKS[:BYTES[:RATE]]``."""
+        name, sep, rest = text.partition("=")
+        if not sep or not name:
+            raise InvalidArgument(
+                f"bad tenant quota {text!r} "
+                "(expected NAME=BLOCKS[:BYTES[:RATE]])"
+            )
+        parts = rest.split(":")
+        if not 1 <= len(parts) <= 3:
+            raise InvalidArgument(
+                f"bad tenant quota {text!r} "
+                "(expected NAME=BLOCKS[:BYTES[:RATE]])"
+            )
+        try:
+            blocks = int(parts[0])
+            quota_bytes = int(parts[1]) if len(parts) > 1 and parts[1] else None
+            rate_ops = float(parts[2]) if len(parts) > 2 and parts[2] else None
+        except ValueError as exc:
+            raise InvalidArgument(f"bad tenant quota {text!r}: {exc}") from None
+        if blocks <= 0:
+            raise InvalidArgument(f"tenant {name!r} needs a positive span")
+        return cls(name=name, blocks=blocks, quota_bytes=quota_bytes,
+                   rate_ops=rate_ops)
+
+
+@dataclass
+class Session:
+    """An authenticated client session on a served store."""
+
+    token: bytes
+    identity: str
+    tenant: str
+    rights: str
+    expires: float
+    store: BlockStore
+
+    @property
+    def rank(self) -> int:
+        return rights_rank(self.rights)
+
+
+class AuditLog:
+    """Append-only JSON-lines audit trail (thread-safe)."""
+
+    def __init__(self, path: Optional[str] = None,
+                 stream: Optional[TextIO] = None,
+                 clock: Callable[[], float] = time.time):
+        self._stream = stream
+        self._path = path
+        self._clock = clock
+        self._lock = threading.Lock()
+        if path is not None and stream is None:
+            self._stream = open(path, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._owns = False
+
+    def record(self, event: str, verdict: str, **fields: object) -> None:
+        if self._stream is None:
+            return
+        line = {"ts": round(self._clock(), 3), "event": event,
+                "verdict": verdict}
+        line.update({k: v for k, v in fields.items() if v is not None})
+        with self._lock:
+            self._stream.write(json.dumps(line, sort_keys=True) + "\n")
+            self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns and self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+
+class StoreAuthGate:
+    """Policy + tenant table + session state for one served store.
+
+    Construct with configuration only; :meth:`bind` attaches the served
+    store (after ``serve_store`` has decided whether to serialize it) and
+    carves the tenant regions.  ``BlockStoreProgram`` consults
+    :meth:`authorize` on every gated proc.
+    """
+
+    def __init__(
+        self,
+        policy_text: str,
+        tenants: Iterable[TenantQuota] = (),
+        audit: Optional[AuditLog] = None,
+        clock: Callable[[], float] = time.time,
+        session_ttl: float = SESSION_TTL,
+        nonce_ttl: float = NONCE_TTL,
+    ):
+        # Parse once at startup so a broken policy file fails loudly
+        # before the server ever binds a socket.
+        if not any(a.is_policy for a in self._load_policy(KeyNoteSession(),
+                                                          policy_text)):
+            raise InvalidArgument("policy file contains no POLICY assertions")
+        self.policy_text = policy_text
+        self.tenants = list(tenants)
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise InvalidArgument(f"duplicate tenant names in {names}")
+        self.audit = audit or AuditLog()
+        self._clock = clock
+        self._session_ttl = session_ttl
+        self._nonce_ttl = nonce_ttl
+        self._lock = threading.Lock()
+        self._nonces: dict[bytes, float] = {}
+        self._sessions: dict[bytes, Session] = {}
+        self._store: Optional[BlockStore] = None
+        self._views: dict[str, TenantBlockStore] = {}
+        #: Denied decisions (sessions + procs), surfaced as ``auth_denied``.
+        self.auth_denied = 0
+        self.sessions_opened = 0
+
+    @staticmethod
+    def _load_policy(engine: KeyNoteSession, text: str) -> list:
+        """Install a policy file that may mix POLICY assertions with
+        pre-trusted (signed) intermediate credentials."""
+        from repro.keynote.parser import parse_assertions
+
+        added = []
+        for assertion in parse_assertions(text):
+            if assertion.is_policy:
+                added.append(engine.add_policy(assertion))
+            else:
+                added.append(engine.add_credential(assertion))
+        return added
+
+    # -- binding -----------------------------------------------------------
+
+    def bind(self, store: BlockStore) -> None:
+        """Attach the served store and carve per-tenant regions.
+
+        Regions are allocated sequentially in declaration order, so the
+        ``--tenant-quota`` flags *are* the layout.
+        """
+        offset = 0
+        views: dict[str, TenantBlockStore] = {}
+        for quota in self.tenants:
+            if offset + quota.blocks > store.num_blocks:
+                raise InvalidArgument(
+                    f"tenant regions ({offset + quota.blocks} blocks) exceed "
+                    f"store capacity ({store.num_blocks} blocks)"
+                )
+            views[quota.name] = TenantBlockStore(
+                store, quota.name, offset=offset, num_blocks=quota.blocks,
+                quota_blocks=None, quota_bytes=quota.quota_bytes,
+                rate_ops=quota.rate_ops, owns_child=False,
+            )
+            offset += quota.blocks
+        self._store = store
+        self._views = views
+
+    # -- challenge/session lifecycle ---------------------------------------
+
+    def issue_nonce(self) -> bytes:
+        now = self._clock()
+        nonce = os.urandom(16)
+        with self._lock:
+            self._nonces = {
+                n: exp for n, exp in self._nonces.items() if exp > now
+            }
+            if len(self._nonces) >= MAX_NONCES:
+                oldest = min(self._nonces, key=self._nonces.__getitem__)
+                del self._nonces[oldest]
+            self._nonces[nonce] = now + self._nonce_ttl
+        return nonce
+
+    def _deny(self, event: str, reason: str, **fields: object) -> AuthError:
+        with self._lock:
+            self.auth_denied += 1
+        self.audit.record(event, "deny", reason=reason, **fields)
+        return AuthError(reason)
+
+    def open_session(
+        self,
+        identity: str,
+        tenant: str,
+        rights: str,
+        credentials: list[str],
+        nonce: bytes,
+        signature: str,
+    ) -> Session:
+        """Verify the handshake and mint a session; raises AuthError."""
+        ctx = {"identity": identity[:64], "tenant": tenant, "rights": rights}
+        now = self._clock()
+        with self._lock:
+            expiry = self._nonces.pop(nonce, None)
+        if expiry is None or expiry <= now:
+            raise self._deny("session_open", "unknown, expired or replayed "
+                             "challenge nonce", **ctx)
+        if rights_rank(rights) < 1:
+            raise self._deny("session_open", f"cannot request {rights!r}",
+                             **ctx)
+
+        # 1. Proof of possession: the signature binds this very request
+        #    (nonce, identity, tenant, rights) to the claimed key.
+        try:
+            key = decode_key(identity)
+            public = getattr(key, "public", key)
+            algorithm, hash_name, _enc = signature_scheme(signature)
+            if algorithm != public.algorithm:
+                raise self._deny(
+                    "session_open",
+                    f"signature algorithm {algorithm!r} does not match "
+                    f"identity key {public.algorithm!r}", **ctx)
+            public.verify(
+                session_signature_payload(nonce, identity, tenant, rights),
+                decode_signature(signature), hash_name=hash_name,
+            )
+        except CryptoError as exc:
+            raise self._deny("session_open",
+                             f"challenge signature invalid: {exc}", **ctx)
+
+        # 2. Tenant resolution: with a tenant table, the name must be
+        #    declared (or empty for a whole-store operator session).
+        if tenant and self._views and tenant not in self._views:
+            raise self._deny("session_open", f"unknown tenant {tenant!r}",
+                             **ctx)
+        if tenant and not self._views:
+            raise self._deny(
+                "session_open",
+                f"server has no tenant table; cannot grant tenant "
+                f"{tenant!r}", **ctx)
+
+        # 3. The compliance query: does policy + presented credentials
+        #    delegate ``rights`` on ``tenant`` to this key?
+        engine = KeyNoteSession()
+        self._load_policy(engine, self.policy_text)
+        try:
+            for text in credentials:
+                engine.add_credentials(text)
+        except (KeyNoteError, CryptoError) as exc:
+            raise self._deny("session_open",
+                             f"credential rejected: {exc}", **ctx)
+        granted = engine.query(
+            action={
+                "app_domain": APP_DOMAIN,
+                "tenant": tenant,
+                "rights": rights,
+                "now": str(int(now)),
+            },
+            action_authorizers=[identity],
+            values=ComplianceValues(list(RIGHTS_LADDER)),
+        )
+        if rights_rank(granted) < rights_rank(rights):
+            raise self._deny(
+                "session_open",
+                f"policy grants {granted!r}, session requested {rights!r}",
+                **ctx)
+
+        if self._store is None:
+            raise self._deny("session_open", "gate not bound to a store",
+                             **ctx)
+        view: BlockStore = self._views.get(tenant, self._store) if tenant \
+            else self._store
+        token = os.urandom(16)
+        session = Session(
+            token=token, identity=identity, tenant=tenant, rights=rights,
+            expires=now + self._session_ttl, store=view,
+        )
+        with self._lock:
+            self._sessions = {
+                t: s for t, s in self._sessions.items() if s.expires > now
+            }
+            self._sessions[token] = session
+            self.sessions_opened += 1
+        self.audit.record("session_open", "grant", granted=granted, **ctx)
+        return session
+
+    # -- per-proc authorization --------------------------------------------
+
+    def authorize(self, token: bytes, proc_name: str,
+                  required: str) -> Session:
+        """Return the live session iff it holds ``required`` rights."""
+        now = self._clock()
+        with self._lock:
+            session = self._sessions.get(token)
+        if session is None or session.expires <= now:
+            raise self._deny(
+                "proc", f"{proc_name}: no authenticated session "
+                "(open one with SESSION_OPEN)", proc=proc_name)
+        if session.rank < rights_rank(required):
+            raise self._deny(
+                "proc",
+                f"{proc_name} needs {required!r} rights, session has "
+                f"{session.rights!r}", proc=proc_name,
+                tenant=session.tenant, identity=session.identity[:64])
+        self.audit.record("proc", "grant", proc=proc_name,
+                          tenant=session.tenant)
+        return session
+
+    # -- introspection -----------------------------------------------------
+
+    def extra_stats(self) -> dict[str, float]:
+        """Gate counters + per-tenant usage, flat-keyed for StoreStats."""
+        with self._lock:
+            out = {
+                "auth_denied": float(self.auth_denied),
+                "auth_sessions": float(self.sessions_opened),
+                "auth_tenants": float(len(self._views)),
+            }
+        for view in self._views.values():
+            out.update(view.snapshot().extra)
+        return out
+
+    def close(self) -> None:
+        self.audit.close()

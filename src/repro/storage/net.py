@@ -27,9 +27,12 @@ pipelined connections keeps several windows in flight at once, so a
 large extent overlaps its round trips instead of paying them serially
 (``serve_store(..., workers=N)`` gives the server matching concurrency).
 
-Procedures (version 1)::
+Procedures (version 2 — every request except NULL starts with an opaque
+session token, empty before SESSION_OPEN; every reply except NULL's
+starts with a uint status, 0 = OK, else an error code followed by a
+message string)::
 
-    0 NULL                                    (ping)
+    0 NULL                                    (ping; no v2 envelope)
     1 GEOM        void -> uint num_blocks, uint block_size, string desc
     2 READ        uint block_no -> opaque data
     3 WRITE       uint block_no, opaque data -> void
@@ -44,6 +47,23 @@ Procedures (version 1)::
    10 STATS       void -> string json        (served store's snapshot +
                                                capabilities, for
                                                ``store-inspect``)
+   11 CHALLENGE   void -> opaque nonce       (single-use, for
+                                               SESSION_OPEN; empty on an
+                                               ungated server)
+   12 SESSION_OPEN  string identity, string tenant, string rights,
+                    string<> credentials, opaque nonce, string signature
+                    -> opaque token, string granted
+
+When the server runs a :class:`~repro.storage.auth.StoreAuthGate`
+(``store-serve --policy``), NULL/CHALLENGE/SESSION_OPEN are the only
+procs an unauthenticated client may call; everything else is authorized
+against the session's granted rights (read procs need ``r``, mutating
+procs ``rw``, STATS ``admin``) and runs against the session tenant's
+:class:`~repro.storage.tenant.TenantBlockStore` view.  Authorization,
+quota and rate-limit failures come back as in-band status codes and
+re-raise client-side as the same typed errors — *not* as
+:class:`~repro.errors.StoreUnavailable`, so ``replica://`` never
+mistakes a denied tenant for a down node.
 """
 
 from __future__ import annotations
@@ -52,8 +72,16 @@ import json
 from collections import deque
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Callable, Optional
 
-from repro.errors import RPCError, StoreUnavailable, TransportError
+from repro.errors import (
+    AuthError,
+    QuotaExceeded,
+    RateLimited,
+    RPCError,
+    StoreUnavailable,
+    TransportError,
+)
 from repro.rpc.client import ConnectionPool, RPCClient, abandon_call
 from repro.rpc.server import CallContext, RPCProgram, RPCServer
 from repro.rpc.transport import (
@@ -64,11 +92,13 @@ from repro.rpc.transport import (
     serve_tcp,
 )
 from repro.rpc.xdr import XDRDecoder, XDREncoder
+from repro.crypto.keycodec import encode_public_key
+from repro.storage.auth import StoreAuthGate, sign_session_request
 from repro.storage.base import BlockStore, Capabilities, StoreStats
 
 #: DisCFS-private program number, next to AUTH_CHANNEL's 390000 range.
 BLOCKSTORE_PROGRAM = 390010
-BLOCKSTORE_VERSION = 1
+BLOCKSTORE_VERSION = 2
 
 PROC_GEOM = 1
 PROC_READ = 2
@@ -80,6 +110,47 @@ PROC_USED = 7
 PROC_CONTAINS = 8
 PROC_LIST = 9
 PROC_STATS = 10
+PROC_CHALLENGE = 11
+PROC_SESSION_OPEN = 12
+
+#: In-band reply status codes and the typed errors they carry.
+ERR_OK = 0
+ERR_AUTH = 1
+ERR_QUOTA = 2
+ERR_RATE = 3
+_STATUS_ERRORS: dict[int, type[Exception]] = {
+    ERR_AUTH: AuthError,
+    ERR_QUOTA: QuotaExceeded,
+    ERR_RATE: RateLimited,
+}
+_ERROR_STATUS: list[tuple[type[Exception], int]] = [
+    (AuthError, ERR_AUTH),
+    (QuotaExceeded, ERR_QUOTA),
+    (RateLimited, ERR_RATE),
+]
+
+#: Minimum rights a gated proc needs; ``None`` = unauthenticated.
+PROC_RIGHTS: dict[int, Optional[str]] = {
+    0: None, PROC_CHALLENGE: None, PROC_SESSION_OPEN: None,
+    PROC_GEOM: "r", PROC_READ: "r", PROC_READ_MANY: "r",
+    PROC_CONTAINS: "r", PROC_USED: "r", PROC_LIST: "r",
+    PROC_WRITE: "rw", PROC_WRITE_MANY: "rw", PROC_FLUSH: "rw",
+    PROC_STATS: "admin",
+}
+
+PROC_NAMES: dict[int, str] = {
+    0: "NULL", PROC_GEOM: "GEOM", PROC_READ: "READ", PROC_WRITE: "WRITE",
+    PROC_READ_MANY: "READ_MANY", PROC_WRITE_MANY: "WRITE_MANY",
+    PROC_FLUSH: "FLUSH", PROC_USED: "USED", PROC_CONTAINS: "CONTAINS",
+    PROC_LIST: "LIST", PROC_STATS: "STATS", PROC_CHALLENGE: "CHALLENGE",
+    PROC_SESSION_OPEN: "SESSION_OPEN",
+}
+
+#: Size caps for handshake fields (tokens/nonces are 16 bytes today).
+MAX_TOKEN = 64
+MAX_IDENTITY = 4096
+MAX_CREDENTIAL = 1 << 16
+MAX_CREDENTIALS = 32
 
 #: Block numbers one LIST page may carry.
 LIST_PAGE = 4096
@@ -104,78 +175,163 @@ class BlockStoreProgram(RPCProgram):
     serializes internally).
     """
 
-    def __init__(self, store: BlockStore):
+    def __init__(self, store: BlockStore,
+                 gate: Optional[StoreAuthGate] = None):
         super().__init__(BLOCKSTORE_PROGRAM, BLOCKSTORE_VERSION,
                          name="blockstore")
         self.store = store
-        self.register(PROC_GEOM, self._proc_geom)
-        self.register(PROC_READ, self._proc_read)
-        self.register(PROC_WRITE, self._proc_write)
-        self.register(PROC_READ_MANY, self._proc_read_many)
-        self.register(PROC_WRITE_MANY, self._proc_write_many)
-        self.register(PROC_FLUSH, self._proc_flush)
-        self.register(PROC_USED, self._proc_used)
-        self.register(PROC_CONTAINS, self._proc_contains)
-        self.register(PROC_LIST, self._proc_list)
-        self.register(PROC_STATS, self._proc_stats)
+        self.gate = gate
+        if gate is not None:
+            gate.bind(store)
+        # Proc 0 (NULL) keeps the RPC-wide convention — empty args,
+        # empty reply, no token/status envelope — so transport-level
+        # health checks work against any program uniformly.
+        self.register(PROC_GEOM, self._gated(PROC_GEOM, self._proc_geom))
+        self.register(PROC_READ, self._gated(PROC_READ, self._proc_read))
+        self.register(PROC_WRITE, self._gated(PROC_WRITE, self._proc_write))
+        self.register(PROC_READ_MANY,
+                      self._gated(PROC_READ_MANY, self._proc_read_many))
+        self.register(PROC_WRITE_MANY,
+                      self._gated(PROC_WRITE_MANY, self._proc_write_many))
+        self.register(PROC_FLUSH, self._gated(PROC_FLUSH, self._proc_flush))
+        self.register(PROC_USED, self._gated(PROC_USED, self._proc_used))
+        self.register(PROC_CONTAINS,
+                      self._gated(PROC_CONTAINS, self._proc_contains))
+        self.register(PROC_LIST, self._gated(PROC_LIST, self._proc_list))
+        self.register(PROC_STATS, self._gated(PROC_STATS, self._proc_stats))
+        self.register(PROC_CHALLENGE,
+                      self._gated(PROC_CHALLENGE, self._proc_challenge))
+        self.register(PROC_SESSION_OPEN,
+                      self._gated(PROC_SESSION_OPEN, self._proc_session_open))
 
-    def _proc_geom(self, dec: XDRDecoder, ctx: CallContext) -> bytes:
+    def _gated(
+        self,
+        proc: int,
+        handler: Callable[[BlockStore, XDRDecoder, CallContext], bytes],
+    ) -> Callable[[XDRDecoder, CallContext], bytes]:
+        """Wrap a proc handler in the v2 envelope: consume the leading
+        session token, authorize it against the gate, run the handler on
+        the session's store view, and prefix the reply with a status —
+        turning the typed auth/quota/rate errors into in-band codes
+        instead of SYSTEM_ERR transport failures."""
+        name = PROC_NAMES[proc]
+        required = PROC_RIGHTS[proc]
+
+        def wrapped(dec: XDRDecoder, ctx: CallContext) -> bytes:
+            token = dec.unpack_opaque(max_size=MAX_TOKEN)
+            try:
+                store = self.store
+                if self.gate is not None and required is not None:
+                    session = self.gate.authorize(token, name, required)
+                    store = session.store
+                payload = handler(store, dec, ctx)
+            except (AuthError, QuotaExceeded, RateLimited) as exc:
+                for err_type, code in _ERROR_STATUS:
+                    if isinstance(exc, err_type):
+                        return (XDREncoder().pack_uint(code)
+                                .pack_string(str(exc)).getvalue())
+                raise  # unreachable
+            return XDREncoder().pack_uint(ERR_OK).getvalue() + payload
+
+        return wrapped
+
+    def _proc_challenge(self, store: BlockStore, dec: XDRDecoder,
+                        ctx: CallContext) -> bytes:
+        """A single-use nonce for SESSION_OPEN (empty if ungated, so a
+        credentialed client degrades gracefully on an open server)."""
+        dec.done()
+        nonce = self.gate.issue_nonce() if self.gate is not None else b""
+        return XDREncoder().pack_opaque(nonce).getvalue()
+
+    def _proc_session_open(self, store: BlockStore, dec: XDRDecoder,
+                           ctx: CallContext) -> bytes:
+        identity = dec.unpack_string(max_size=MAX_IDENTITY)
+        tenant = dec.unpack_string(max_size=256)
+        rights = dec.unpack_string(max_size=32)
+        credentials = dec.unpack_array(
+            lambda d: d.unpack_string(max_size=MAX_CREDENTIAL),
+            max_items=MAX_CREDENTIALS,
+        )
+        nonce = dec.unpack_opaque(max_size=MAX_TOKEN)
+        signature = dec.unpack_string(max_size=MAX_IDENTITY)
+        dec.done()
+        if self.gate is None:
+            # Open server: hand back an empty token; every proc accepts it.
+            return (XDREncoder().pack_opaque(b"")
+                    .pack_string("admin").getvalue())
+        session = self.gate.open_session(
+            identity=identity, tenant=tenant, rights=rights,
+            credentials=credentials, nonce=nonce, signature=signature,
+        )
+        return (XDREncoder().pack_opaque(session.token)
+                .pack_string(session.rights).getvalue())
+
+    def _proc_geom(self, store: BlockStore, dec: XDRDecoder,
+                   ctx: CallContext) -> bytes:
         dec.done()
         return (
             XDREncoder()
-            .pack_uint(self.store.num_blocks)
-            .pack_uint(self.store.block_size)
-            .pack_string(self.store.describe())
+            .pack_uint(store.num_blocks)
+            .pack_uint(store.block_size)
+            .pack_string(store.describe())
             .getvalue()
         )
 
-    def _proc_read(self, dec: XDRDecoder, ctx: CallContext) -> bytes:
+    def _proc_read(self, store: BlockStore, dec: XDRDecoder,
+                   ctx: CallContext) -> bytes:
         block_no = dec.unpack_uint()
         dec.done()
-        return XDREncoder().pack_opaque(self.store.read(block_no)).getvalue()
+        return XDREncoder().pack_opaque(store.read(block_no)).getvalue()
 
-    def _proc_write(self, dec: XDRDecoder, ctx: CallContext) -> bytes:
+    def _proc_write(self, store: BlockStore, dec: XDRDecoder,
+                    ctx: CallContext) -> bytes:
         block_no = dec.unpack_uint()
-        data = dec.unpack_opaque(max_size=self.store.block_size)
+        data = dec.unpack_opaque(max_size=store.block_size)
         dec.done()
-        self.store.write(block_no, data)
+        store.write(block_no, data)
         return b""
 
-    def _proc_read_many(self, dec: XDRDecoder, ctx: CallContext) -> bytes:
+    def _proc_read_many(self, store: BlockStore, dec: XDRDecoder,
+                        ctx: CallContext) -> bytes:
         block_nos = dec.unpack_array(
             lambda d: d.unpack_uint(), max_items=MAX_BATCH_BLOCKS
         )
         dec.done()
-        blocks = self.store.read_many(block_nos)
+        blocks = store.read_many(block_nos)
         enc = XDREncoder()
         enc.pack_array(blocks, lambda e, b: e.pack_opaque(b))
         return enc.getvalue()
 
-    def _proc_write_many(self, dec: XDRDecoder, ctx: CallContext) -> bytes:
+    def _proc_write_many(self, store: BlockStore, dec: XDRDecoder,
+                         ctx: CallContext) -> bytes:
         def unpack_item(d: XDRDecoder) -> tuple[int, bytes]:
             block_no = d.unpack_uint()
-            return block_no, d.unpack_opaque(max_size=self.store.block_size)
+            return block_no, d.unpack_opaque(max_size=store.block_size)
 
         items = dec.unpack_array(unpack_item, max_items=MAX_BATCH_BLOCKS)
         dec.done()
-        self.store.write_many(items)
+        store.write_many(items)
         return b""
 
-    def _proc_flush(self, dec: XDRDecoder, ctx: CallContext) -> bytes:
+    def _proc_flush(self, store: BlockStore, dec: XDRDecoder,
+                    ctx: CallContext) -> bytes:
         dec.done()
-        self.store.flush()
+        store.flush()
         return b""
 
-    def _proc_used(self, dec: XDRDecoder, ctx: CallContext) -> bytes:
+    def _proc_used(self, store: BlockStore, dec: XDRDecoder,
+                   ctx: CallContext) -> bytes:
         dec.done()
-        return XDREncoder().pack_uhyper(self.store.used_blocks()).getvalue()
+        return XDREncoder().pack_uhyper(store.used_blocks()).getvalue()
 
-    def _proc_contains(self, dec: XDRDecoder, ctx: CallContext) -> bytes:
+    def _proc_contains(self, store: BlockStore, dec: XDRDecoder,
+                       ctx: CallContext) -> bytes:
         block_no = dec.unpack_uint()
         dec.done()
-        return XDREncoder().pack_bool(self.store._contains(block_no)).getvalue()
+        return XDREncoder().pack_bool(store._contains(block_no)).getvalue()
 
-    def _proc_list(self, dec: XDRDecoder, ctx: CallContext) -> bytes:
+    def _proc_list(self, store: BlockStore, dec: XDRDecoder,
+                   ctx: CallContext) -> bytes:
         """One page of used block numbers at or past ``start``; the
         client advances ``start`` past the last entry until a page comes
         back empty.  The enumeration is recomputed per page (stateless —
@@ -188,20 +344,25 @@ class BlockStoreProgram(RPCProgram):
         limit = dec.unpack_uint()
         dec.done()
         limit = max(1, min(limit, LIST_PAGE))
-        numbers = self.store.used_block_numbers()  # sorted by contract
+        numbers = store.used_block_numbers()  # sorted by contract
         lo = bisect.bisect_left(numbers, start)
         page = numbers[lo:lo + limit]
         enc = XDREncoder()
         enc.pack_array(page, lambda e, b: e.pack_uint(b))
         return enc.getvalue()
 
-    def _proc_stats(self, dec: XDRDecoder, ctx: CallContext) -> bytes:
+    def _proc_stats(self, store: BlockStore, dec: XDRDecoder,
+                    ctx: CallContext) -> bytes:
         """The served store's snapshot + capabilities, as JSON — the
-        control plane's window into the node's own counters."""
+        control plane's window into the node's own counters.  Always the
+        *root* served store (STATS needs ``admin``); gate counters and
+        per-tenant usage ride in ``extra``."""
         dec.done()
         snap = self.store.snapshot()
         caps = self.store.capabilities()
         payload = snap.to_dict()
+        if self.gate is not None:
+            payload["extra"].update(self.gate.extra_stats())
         payload["capabilities"] = {
             "thread_safe": caps.thread_safe,
             "durable": caps.durable,
@@ -301,15 +462,21 @@ class StoreServer:
     """
 
     def __init__(self, store: BlockStore, host: str = "127.0.0.1",
-                 port: int = 0, workers: int = 0):
+                 port: int = 0, workers: int = 0,
+                 gate: Optional[StoreAuthGate] = None):
         self.store = store
+        self.gate = gate
         served = store
-        if workers > 0 and not store.capabilities().thread_safe:
+        if not store.capabilities().thread_safe and (
+            workers > 0 or (gate is not None and gate.tenants)
+        ):
             # Worker threads would race a backend that does not claim
             # concurrent-caller safety; serialize its operations
-            # (network/pipelining still overlaps).
+            # (network/pipelining still overlaps).  Tenant views make
+            # even a sequential server multi-caller: each connection
+            # runs on its own thread and the views share one child.
             served = SerializedBlockStore(store)
-        self.program = BlockStoreProgram(served)
+        self.program = BlockStoreProgram(served, gate=gate)
         rpc = RPCServer()
         rpc.register(self.program)
         self.rpc = rpc
@@ -325,6 +492,8 @@ class StoreServer:
     def close(self) -> None:
         self._tcp.close()
         self.store.flush()
+        if self.gate is not None:
+            self.gate.close()
 
     def __enter__(self) -> "StoreServer":
         return self
@@ -334,7 +503,8 @@ class StoreServer:
 
 
 def serve_store(store: BlockStore, host: str = "127.0.0.1",
-                port: int = 0, workers: int = 0) -> StoreServer:
+                port: int = 0, workers: int = 0,
+                gate: Optional[StoreAuthGate] = None) -> StoreServer:
     """Serve ``store`` over TCP; returns the running :class:`StoreServer`.
 
     ``workers=N`` answers each connection's requests from a thread pool
@@ -344,8 +514,13 @@ def serve_store(store: BlockStore, host: str = "127.0.0.1",
     Backends that do not declare ``thread_safe`` are wrapped in
     :class:`SerializedBlockStore` first, so worker threads never race
     an unlocked store.
+
+    ``gate=StoreAuthGate(...)`` credential-gates the server: clients
+    must SESSION_OPEN with KeyNote credentials the gate's policy
+    accepts, and tenant sessions are confined to their region view.
     """
-    return StoreServer(store, host=host, port=port, workers=workers)
+    return StoreServer(store, host=host, port=port, workers=workers,
+                       gate=gate)
 
 
 class RemoteBlockStore(BlockStore):
@@ -364,7 +539,9 @@ class RemoteBlockStore(BlockStore):
 
     def __init__(self, transport: Transport, batch: bool = True,
                  workers: int = 1, timeout: float | None = None,
-                 endpoint: tuple[str, int] | None = None):
+                 endpoint: tuple[str, int] | None = None,
+                 key=None, credentials: list[str] | None = None,
+                 tenant: str = "", rights: str = "rw"):
         self._client = RPCClient(transport, BLOCKSTORE_PROGRAM,
                                  BLOCKSTORE_VERSION)
         self.batch = batch
@@ -376,6 +553,16 @@ class RemoteBlockStore(BlockStore):
         # A connection pool multiplexes concurrent callers safely; a
         # single blocking transport does not.
         self.thread_safe = self.workers > 1
+        #: Session token carried on every request (empty = no session;
+        #: an ungated server accepts that on every proc).  The token is
+        #: server-global, not per-connection, so one session covers the
+        #: whole connection pool.
+        self._token = b""
+        self.tenant = tenant
+        #: Rights granted at SESSION_OPEN (None on an open mount).
+        self.session_rights: str | None = None
+        if key is not None:
+            self._open_session(key, list(credentials or []), tenant, rights)
         dec = self._call(PROC_GEOM)
         num_blocks = dec.unpack_uint()
         block_size = dec.unpack_uint()
@@ -383,9 +570,33 @@ class RemoteBlockStore(BlockStore):
         dec.done()
         super().__init__(num_blocks, block_size)
 
+    def _open_session(self, key, credentials: list[str], tenant: str,
+                      rights: str) -> None:
+        """CHALLENGE + SESSION_OPEN: prove key possession over the
+        nonce, present credentials, and pocket the session token."""
+        dec = self._call(PROC_CHALLENGE)
+        nonce = dec.unpack_opaque(max_size=MAX_TOKEN)
+        dec.done()
+        identity = encode_public_key(key)
+        signature = sign_session_request(key, nonce, identity, tenant,
+                                         rights)
+        enc = XDREncoder()
+        enc.pack_string(identity)
+        enc.pack_string(tenant)
+        enc.pack_string(rights)
+        enc.pack_array(credentials, lambda e, c: e.pack_string(c))
+        enc.pack_opaque(nonce)
+        enc.pack_string(signature)
+        dec = self._call(PROC_SESSION_OPEN, enc.getvalue())
+        self._token = dec.unpack_opaque(max_size=MAX_TOKEN)
+        self.session_rights = dec.unpack_string()
+        dec.done()
+
     @classmethod
     def connect(cls, host: str, port: int, timeout: float = 10.0,
-                batch: bool = True, workers: int = 1) -> "RemoteBlockStore":
+                batch: bool = True, workers: int = 1,
+                key=None, credentials: list[str] | None = None,
+                tenant: str = "", rights: str = "rw") -> "RemoteBlockStore":
         """Open a TCP client for the store at ``host:port``.
 
         ``workers=1`` (the default) is one classic blocking connection.
@@ -393,7 +604,13 @@ class RemoteBlockStore(BlockStore):
         of pipelined connections, so the windowed ``read_many``/
         ``write_many`` batches (and any concurrent callers) keep up to
         ``N`` requests in flight on independent connections.
+
+        ``key``/``credentials`` authenticate the mount against a
+        credential-gated server (``tenant`` selects the namespace,
+        ``rights`` what the session asks for).
         """
+        auth = dict(key=key, credentials=credentials, tenant=tenant,
+                    rights=rights)
         if workers > 1:
             pool = ConnectionPool(
                 lambda: PipelinedTCPTransport(host, port, timeout=timeout),
@@ -401,7 +618,7 @@ class RemoteBlockStore(BlockStore):
             )
             try:
                 return cls(pool, batch=batch, workers=workers,
-                           timeout=timeout, endpoint=(host, port))
+                           timeout=timeout, endpoint=(host, port), **auth)
             except Exception:
                 # Handshake failed: don't leak dialed connections (retry
                 # loops waiting for a node would pile up descriptors).
@@ -415,31 +632,48 @@ class RemoteBlockStore(BlockStore):
             ) from exc
         try:
             return cls(transport, batch=batch, timeout=timeout,
-                       endpoint=(host, port))
+                       endpoint=(host, port), **auth)
         except Exception:
             # GEOM handshake failed: don't leak the connected socket
             # (retry loops waiting for a node would pile up descriptors).
             transport.close()
             raise
 
+    def _frame(self, args: bytes) -> bytes:
+        """Prefix the v2 session token onto a request's arguments."""
+        return XDREncoder().pack_opaque(self._token).getvalue() + args
+
+    @staticmethod
+    def _check_status(dec: XDRDecoder) -> XDRDecoder:
+        """Decode the v2 reply status; re-raise server-side auth/quota/
+        rate denials as their typed errors (not StoreUnavailable — a
+        denied tenant is not a down node)."""
+        status = dec.unpack_uint()
+        if status != ERR_OK:
+            message = dec.unpack_string()
+            dec.done()
+            raise _STATUS_ERRORS.get(status, StoreUnavailable)(message)
+        return dec
+
     def _call(self, proc: int, args: bytes = b"") -> XDRDecoder:
         try:
-            return self._client.call(proc, args)
+            dec = self._client.call(proc, self._frame(args))
         except (TransportError, RPCError, OSError) as exc:
             raise StoreUnavailable(f"remote block store failed: {exc}") from exc
+        return self._check_status(dec)
 
     # -- async windowed batches --------------------------------------------
 
     def _submit(self, proc: int, args: bytes) -> Future:
         """Start one RPC; transport errors surface as StoreUnavailable."""
         try:
-            return self._client.call_async(proc, args)
+            return self._client.call_async(proc, self._frame(args))
         except (TransportError, RPCError, OSError) as exc:
             raise StoreUnavailable(f"remote block store failed: {exc}") from exc
 
     def _await(self, fut: Future) -> XDRDecoder:
         try:
-            return fut.result(timeout=self.timeout)
+            dec = fut.result(timeout=self.timeout)
         except FutureTimeoutError:
             # Tear the wedged connection down (failing its other
             # in-flight windows) so a never-answering server cannot
@@ -450,6 +684,7 @@ class RemoteBlockStore(BlockStore):
             ) from None
         except (TransportError, RPCError, OSError) as exc:
             raise StoreUnavailable(f"remote block store failed: {exc}") from exc
+        return self._check_status(dec)
 
     @property
     def _inflight_cap(self) -> int:
@@ -642,5 +877,8 @@ class RemoteBlockStore(BlockStore):
         )
 
     def ping(self) -> None:
-        """NULL-procedure health check."""
-        self._call(0).done()
+        """NULL-procedure health check (RPC-level: no v2 envelope)."""
+        try:
+            self._client.call(0, b"").done()
+        except (TransportError, RPCError, OSError) as exc:
+            raise StoreUnavailable(f"remote block store failed: {exc}") from exc

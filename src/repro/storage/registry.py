@@ -43,7 +43,10 @@ Supported URI grammars (see README "Storage backends" for examples):
     server.  Options: ``?timeout=SECONDS&batch=on|off`` (``batch=off``
     forces per-block RPCs — for measuring what batching saves) and
     ``?workers=N`` (a pool of ``N`` pipelined connections keeping
-    several read_many/write_many windows in flight at once).
+    several read_many/write_many windows in flight at once).  Against a
+    credential-gated server, ``#cred=FILE&key=FILE&tenant=NAME&rights=R``
+    opens an authenticated session (KeyNote credentials + the private
+    key that signs the session challenge).
 ``replica://<n>``
     ``n``-way replication.  Options: ``?w=W&r=R`` (write/read quorums,
     default write-all/read-one), ``?fanout=N`` (1 = sequential fan-out;
@@ -79,6 +82,13 @@ Supported URI grammars (see README "Storage backends" for examples):
     Pass-through that sleeps ``N`` milliseconds before every operation —
     the injectable straggler for concurrency drills (a loaded replica,
     a slow link), the counterpart of ``failing://``'s outage.
+``tenant://<child-uri>#name=N[&offset=&blocks=&quota=&bytes=&rate=&burst=]``
+    A named private window onto a region of the child store — each
+    tenant sees a zero-based namespace and cannot address blocks outside
+    its region — with optional distinct-block quota, cumulative byte
+    budget, and token-bucket rate limit (``rate`` ops/s, burst
+    ``burst``).  ``store-serve --policy … --tenant-quota`` builds these
+    views server-side, one per declared tenant, over one shared ring.
 
 Composition nests naturally: ``cached://shard://4#capacity=512``, or a
 real cluster: ``shard://remote://h1:9001;remote://h2:9002``, or crash-
@@ -116,6 +126,7 @@ from repro.storage.spec import (
     SpecLike,
     SqliteSpec,
     StoreSpec,
+    TenantSpec,
     parse_spec,
     split_uri,
 )
@@ -298,14 +309,41 @@ def _build_cached(
 def _build_remote(
     spec: RemoteSpec, num_blocks: int, block_size: int
 ) -> BlockStore:
+    from repro.crypto.keycodec import decode_key
     from repro.storage.net import RemoteBlockStore
 
+    key = None
+    credentials: list[str] | None = None
+    if spec.key is not None:
+        try:
+            with open(spec.key, encoding="utf-8") as fh:
+                key = decode_key(fh.read().strip())
+        except OSError as exc:
+            raise InvalidArgument(
+                f"remote:// cannot read key file {spec.key!r}: {exc}"
+            ) from exc
+        if not hasattr(key, "sign"):
+            raise InvalidArgument(
+                f"remote:// key file {spec.key!r} holds a public key; "
+                "the session challenge needs the private half"
+            )
+    if spec.cred is not None:
+        try:
+            with open(spec.cred, encoding="utf-8") as fh:
+                credentials = [fh.read()]
+        except OSError as exc:
+            raise InvalidArgument(
+                f"remote:// cannot read credential file {spec.cred!r}: {exc}"
+            ) from exc
     # num_blocks/block_size are ignored: the serving node owns geometry.
     return RemoteBlockStore.connect(
         spec.host, spec.port,
         timeout=spec.timeout if spec.timeout is not None else 10.0,
         batch=spec.batch if spec.batch is not None else True,
         workers=spec.workers if spec.workers is not None else 1,
+        key=key, credentials=credentials,
+        tenant=spec.tenant or "",
+        rights=spec.rights or "rw",
     )
 
 
@@ -408,6 +446,29 @@ def _build_slow(spec: SlowSpec, num_blocks: int, block_size: int) -> BlockStore:
                              else 0.0)
 
 
+def _build_tenant(
+    spec: TenantSpec, num_blocks: int, block_size: int
+) -> BlockStore:
+    from repro.storage.tenant import TenantBlockStore
+
+    child = build(spec.child, num_blocks=num_blocks, block_size=block_size)
+    try:
+        return TenantBlockStore(
+            child,
+            name=spec.name or "",
+            offset=spec.offset if spec.offset is not None else 0,
+            num_blocks=spec.blocks,
+            quota_blocks=spec.quota,
+            quota_bytes=spec.bytes,
+            rate_ops=spec.rate,
+            burst=spec.burst,
+            owns_child=True,
+        )
+    except Exception:
+        child.close()
+        raise
+
+
 _BUILDERS.update({
     MemSpec: _build_mem,
     FileSpec: _build_file,
@@ -420,6 +481,7 @@ _BUILDERS.update({
     JournalSpec: _build_journal,
     LazySpec: _build_lazy,
     SlowSpec: _build_slow,
+    TenantSpec: _build_tenant,
 })
 
 __all__ = [

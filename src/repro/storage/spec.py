@@ -176,7 +176,14 @@ def _peel_fragment(
         return body, options
     if names & known:
         stray = sorted(names - known)
-        hints = "".join(_suggest_option(name, scheme) for name in stray)
+        hints = "".join(
+            # A query option of this same scheme isn't a typo — it's in
+            # the wrong half of the URI; don't suggest it to itself.
+            f"; {name!r} belongs in the ?query, not the #fragment"
+            if name in OPTIONS_BY_SCHEME.get(scheme, frozenset())
+            else _suggest_option(name, scheme)
+            for name in stray
+        )
         raise SpecError(
             f"{scheme}:// fragment mixes its own options with unknown "
             f"{', '.join(repr(s) for s in stray)}{hints} "
@@ -402,23 +409,39 @@ class SqliteSpec(StoreSpec):
         return spec
 
 
+#: Rights a ``remote://``/session mount may request.
+_SESSION_RIGHTS = ("r", "rw", "admin")
+
+
 @dataclass
 class RemoteSpec(StoreSpec):
     """``remote://<host>:<port>`` — client for a served block store.
 
-    Options: ``?timeout=SECONDS&batch=on|off&workers=N``.
+    Query options: ``?timeout=SECONDS&batch=on|off&workers=N``.
+    Fragment options authenticate the mount against a credential-gated
+    server: ``#cred=FILE&key=FILE&tenant=NAME&rights=r|rw|admin``
+    (``cred`` holds KeyNote credentials, ``key`` the private key that
+    signs the session challenge).
     """
 
     scheme: ClassVar[str] = "remote"
-    options: ClassVar[frozenset[str]] = frozenset(
+    query_options: ClassVar[frozenset[str]] = frozenset(
         {"timeout", "batch", "workers"}
     )
+    fragment_options: ClassVar[frozenset[str]] = frozenset(
+        {"cred", "key", "tenant", "rights"}
+    )
+    options: ClassVar[frozenset[str]] = query_options | fragment_options
 
     host: str = ""
     port: int = 0
     timeout: float | None = None
     batch: bool | None = None
     workers: int | None = None
+    cred: str | None = None
+    key: str | None = None
+    tenant: str | None = None
+    rights: str | None = None
 
     def validate(self) -> None:
         if not self.host or not 0 < self.port < 65536:
@@ -434,19 +457,63 @@ class RemoteSpec(StoreSpec):
             raise SpecError(
                 f"remote:// option timeout={self.timeout} must be positive"
             )
+        if self.cred is not None and self.key is None:
+            raise SpecError(
+                "remote:// option cred= needs key= (the private key that "
+                "signs the session challenge)"
+            )
+        if self.key is None and (self.tenant is not None
+                                 or self.rights is not None):
+            raise SpecError(
+                "remote:// options tenant=/rights= need key= "
+                "(an authenticated session to apply to)"
+            )
+        if self.rights is not None and self.rights not in _SESSION_RIGHTS:
+            raise SpecError(
+                f"remote:// option rights={self.rights!r} must be one of "
+                f"{', '.join(_SESSION_RIGHTS)}"
+            )
 
     def to_uri(self) -> str:
         query = _encode_options([
             ("timeout", self.timeout), ("batch", self.batch),
             ("workers", self.workers),
         ])
-        base = f"remote://{self.host}:{self.port}"
-        return f"{base}?{query}" if query else base
+        fragment = _encode_options([
+            ("cred", self.cred), ("key", self.key),
+            ("tenant", self.tenant), ("rights", self.rights),
+        ])
+        uri = f"remote://{self.host}:{self.port}"
+        if query:
+            uri += f"?{query}"
+        if fragment:
+            uri += f"#{fragment}"
+        return uri
 
     @classmethod
     def parse(cls, rest: str) -> "RemoteSpec":
-        rest = _leaf_fragment_check(rest, cls.scheme)
-        body, options = _split_query(rest, cls.scheme, cls.options)
+        rest, fragment = _peel_fragment(rest, cls.scheme,
+                                        cls.fragment_options)
+        head, sep, stray = rest.rpartition("#")
+        if sep:
+            stray_options = _parse_pairs(stray, cls.scheme, "fragment")
+            if stray_options:
+                name = sorted(stray_options)[0]
+                if name in cls.query_options:
+                    raise SpecError(
+                        f"remote:// option {name!r} belongs in the ?query, "
+                        f"not the #fragment (write "
+                        f"remote://host:port?{name}=...; the #fragment "
+                        "carries session options: "
+                        f"{', '.join(sorted(cls.fragment_options))})"
+                    )
+                raise SpecError(
+                    f"unknown remote:// fragment option {name!r}"
+                    f"{_suggest_option(name, cls.scheme)} (fragment options: "
+                    f"{', '.join(sorted(cls.fragment_options))})"
+                )
+            rest = head
+        body, options = _split_query(rest, cls.scheme, cls.query_options)
         host, sep, port = body.rpartition(":")
         if not sep or not host or not port.isdigit():
             raise SpecError(
@@ -459,6 +526,10 @@ class RemoteSpec(StoreSpec):
             timeout=_float_option(options, "timeout", cls.scheme),
             batch=_bool_option(options, "batch", cls.scheme),
             workers=_int_option(options, "workers", cls.scheme),
+            cred=fragment.get("cred"),
+            key=fragment.get("key"),
+            tenant=fragment.get("tenant"),
+            rights=fragment.get("rights"),
         )
         spec.validate()
         return spec
@@ -848,6 +919,76 @@ class SlowSpec(_WrapperSpec):
 
 
 @dataclass
+class TenantSpec(_WrapperSpec):
+    """``tenant://<child>#name=N[&offset=&blocks=&quota=&bytes=&rate=&burst=]``
+    — a named, quota/rate-limited window onto a region of the child.
+
+    ``offset``/``blocks`` carve the region (defaults: 0 / the rest of
+    the child); ``quota`` caps distinct blocks written, ``bytes`` the
+    cumulative write budget, ``rate`` ops/second with burst ``burst``.
+    """
+
+    scheme: ClassVar[str] = "tenant"
+    options: ClassVar[frozenset[str]] = frozenset(
+        {"name", "offset", "blocks", "quota", "bytes", "rate", "burst"}
+    )
+
+    name: str | None = None
+    offset: int | None = None
+    blocks: int | None = None
+    quota: int | None = None
+    bytes: int | None = None
+    rate: float | None = None
+    burst: float | None = None
+
+    def validate(self) -> None:
+        if not self.name:
+            raise SpecError(
+                "tenant:// needs #name=..., e.g. tenant://mem://#name=alice"
+            )
+        if self.offset is not None and self.offset < 0:
+            raise SpecError(
+                f"tenant:// option offset={self.offset} must be >= 0"
+            )
+        for label, value in (("blocks", self.blocks), ("quota", self.quota),
+                             ("bytes", self.bytes)):
+            if value is not None and value <= 0:
+                raise SpecError(
+                    f"tenant:// option {label}={value} must be positive"
+                )
+        for label, fvalue in (("rate", self.rate), ("burst", self.burst)):
+            if fvalue is not None and fvalue <= 0:
+                raise SpecError(
+                    f"tenant:// option {label}={fvalue} must be positive"
+                )
+        if self.burst is not None and self.rate is None:
+            raise SpecError("tenant:// option burst= needs rate=")
+        super().validate()
+
+    def _option_pairs(self) -> list[tuple[str, object]]:
+        return [("name", self.name), ("offset", self.offset),
+                ("blocks", self.blocks), ("quota", self.quota),
+                ("bytes", self.bytes), ("rate", self.rate),
+                ("burst", self.burst)]
+
+    @classmethod
+    def parse(cls, rest: str) -> "TenantSpec":
+        child, options = cls._parse_child(rest)
+        spec = cls(
+            child=child,
+            name=options.get("name"),
+            offset=_int_option(options, "offset", cls.scheme),
+            blocks=_int_option(options, "blocks", cls.scheme),
+            quota=_int_option(options, "quota", cls.scheme),
+            bytes=_int_option(options, "bytes", cls.scheme),
+            rate=_float_option(options, "rate", cls.scheme),
+            burst=_float_option(options, "burst", cls.scheme),
+        )
+        spec.validate()
+        return spec
+
+
+@dataclass
 class OpaqueSpec(StoreSpec):
     """A scheme registered through the legacy ``register_scheme(scheme,
     factory)`` hook: the registry knows how to build it, but its option
@@ -873,7 +1014,7 @@ def _register(cls: type[StoreSpec]) -> None:
 
 for _cls in (MemSpec, FileSpec, SqliteSpec, ShardSpec, CachedSpec,
              RemoteSpec, ReplicaSpec, FailingSpec, JournalSpec, LazySpec,
-             SlowSpec):
+             SlowSpec, TenantSpec):
     _register(_cls)
 
 
@@ -962,15 +1103,36 @@ def sqlite(path: str, blocks: int | None = None,
 
 def remote(endpoint: str, *, timeout: float | None = None,
            batch: bool | None = None,
-           workers: int | None = None) -> RemoteSpec:
-    """Remote node spec from an ``"host:port"`` endpoint."""
+           workers: int | None = None,
+           cred: str | None = None,
+           key: str | None = None,
+           tenant_name: str | None = None,
+           rights: str | None = None) -> RemoteSpec:
+    """Remote node spec from an ``"host:port"`` endpoint.
+
+    ``cred``/``key``/``tenant_name``/``rights`` authenticate the mount
+    against a credential-gated server (the ``#cred=&key=`` fragment).
+    """
     host, sep, port = endpoint.rpartition(":")
     if not sep or not host or not port.isdigit():
         raise SpecError(
             f"remote() needs 'host:port' (got {endpoint!r})"
         )
     spec = RemoteSpec(host=host, port=int(port), timeout=timeout,
-                      batch=batch, workers=workers)
+                      batch=batch, workers=workers, cred=cred, key=key,
+                      tenant=tenant_name, rights=rights)
+    spec.validate()
+    return spec
+
+
+def tenant(child: SpecLike, name: str, *, offset: int | None = None,
+           blocks: int | None = None, quota: int | None = None,
+           byte_budget: int | None = None, rate: float | None = None,
+           burst: float | None = None) -> TenantSpec:
+    """Per-tenant windowed/limited view spec over ``child``."""
+    spec = TenantSpec(child=_coerce(child), name=name, offset=offset,
+                      blocks=blocks, quota=quota, bytes=byte_budget,
+                      rate=rate, burst=burst)
     spec.validate()
     return spec
 

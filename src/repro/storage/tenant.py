@@ -1,0 +1,296 @@
+"""Per-tenant views over one shared block store (``tenant://``).
+
+Multi-tenancy on a served ring is a *mapping* problem before it is an
+authorization one: every tenant must see a private, zero-based block
+namespace while their blocks actually live side by side on the same
+physical store.  :class:`TenantBlockStore` is that view — a contiguous
+region ``[offset, offset + num_blocks)`` of the child store, re-based so
+the tenant addresses blocks ``0..num_blocks-1`` and *cannot name* a
+block outside its region (out-of-range numbers fail the ordinary
+``_check_range`` validation before any mapping happens).
+
+On top of the namespace the view enforces the resource limits the
+shared-infrastructure story needs, all computed from its own
+``snapshot()`` counters:
+
+* **block quota** — at most ``quota_blocks`` *distinct* blocks ever
+  written (the view tracks its written set, seeded lazily from the
+  child so re-served rings keep counting);
+* **byte budget** — cumulative ``bytes_written`` may not exceed
+  ``quota_bytes`` (a lifetime write budget, the accounting DisCFS-style
+  deployments bill on);
+* **rate limit** — a token bucket of ``rate_ops`` tokens/second
+  (burst ``burst``), one token per block touched, covering reads and
+  writes alike.
+
+Breaches raise the typed errors :class:`~repro.errors.QuotaExceeded`
+and :class:`~repro.errors.RateLimited`, which the RPC layer carries to
+the client as in-band status codes (not transport failures, so
+``replica://`` never mistakes an over-quota tenant for a down node).
+
+The view forwards the child's *internal* hooks (the ``slow://`` idiom):
+one stats layer, and holes stay visible as ``None`` to overlays stacked
+above.  Tenant traffic is therefore counted *on the view*, and surfaces
+in ``snapshot().extra`` under flat ``tenant:<name>:<counter>`` keys that
+``store-inspect`` and the serving gate aggregate per tenant.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.errors import InvalidArgument, QuotaExceeded, RateLimited
+from repro.storage.base import BlockStore, Capabilities
+
+
+class TokenBucket:
+    """Classic token bucket; caller supplies the clock (tests inject one)."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate <= 0:
+            raise InvalidArgument("rate must be positive")
+        if burst <= 0:
+            raise InvalidArgument("burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def try_take(self, n: float) -> bool:
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self._tokens < n:
+            return False
+        self._tokens -= n
+        return True
+
+
+class TenantBlockStore(BlockStore):
+    """A quota- and rate-limited window onto a region of a shared store."""
+
+    scheme = "tenant"
+
+    def __init__(
+        self,
+        child: BlockStore,
+        name: str,
+        offset: int = 0,
+        num_blocks: Optional[int] = None,
+        *,
+        quota_blocks: Optional[int] = None,
+        quota_bytes: Optional[int] = None,
+        rate_ops: Optional[float] = None,
+        burst: Optional[float] = None,
+        owns_child: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not name:
+            raise InvalidArgument("tenant view needs a non-empty name")
+        if offset < 0:
+            raise InvalidArgument("tenant offset must be >= 0")
+        if num_blocks is None:
+            num_blocks = child.num_blocks - offset
+        if num_blocks <= 0 or offset + num_blocks > child.num_blocks:
+            raise InvalidArgument(
+                f"tenant region [{offset}, {offset + num_blocks}) does not fit "
+                f"in child store of {child.num_blocks} blocks"
+            )
+        super().__init__(num_blocks, child.block_size)
+        self.child = child
+        self.name = name
+        self.offset = offset
+        self.quota_blocks = quota_blocks
+        self.quota_bytes = quota_bytes
+        self.owns_child = owns_child
+        self._bucket = (
+            TokenBucket(rate_ops, burst if burst is not None else max(rate_ops, 1.0),
+                        clock)
+            if rate_ops is not None else None
+        )
+        self._lock = threading.Lock()
+        self._written: Optional[set[int]] = None  # lazy; tenant-local numbers
+        #: Limit-enforcement counters (fold into ``snapshot().extra``).
+        self.quota_denied = 0
+        self.rate_denied = 0
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _written_set(self) -> set[int]:
+        """The tenant-local numbers ever written, seeded from the child.
+
+        Seeding makes quotas survive re-serving an existing ring: blocks a
+        tenant wrote in a previous incarnation still count against it.
+        """
+        if self._written is None:
+            lo, hi = self.offset, self.offset + self.num_blocks
+            try:
+                existing = self.child.used_block_numbers()
+            except NotImplementedError:
+                existing = []
+            self._written = {b - lo for b in existing if lo <= b < hi}
+        return self._written
+
+    def _charge(self, reads: int = 0, writes: Optional[list[int]] = None) -> None:
+        """Enforce rate + quota *before* any I/O happens (all-or-nothing)."""
+        writes = writes or []
+        with self._lock:
+            if self._bucket is not None and not self._bucket.try_take(
+                reads + len(writes)
+            ):
+                self.rate_denied += 1
+                raise RateLimited(
+                    f"tenant {self.name!r}: rate limit exceeded "
+                    f"({self._bucket.rate:g} ops/s)"
+                )
+            if not writes:
+                return
+            written = self._written_set()
+            if self.quota_blocks is not None:
+                new = {b for b in writes if b not in written}
+                if len(written) + len(new) > self.quota_blocks:
+                    self.quota_denied += 1
+                    raise QuotaExceeded(
+                        f"tenant {self.name!r}: block quota exceeded "
+                        f"({len(written)} used of {self.quota_blocks})"
+                    )
+            if self.quota_bytes is not None:
+                incoming = len(writes) * self.block_size
+                if self.stats.bytes_written + incoming > self.quota_bytes:
+                    self.quota_denied += 1
+                    raise QuotaExceeded(
+                        f"tenant {self.name!r}: byte budget exceeded "
+                        f"({self.stats.bytes_written} written of "
+                        f"{self.quota_bytes})"
+                    )
+            written.update(writes)
+
+    # -- public wrappers (limits enforced before delegation) ----------------
+
+    def read(self, block_no: int) -> bytes:
+        self._check_range(block_no)
+        self._charge(reads=1)
+        return super().read(block_no)
+
+    def write(self, block_no: int, data: bytes) -> None:
+        self._check_range(block_no)
+        if len(data) > self.block_size:
+            raise InvalidArgument(
+                f"data ({len(data)} bytes) exceeds block size "
+                f"({self.block_size})"
+            )
+        self._charge(writes=[block_no])
+        super().write(block_no, data)
+
+    def read_many(self, block_nos: list[int]) -> list[bytes]:
+        block_nos = list(block_nos)
+        for block_no in block_nos:
+            self._check_range(block_no)
+        self._charge(reads=len(block_nos))
+        return super().read_many(block_nos)
+
+    def write_many(self, items: list[tuple[int, bytes]]) -> None:
+        items = list(items)
+        for block_no, data in items:
+            self._check_range(block_no)
+            if len(data) > self.block_size:
+                raise InvalidArgument(
+                    f"data ({len(data)} bytes) exceeds block size "
+                    f"({self.block_size})"
+                )
+        self._charge(writes=[block_no for block_no, _ in items])
+        super().write_many(items)
+
+    # -- region-mapped internal hooks ---------------------------------------
+
+    def _get(self, block_no: int) -> bytes | None:
+        return self.child._get(self.offset + block_no)
+
+    def _put(self, block_no: int, data: bytes) -> None:
+        self.child._put(self.offset + block_no, data)
+
+    def _contains(self, block_no: int) -> bool:
+        return self.child._contains(self.offset + block_no)
+
+    def _get_many(self, block_nos: list[int]) -> list[bytes | None]:
+        return self.child._get_many([self.offset + b for b in block_nos])
+
+    def _put_many(self, items: list[tuple[int, bytes]]) -> None:
+        self.child._put_many([(self.offset + b, d) for b, d in items])
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def flush(self) -> None:
+        self.child.flush()
+
+    def close(self) -> None:
+        if self.owns_child:
+            self.child.close()
+
+    # -- introspection -------------------------------------------------------
+
+    def used_blocks(self) -> int:
+        with self._lock:
+            return len(self._written_set())
+
+    def used_block_numbers(self) -> list[int]:
+        with self._lock:
+            return sorted(self._written_set())
+
+    def capabilities(self) -> Capabilities:
+        child = self.child.capabilities()
+        return Capabilities(
+            thread_safe=child.thread_safe,
+            durable=child.durable,
+            networked=child.networked,
+            composite=True,
+        )
+
+    def child_stores(self) -> list[BlockStore]:
+        return [self.child]
+
+    def leaf_stores(self) -> list[BlockStore]:
+        return self.child.leaf_stores()
+
+    def describe(self) -> str:
+        limits = []
+        if self.quota_blocks is not None:
+            limits.append(f"quota={self.quota_blocks}blk")
+        if self.quota_bytes is not None:
+            limits.append(f"bytes={self.quota_bytes}")
+        if self._bucket is not None:
+            limits.append(f"rate={self._bucket.rate:g}/s")
+        suffix = (" " + ",".join(limits)) if limits else ""
+        return (
+            f"tenant://{self.name}  blocks [{self.offset}, "
+            f"{self.offset + self.num_blocks}) of {self.child.describe()}{suffix}"
+        )
+
+    def _extra_stats(self) -> dict[str, float]:
+        """Flat ``tenant:<name>:<counter>`` keys (``extra`` maps str->float,
+        so the tenant name must ride in the key, not a value)."""
+        prefix = f"tenant:{self.name}:"
+        with self._lock:
+            used = float(len(self._written_set()))
+        out = {
+            prefix + "offset": float(self.offset),
+            prefix + "blocks": float(self.num_blocks),
+            prefix + "used": used,
+            prefix + "reads": float(self.stats.reads),
+            prefix + "writes": float(self.stats.writes),
+            prefix + "bytes_read": float(self.stats.bytes_read),
+            prefix + "bytes_written": float(self.stats.bytes_written),
+            prefix + "quota_denied": float(self.quota_denied),
+            prefix + "rate_denied": float(self.rate_denied),
+        }
+        if self.quota_blocks is not None:
+            out[prefix + "quota_blocks"] = float(self.quota_blocks)
+        if self.quota_bytes is not None:
+            out[prefix + "quota_bytes"] = float(self.quota_bytes)
+        if self._bucket is not None:
+            out[prefix + "rate_ops"] = float(self._bucket.rate)
+        return out

@@ -31,6 +31,10 @@ paths = st.text(
 ).filter(lambda p: ";" not in p)
 hosts = st.sampled_from(["127.0.0.1", "h1", "node-7.local"])
 ports = st.integers(min_value=1, max_value=65535)
+tenant_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_-",
+    min_size=1, max_size=12,
+)
 millis = st.one_of(
     st.none(),
     st.floats(min_value=0.0, max_value=500.0, allow_nan=False,
@@ -38,22 +42,36 @@ millis = st.one_of(
 )
 
 
+@st.composite
+def remote_specs(draw):
+    # The session fields have dependencies (cred/tenant/rights need key),
+    # so draw key first rather than generate-and-discard invalid combos.
+    key = draw(st.one_of(st.none(), paths))
+    cred = tenant = rights = None
+    if key is not None:
+        cred = draw(st.one_of(st.none(), paths))
+        tenant = draw(st.one_of(st.none(), tenant_names))
+        rights = draw(st.one_of(st.none(),
+                                st.sampled_from(("r", "rw", "admin"))))
+    return specs.RemoteSpec(
+        host=draw(hosts), port=draw(ports),
+        timeout=draw(st.one_of(
+            st.none(),
+            st.floats(min_value=0.1, max_value=60.0, allow_nan=False),
+        )),
+        batch=draw(st.one_of(st.none(), st.booleans())),
+        workers=draw(st.one_of(st.none(),
+                               st.integers(min_value=1, max_value=8))),
+        cred=cred, key=key, tenant=tenant, rights=rights,
+    )
+
+
 def leaf_specs() -> st.SearchStrategy:
     return st.one_of(
         st.builds(specs.mem, blocks=geometry, bs=block_sizes),
         st.builds(specs.file, path=paths, blocks=geometry, bs=block_sizes),
         st.builds(specs.sqlite, path=paths, blocks=geometry, bs=block_sizes),
-        st.builds(
-            specs.RemoteSpec,
-            host=hosts, port=ports,
-            timeout=st.one_of(
-                st.none(),
-                st.floats(min_value=0.1, max_value=60.0, allow_nan=False),
-            ),
-            batch=st.one_of(st.none(), st.booleans()),
-            workers=st.one_of(st.none(),
-                              st.integers(min_value=1, max_value=8)),
-        ),
+        remote_specs(),
     )
 
 
@@ -74,6 +92,31 @@ def composite_specs(children: st.SearchStrategy) -> st.SearchStrategy:
                                   st.integers(min_value=1, max_value=8))),
             hedge_ms=draw(millis),
             stamps=draw(st.one_of(st.none(), paths)),
+        )
+
+    @st.composite
+    def tenant_specs(draw):
+        rate = draw(st.one_of(
+            st.none(),
+            st.floats(min_value=0.5, max_value=1000.0, allow_nan=False),
+        ))
+        burst = None if rate is None else draw(st.one_of(
+            st.none(),
+            st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+        ))
+        return specs.TenantSpec(
+            child=draw(children),
+            name=draw(tenant_names),
+            offset=draw(st.one_of(st.none(),
+                                  st.integers(min_value=0, max_value=1024))),
+            blocks=draw(st.one_of(st.none(),
+                                  st.integers(min_value=1, max_value=1024))),
+            quota=draw(st.one_of(st.none(),
+                                 st.integers(min_value=1, max_value=1024))),
+            bytes=draw(st.one_of(st.none(),
+                                 st.integers(min_value=1,
+                                             max_value=1 << 20))),
+            rate=rate, burst=burst,
         )
 
     return st.one_of(
@@ -100,6 +143,7 @@ def composite_specs(children: st.SearchStrategy) -> st.SearchStrategy:
         st.builds(specs.SlowSpec, child=children, ms=millis),
         st.builds(specs.FailingSpec, child=children,
                   fail=st.one_of(st.none(), st.booleans())),
+        tenant_specs(),
     )
 
 
@@ -143,5 +187,6 @@ def test_every_registered_scheme_appears_in_the_strategy():
         specs.ReplicaSpec.scheme, specs.CachedSpec.scheme,
         specs.JournalSpec.scheme, specs.LazySpec.scheme,
         specs.SlowSpec.scheme, specs.FailingSpec.scheme,
+        specs.TenantSpec.scheme,
     }
     assert generated == set(registered_schemes())

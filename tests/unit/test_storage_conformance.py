@@ -46,6 +46,7 @@ URI_TEMPLATES = {
     "journal": "journal://file://{tmp}/journaled.img",
     "lazy": "lazy://mem://",
     "slow": "slow://mem://#ms=0",
+    "tenant": "tenant://mem://#name=conf",
 }
 
 EXTRA_COMPOSITES = [
@@ -65,6 +66,12 @@ EXTRA_COMPOSITES = [
     "shard://mem://;mem://;mem://#fanout=2",
     "replica://slow://mem://#ms=1;mem://;mem://#w=2&r=2",
     "shard://remote://{remote}?workers=2;remote://{remote2}?workers=2",
+    "tenant://mem://?blocks=128#name=carve&offset=64",
+    # The full battery over an *authenticated* session against a
+    # KeyNote-gated server: proves authorization is transparent to the
+    # storage contract, not a layer that changes semantics.
+    "remote://{secure}#cred={authdir}/alice.cred&key={authdir}/alice.key"
+    "&tenant=alice",
 ]
 
 ALL_TEMPLATES = list(URI_TEMPLATES.values()) + EXTRA_COMPOSITES
@@ -77,18 +84,53 @@ def test_every_registered_scheme_is_covered():
     )
 
 
+@pytest.fixture(scope="session")
+def auth_material(tmp_path_factory):
+    """Deterministic keys, a KeyNote policy and a signed tenant
+    credential for the ``{secure}`` gated server (written once: DSA
+    keygen is the expensive part)."""
+    from repro.crypto.dsa import generate_dsa_keypair
+    from repro.crypto.keycodec import encode_private_key, encode_public_key
+    from repro.crypto.numbers import seeded_random_bits
+    from repro.storage.auth import issue_store_credential
+
+    directory = tmp_path_factory.mktemp("store-auth")
+    admin = generate_dsa_keypair(rand=seeded_random_bits(b"conformance-admin"))
+    alice = generate_dsa_keypair(rand=seeded_random_bits(b"conformance-alice"))
+    policy = (
+        'Authorizer: "POLICY"\n'
+        f'Licensees: "{encode_public_key(admin)}"\n'
+        'Conditions: (app_domain == "discfs-store") -> "admin";\n'
+    )
+    (directory / "alice.key").write_text(encode_private_key(alice) + "\n")
+    (directory / "alice.cred").write_text(
+        issue_store_credential(admin, encode_public_key(alice),
+                               "alice", rights="rw"))
+    return {"dir": str(directory), "policy": policy}
+
+
 @pytest.fixture
-def remote_servers():
+def remote_servers(auth_material):
     """Start in-process TCP block-store servers on demand, keyed by
-    placeholder name (``remote``, ``remote2``); closed at teardown."""
+    placeholder name (``remote``, ``remote2``, or ``secure`` for a
+    KeyNote-gated one with an ``alice`` tenant); closed at teardown."""
     from repro.storage import MemoryBlockStore
+    from repro.storage.auth import StoreAuthGate, TenantQuota
     from repro.storage.net import serve_store
 
     servers = {}
 
     def endpoint(name: str) -> str:
         if name not in servers:
-            servers[name] = serve_store(MemoryBlockStore(BLOCKS, BS))
+            if name == "secure":
+                gate = StoreAuthGate(
+                    auth_material["policy"],
+                    tenants=[TenantQuota(name="alice", blocks=BLOCKS)],
+                )
+                servers[name] = serve_store(
+                    MemoryBlockStore(BLOCKS * 2, BS), gate=gate)
+            else:
+                servers[name] = serve_store(MemoryBlockStore(BLOCKS, BS))
         host, port = servers[name].address
         return f"{host}:{port}"
 
@@ -97,17 +139,19 @@ def remote_servers():
         server.close()
 
 
-def fill_template(template: str, tmp_path, endpoint) -> str:
+def fill_template(template: str, tmp_path, endpoint, authdir="") -> str:
     uri = template.replace("{tmp}", str(tmp_path))
-    for name in ("remote2", "remote"):  # longest placeholder first
+    uri = uri.replace("{authdir}", authdir)
+    for name in ("remote2", "remote", "secure"):  # longest-first per prefix
         uri = uri.replace("{%s}" % name, endpoint(name)) \
             if "{%s}" % name in uri else uri
     return uri
 
 
 @pytest.fixture(params=ALL_TEMPLATES, ids=lambda t: t.replace("{tmp}/", ""))
-def store(request, tmp_path, remote_servers):
-    uri = fill_template(request.param, tmp_path, remote_servers)
+def store(request, tmp_path, remote_servers, auth_material):
+    uri = fill_template(request.param, tmp_path, remote_servers,
+                        authdir=auth_material["dir"])
     s = open_store(uri, num_blocks=BLOCKS, block_size=BS)
     yield s
     s.close()
@@ -1013,11 +1057,12 @@ class TestSpecPipeline:
     @pytest.mark.parametrize("template", ALL_TEMPLATES,
                              ids=lambda t: t.replace("{tmp}/", ""))
     def test_uri_and_canonical_spec_open_the_same_store(
-        self, template, tmp_path, remote_servers
+        self, template, tmp_path, remote_servers, auth_material
     ):
         from repro.storage import parse_spec
 
-        uri = fill_template(template, tmp_path, remote_servers)
+        uri = fill_template(template, tmp_path, remote_servers,
+                            authdir=auth_material["dir"])
         spec = parse_spec(uri)
         assert parse_spec(spec.to_uri()) == spec
         # the canonical form opens too (distinct scratch state is fine;

@@ -239,8 +239,18 @@ class TestGoldenErrors:
             parse_spec("cached://file:///tmp/fs.img#capasity=8")
         with pytest.raises(SpecError, match="no #fragment"):
             parse_spec("sqlite:///tmp/fs.db#cap=8")
-        with pytest.raises(SpecError, match="no #fragment"):
+        # remote:// *does* take a fragment now (session options), so a
+        # query option landing there gets redirected, not accepted.
+        with pytest.raises(SpecError, match=r"belongs in the \?query"):
             parse_spec("remote://h:9001#workers=2")
+        # ...including when it rides alongside real session options
+        # (the mixed-fragment path must not suggest 'workers' to itself).
+        with pytest.raises(SpecError, match=r"belongs in the \?query"):
+            parse_spec("remote://h:9001#key=/tmp/k&workers=2")
+        with pytest.raises(SpecError, match="did you mean 'workers'"):
+            parse_spec("remote://h:9001#key=/tmp/k&wrokers=2")
+        with pytest.raises(SpecError, match="unknown remote:// fragment"):
+            parse_spec("remote://h:9001#credential=/tmp/c")
 
     def test_cross_scheme_suggestion_names_the_owner(self):
         with pytest.raises(SpecError, match=r"a cached:// option"):
