@@ -785,6 +785,112 @@ def print_auth_report(results: dict) -> None:
         )
 
 
+def run_metered_ablation(
+    blocks: int = 256,
+    rounds: int = 40,
+    block_size: int = 4096,
+) -> dict:
+    """Price the observability layer itself: ``mem://`` vs
+    ``metered://mem://`` over identical vectored workloads.
+
+    The metered wrapper's untraced fast path is a ``perf_counter`` pair
+    plus one histogram bucket increment per call — the ablation verifies
+    that stays in the noise (the acceptance bar is <10% on the fastest
+    backend we have, where there is nothing to hide behind), and reads
+    the p50/p99 latency the wrapper itself observed back out of the
+    stats extras.
+    """
+    import time as _time
+
+    from repro.obs.metrics import get_registry
+    from repro.storage import open_store
+
+    payload = bytes(range(256)) * (block_size // 256)
+    items = [(b, payload) for b in range(blocks)]
+    block_nos = list(range(blocks))
+    results: dict = {
+        "params": {"blocks": blocks, "rounds": rounds,
+                   "block_size": block_size},
+        "rows": {},
+    }
+
+    def measure(uri: str) -> dict:
+        get_registry().reset()
+        store = open_store(uri, num_blocks=blocks * 2,
+                           block_size=block_size)
+        try:
+            store.write_many(items)  # warm-up, excluded from timing
+            t0 = _time.perf_counter()
+            for _round in range(rounds):
+                store.write_many(items)
+            write_seconds = _time.perf_counter() - t0
+            t0 = _time.perf_counter()
+            for _round in range(rounds):
+                datas = store.read_many(block_nos)
+            read_seconds = _time.perf_counter() - t0
+            assert all(d == payload for d in datas)
+            extra = dict(store.snapshot().extra)
+        finally:
+            store.close()
+        ops = blocks * rounds
+        row = {
+            "write_s": write_seconds,
+            "read_s": read_seconds,
+            "write_ops_s": ops / write_seconds if write_seconds else 0.0,
+            "read_ops_s": ops / read_seconds if read_seconds else 0.0,
+        }
+        for op in ("write_many", "read_many"):
+            for quantile in ("p50", "p99"):
+                key = f"lat:mem:{op}:{quantile}"
+                if key in extra:
+                    row[f"{op}_{quantile}_ms"] = extra[key]
+        return row
+
+    results["rows"]["mem://"] = measure("mem://")
+    results["rows"]["metered://mem://"] = measure("metered://mem://")
+    base = results["rows"]["mem://"]
+    inst = results["rows"]["metered://mem://"]
+    results["overhead"] = {
+        "write_pct": (inst["write_s"] / base["write_s"] - 1) * 100
+        if base["write_s"] else 0.0,
+        "read_pct": (inst["read_s"] / base["read_s"] - 1) * 100
+        if base["read_s"] else 0.0,
+    }
+    return results
+
+
+def print_metered_report(results: dict) -> None:
+    """Metered vs bare backend comparison table."""
+    params = results["params"]
+    print(
+        f"\nMetered ablation — {params['blocks']} blocks x "
+        f"{params['rounds']} rounds per cell, {params['block_size']}B "
+        f"blocks, vectored ops"
+    )
+    print(
+        f"  {'backend':<22}{'write ops/s':>13}{'read ops/s':>12}"
+        f"{'w p50/p99 ms':>15}{'r p50/p99 ms':>15}"
+    )
+    for label, row in results["rows"].items():
+        def lat(op: str) -> str:
+            p50 = row.get(f"{op}_p50_ms")
+            p99 = row.get(f"{op}_p99_ms")
+            if p50 is None:
+                return "-"
+            return f"{p50:.3f}/{p99:.3f}"
+
+        print(
+            f"  {label:<22}{row['write_ops_s']:>13.0f}"
+            f"{row['read_ops_s']:>12.0f}{lat('write_many'):>15}"
+            f"{lat('read_many'):>15}"
+        )
+    overhead = results["overhead"]
+    print(
+        f"  metering overhead: write {overhead['write_pct']:+.1f}%, "
+        f"read {overhead['read_pct']:+.1f}%"
+    )
+
+
 def print_report(results: dict) -> None:
     systems = list(results["bonnie"])
     for phase in PHASES:
@@ -831,7 +937,27 @@ def main() -> None:
                         help="also run the auth ablation: open vs "
                              "credential-gated served stores (handshake "
                              "latency, per-proc session overhead)")
+    parser.add_argument("--metered", action="store_true",
+                        help="also run the metered ablation: mem:// vs "
+                             "metered://mem:// (what the observability "
+                             "layer itself costs, plus its p50/p99 "
+                             "readback)")
+    parser.add_argument("--emit-trajectory", metavar="DIR", default=None,
+                        help="append one schema-versioned record per "
+                             "ablation to DIR/BENCH_<topic>.json "
+                             "(ops/s, p50/p99, fsyncs, git sha, date — "
+                             "the nightly perf trajectory)")
     args = parser.parse_args()
+
+    def emit_trajectory(topic: str, fields: dict) -> None:
+        if args.emit_trajectory is None:
+            return
+        from repro.obs.trajectory import append_record
+
+        path = append_record(topic, fields,
+                             directory=args.emit_trajectory)
+        print(f"trajectory: appended {topic!r} record to {path}")
+
     results = run_evaluation(
         systems=tuple(args.systems),
         file_size=args.file_size,
@@ -851,15 +977,51 @@ def main() -> None:
             configs, file_size=args.file_size, char_size=args.char_size,
         ))
     if args.journal:
-        print_journal_report(run_journal_ablation(
+        journal_results = run_journal_ablation(
             file_size=args.file_size, char_size=args.char_size,
-        ))
+        )
+        print_journal_report(journal_results)
+        fields: dict = {
+            "replay_ms": journal_results["replay"]["seconds"] * 1000.0,
+            "replay_blocks": journal_results["replay"]["blocks"],
+        }
+        for label, dev in journal_results["device"].items():
+            slug = label.replace(" ", "_")
+            fields[f"{slug}:fsyncs"] = dev["fsyncs"]
+            if dev["writes"]:
+                fields[f"{slug}:write_amplification"] = (
+                    dev["physical_writes"] / dev["writes"])
+        emit_trajectory("journal", fields)
     if args.fanout:
         print_fanout_report(run_fanout_ablation())
     if args.reshard:
         print_reshard_report(run_reshard_ablation())
     if args.auth:
-        print_auth_report(run_auth_ablation())
+        auth_results = run_auth_ablation()
+        print_auth_report(auth_results)
+        fields = {}
+        for label, row in auth_results["rows"].items():
+            slug = label.replace(" ", "_").strip("()").replace("(", "") \
+                .replace(")", "")
+            fields[f"{slug}:write_ops_s"] = row["write_ops_s"]
+            fields[f"{slug}:read_ops_s"] = row["read_ops_s"]
+            fields[f"{slug}:mount_ms"] = row["mount_ms"]
+        emit_trajectory("auth", fields)
+    if args.metered:
+        metered_results = run_metered_ablation()
+        print_metered_report(metered_results)
+        row = metered_results["rows"]["metered://mem://"]
+        fields = {
+            "write_ops_s": row["write_ops_s"],
+            "read_ops_s": row["read_ops_s"],
+            "write_overhead_pct": metered_results["overhead"]["write_pct"],
+            "read_overhead_pct": metered_results["overhead"]["read_pct"],
+        }
+        for key in ("write_many_p50_ms", "write_many_p99_ms",
+                    "read_many_p50_ms", "read_many_p99_ms"):
+            if key in row:
+                fields[key] = row[key]
+        emit_trajectory("metered", fields)
 
 
 if __name__ == "__main__":

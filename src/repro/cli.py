@@ -20,11 +20,16 @@ Commands
 ``store-serve``     export a storage backend over RPC on a TCP port —
                     the node other servers reach as ``remote://``;
                     ``--policy FILE`` gates every call behind a KeyNote
-                    session, ``--tenant-quota`` carves tenant regions
+                    session, ``--tenant-quota`` carves tenant regions,
+                    ``--metrics-port`` serves Prometheus/JSON metrics,
+                    ``--trace-log`` appends spans for ``store-trace``
 ``store-issue``     issue a storage-plane credential (tenant + rights)
 ``store-inspect``   mount a backend URI and print its live topology:
                     per-layer capabilities and stats (``--json`` for
                     machines, ``--parse`` to validate without mounting)
+``store-trace``     reconstruct cross-node span trees from the JSON-line
+                    files ``store-serve --trace-log`` (and traced
+                    clients) append, flagging slow operations
 ``reshard``         migrate a mounted ``shard://`` ring to a new layout,
                     moving only the blocks whose ring owner changed
 ``backends``        list the registered storage-backend URI schemes
@@ -308,6 +313,11 @@ def cmd_store_serve(args) -> int:
         raise ReproError("--audit-log needs --policy: an open server makes "
                          "no auth decisions to log")
 
+    if args.trace_log:
+        from repro.obs import configure_tracing
+
+        configure_tracing(log_path=args.trace_log)
+
     store = open_store(
         args.backend,
         num_blocks=args.blocks if args.blocks else DEFAULT_NUM_BLOCKS,
@@ -316,6 +326,13 @@ def cmd_store_serve(args) -> int:
     server = serve_store(store, host=args.host, port=args.port,
                          workers=args.workers, gate=gate)
     host, port = server.address
+
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs.exposition import serve_metrics
+
+        metrics_server = serve_metrics(host=args.host,
+                                       port=args.metrics_port)
 
     stop = None
     if not args.oneshot:
@@ -335,7 +352,15 @@ def cmd_store_serve(args) -> int:
     print(f"block store serving on {host}:{port} "
           f"(backend {args.backend}, "
           f"{store.num_blocks}x{store.block_size}B, auth {auth})", flush=True)
+    if metrics_server is not None:
+        # A second machine-readable line, deliberately separate so the
+        # announce-line parsers above keep working unchanged.
+        mhost, mport = metrics_server.address
+        print(f"metrics serving on {mhost}:{mport} "
+              f"(/metrics /metrics.json /trace.json)", flush=True)
     if args.oneshot:  # used by the tests: exit instead of blocking
+        if metrics_server is not None:
+            metrics_server.close()
         server.close()
         store.close()
         return 0
@@ -343,6 +368,8 @@ def cmd_store_serve(args) -> int:
         stop.wait()
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         pass
+    if metrics_server is not None:
+        metrics_server.close()
     server.close()
     store.close()
     return 0
@@ -371,8 +398,10 @@ def cmd_store_inspect(args) -> int:
 
     from repro.storage import (
         describe,
+        latency_usage,
         open_store,
         parse_spec,
+        render_latency_table,
         render_tenant_table,
         tenant_usage,
     )
@@ -400,6 +429,7 @@ def cmd_store_inspect(args) -> int:
             # mounts publish the same flat keys.  Regroup them into the
             # per-tenant usage table.
             tenants: dict[str, dict[str, float]] = {}
+            latencies: dict[tuple[str, str], dict[str, float]] = {}
             auth_denied = 0.0
             for node in tree.walk():
                 for snap in (node.stats, node.remote):
@@ -408,13 +438,115 @@ def cmd_store_inspect(args) -> int:
                     auth_denied += snap.extra.get("auth_denied", 0.0)
                     for name, fields in tenant_usage(snap.extra).items():
                         tenants.setdefault(name, {}).update(fields)
+                    for key, fields in latency_usage(snap.extra).items():
+                        latencies.setdefault(key, {}).update(fields)
             if tenants:
                 print()
                 print(render_tenant_table(tenants))
+            if latencies:
+                print()
+                print(render_latency_table(latencies))
             if auth_denied:
                 print(f"auth: {int(auth_denied)} request(s) denied")
     finally:
         store.close()
+    return 0
+
+
+def cmd_store_trace(args) -> int:
+    """Join span logs (``store-serve --trace-log`` / client JSONL files)
+    into per-trace trees: client call → per-node server spans, with the
+    queue-wait vs. service-time split and slow ops flagged."""
+    import json as _json
+    from collections import defaultdict
+
+    from repro.storage.metered import DEFAULT_SLOW_MS
+
+    slow_ms = args.slow_ms if args.slow_ms is not None else DEFAULT_SLOW_MS
+    spans: list[dict] = []
+    for path in args.files:
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = _json.loads(line)
+                except ValueError:
+                    print(f"{path}:{lineno}: skipping unparsable line",
+                          file=sys.stderr)
+                    continue
+                if isinstance(record, dict) and record.get("trace_id") \
+                        and record.get("span_id"):
+                    spans.append(record)
+
+    traces: dict[str, list[dict]] = defaultdict(list)
+    for span in spans:
+        traces[span["trace_id"]].append(span)
+    selected = sorted(
+        (tid for tid in traces
+         if not args.trace or tid.startswith(args.trace)),
+        key=lambda tid: min(s.get("start", 0.0) for s in traces[tid]),
+    )
+    if not selected:
+        print("no matching traces", file=sys.stderr)
+        return 1
+
+    def tree(members: list[dict]):
+        """(roots, children) with orphans — spans whose parent was never
+        recorded, e.g. the caller's root context — promoted to roots."""
+        by_id = {s["span_id"]: s for s in members}
+        children: dict[str, list[dict]] = defaultdict(list)
+        roots = []
+        for span in sorted(members, key=lambda s: s.get("start", 0.0)):
+            parent = span.get("parent_id", "")
+            if parent and parent in by_id:
+                children[parent].append(span)
+            else:
+                roots.append(span)
+        return roots, children
+
+    if args.json:
+        def nest(span, children):
+            out = dict(span)
+            out["children"] = [nest(c, children)
+                               for c in children[span["span_id"]]]
+            return out
+
+        payload = []
+        for tid in selected:
+            roots, children = tree(traces[tid])
+            payload.append({"trace_id": tid,
+                            "spans": [nest(r, children) for r in roots]})
+        print(_json.dumps(payload, indent=2))
+        return 0
+
+    def render(span, children, depth):
+        queue = span.get("queue_ms", 0.0)
+        queue_part = f" (queue {queue:.3f}ms)" if queue else ""
+        status = span.get("status", "ok")
+        status_part = f" [{status.upper()}]" if status != "ok" else ""
+        slow_part = " <-- SLOW" \
+            if span.get("duration_ms", 0.0) >= slow_ms else ""
+        print(f"{'  ' * depth}{span.get('kind', '?'):6s} "
+              f"{span.get('name', '?')} @ {span.get('node', '?')}  "
+              f"{span.get('duration_ms', 0.0):.3f}ms"
+              f"{queue_part}{status_part}{slow_part}")
+        for child in children[span["span_id"]]:
+            render(child, children, depth + 1)
+
+    for tid in selected:
+        members = traces[tid]
+        starts = [s.get("start", 0.0) for s in members]
+        ends = [s.get("start", 0.0) + s.get("duration_ms", 0.0) / 1000.0
+                for s in members]
+        nodes = {s.get("node", "?") for s in members}
+        print(f"trace {tid}  ({len(members)} span(s), {len(nodes)} "
+              f"node(s), {(max(ends) - min(starts)) * 1000.0:.3f}ms)")
+        roots, children = tree(members)
+        for root in roots:
+            render(root, children, 1)
+        print()
     return 0
 
 
@@ -474,6 +606,10 @@ def cmd_backends(args) -> int:
                 "use; replica:// applies it to nodes down at mount)",
         "slow": "slow://mem://#ms=5  (injectable straggler for "
                 "concurrency drills)",
+        "metered": "metered://sqlite:///var/lib/discfs.db#slow_ms=50&ring="
+                   "4096  (per-op latency histograms in stats extras + "
+                   "trace spans; see store-serve --metrics-port and "
+                   "store-trace)",
     }
     for scheme in registered_schemes():
         print(f"{scheme:<8} {examples.get(scheme, f'{scheme}://')}")
@@ -729,6 +865,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--insecure", action="store_true",
                    help="serve a non-loopback address WITHOUT --policy "
                         "(anyone reaching the port gets full read/write)")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                   help="also serve /metrics (Prometheus text), "
+                        "/metrics.json and /trace.json over HTTP on this "
+                        "port (0 = ephemeral; announced on a second line)")
+    p.add_argument("--trace-log", metavar="FILE",
+                   help="append one JSON line per recorded span "
+                        "(feed the files to: discfs store-trace)")
     p.add_argument("--oneshot", action="store_true", help=argparse.SUPPRESS)
     p.set_defaults(func=cmd_store_serve)
 
@@ -761,6 +904,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="read block 0 twice first so the stats are "
                         "non-zero (demos; never writes)")
     p.set_defaults(func=cmd_store_inspect)
+
+    p = sub.add_parser("store-trace",
+                       help="reconstruct cross-node span trees from "
+                            "--trace-log span files")
+    p.add_argument("files", nargs="+", metavar="SPANS.jsonl",
+                   help="JSON-lines span files (store-serve --trace-log "
+                        "output, one per node, plus any client logs)")
+    p.add_argument("--trace", metavar="ID",
+                   help="only show traces whose id starts with ID")
+    p.add_argument("--slow-ms", type=float, default=None,
+                   help="flag spans at or above this duration "
+                        "(default 100)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the reconstructed trees as JSON")
+    p.set_defaults(func=cmd_store_trace)
 
     p = sub.add_parser("reshard",
                        help="migrate a shard:// ring to a new layout "

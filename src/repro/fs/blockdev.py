@@ -21,6 +21,7 @@ module's :class:`BlockDevice` contract — including
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import InvalidArgument, NoSpace
@@ -30,7 +31,14 @@ DEFAULT_BLOCK_SIZE = 8192
 
 @dataclass
 class BlockDeviceStats:
-    """Operation counters, reset-able between benchmark phases."""
+    """Operation counters, reset-able between benchmark phases.
+
+    Increments are atomic (guarded by a per-instance lock, like the
+    :mod:`repro.obs.metrics` instruments): the counters are shared by
+    concurrent paths — replica straggler lanes, shard fan-out pools,
+    ``store-serve --workers`` threads — where a bare ``x += 1``
+    read-modify-write silently loses updates.
+    """
 
     reads: int = 0
     writes: int = 0
@@ -44,30 +52,37 @@ class BlockDeviceStats:
     # cost axis the journal ablation reports, since a write-ahead log
     # trades throughput for exactly these.
     fsyncs: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record_read(self, block_no: int, nbytes: int) -> None:
-        self.reads += 1
-        self.bytes_read += nbytes
-        if block_no != self.last_block + 1:
-            self.seeks += 1
-        self.last_block = block_no
+        with self._lock:
+            self.reads += 1
+            self.bytes_read += nbytes
+            if block_no != self.last_block + 1:
+                self.seeks += 1
+            self.last_block = block_no
 
     def record_write(self, block_no: int, nbytes: int) -> None:
-        self.writes += 1
-        self.bytes_written += nbytes
-        if block_no != self.last_block + 1:
-            self.seeks += 1
-        self.last_block = block_no
+        with self._lock:
+            self.writes += 1
+            self.bytes_written += nbytes
+            if block_no != self.last_block + 1:
+                self.seeks += 1
+            self.last_block = block_no
 
     def record_fsync(self) -> None:
-        self.fsyncs += 1
+        with self._lock:
+            self.fsyncs += 1
 
     def reset(self) -> None:
-        self.reads = self.writes = 0
-        self.bytes_read = self.bytes_written = 0
-        self.seeks = 0
-        self.fsyncs = 0
-        self.last_block = -1
+        with self._lock:
+            self.reads = self.writes = 0
+            self.bytes_read = self.bytes_written = 0
+            self.seeks = 0
+            self.fsyncs = 0
+            self.last_block = -1
 
 
 class BlockDevice:

@@ -1,0 +1,54 @@
+"""Zero-dependency observability plane: metrics, tracing, exposition.
+
+Three stdlib-only building blocks shared by every layer of the stack:
+
+* :mod:`repro.obs.metrics` — process-wide :class:`MetricsRegistry` of
+  counters, gauges and log-bucketed latency histograms with p50/p95/p99
+  readback.  ``metered://`` stores, the RPC server and the journal all
+  record into the same registry.
+* :mod:`repro.obs.trace` — span contexts (trace id / span id / parent)
+  generated at the client call site, carried over the wire in the ONC
+  RPC credential field, recorded into a bounded ring buffer and an
+  optional JSON-lines log.  ``discfs store-trace`` reconstructs
+  cross-node trees from those logs.
+* :mod:`repro.obs.exposition` — a stdlib HTTP thread serving the
+  registry as Prometheus text (``/metrics``) and JSON
+  (``/metrics.json``), mounted by ``store-serve --metrics-port``.
+* :mod:`repro.obs.trajectory` — schema-versioned ``BENCH_<topic>.json``
+  appenders seeding the cross-PR perf trajectory (ROADMAP item 3).
+
+The package imports nothing outside the standard library, so any layer
+(fs, rpc, storage, bench) may depend on it without cycles.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import (
+    Span,
+    SpanContext,
+    TraceRecorder,
+    configure_tracing,
+    current_context,
+    get_recorder,
+    new_root_context,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "Span",
+    "SpanContext",
+    "TraceRecorder",
+    "configure_tracing",
+    "current_context",
+    "get_recorder",
+    "new_root_context",
+]

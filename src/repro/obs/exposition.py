@@ -1,0 +1,96 @@
+"""HTTP exposition of the metrics registry (stdlib-only).
+
+``store-serve --metrics-port N`` mounts this next to the RPC listener:
+
+* ``GET /metrics`` — Prometheus text exposition format
+* ``GET /metrics.json`` — the same registry as JSON
+* ``GET /trace.json`` — the most recent spans from the trace ring
+
+The server runs ``ThreadingHTTPServer`` on a daemon thread, so it never
+blocks shutdown and costs nothing when idle.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import TraceRecorder, get_recorder
+
+__all__ = ["MetricsServer", "serve_metrics"]
+
+
+class MetricsServer:
+    """A running metrics endpoint; close() stops it."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        recorder: TraceRecorder | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry if registry is not None else get_registry()
+        self.recorder = recorder if recorder is not None else get_recorder()
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    body = outer.registry.render_prometheus().encode()
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif path == "/metrics.json":
+                    body = json.dumps(outer.registry.to_dict(), indent=2).encode()
+                    ctype = "application/json"
+                elif path == "/trace.json":
+                    spans = [s.to_dict() for s in outer.recorder.spans()]
+                    body = json.dumps(spans, indent=2).encode()
+                    ctype = "application/json"
+                else:
+                    self.send_error(404, "try /metrics, /metrics.json or /trace.json")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt: str, *args: object) -> None:
+                pass  # scrapes are high-frequency; keep stderr quiet
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="metrics-http", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` requests)."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def serve_metrics(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    registry: MetricsRegistry | None = None,
+    recorder: TraceRecorder | None = None,
+) -> MetricsServer:
+    """Start a metrics endpoint on a daemon thread and return it."""
+    return MetricsServer(registry=registry, recorder=recorder, host=host, port=port)

@@ -1,0 +1,281 @@
+"""Process-wide metrics: counters, gauges, log-bucketed histograms.
+
+Everything here is lock-guarded and safe to update from any thread —
+these are the "atomic counters" the storage layers route concurrent
+increments through (plain ``x += 1`` on a shared int is a lost-update
+bug under the worker pools).  A single process-wide
+:class:`MetricsRegistry` (via :func:`get_registry`) is shared by the
+``metered://`` store wrapper, the RPC server's per-proc timers and the
+journal's fsync timer; ``store-serve --metrics-port`` exposes it over
+HTTP (see :mod:`repro.obs.exposition`).
+
+Histograms are log-bucketed: bounds grow geometrically by ``2**0.25``
+(~19% per bucket) from 1µs to ~3 minutes, so quantile readback
+(:meth:`Histogram.quantile`) is exact to bucket resolution across six
+decades of latency at a fixed 112-slot footprint.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+#: Geometric bucket bounds in seconds: 1µs · 2**(i/4), i = 0..111
+#: (last bound ≈ 228s).  One extra implicit +Inf bucket catches the rest.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(1e-6 * 2 ** (i / 4) for i in range(112))
+
+
+class Counter:
+    """Monotonic counter; :meth:`inc` is atomic under its lock."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, connection counts)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Log-bucketed latency distribution with quantile readback.
+
+    ``record()`` takes seconds; quantiles come back in seconds too.
+    Counts land in the geometric buckets of :data:`BUCKET_BOUNDS`
+    (exact min/max/sum are kept on the side), so ``quantile(0.99)`` is
+    correct to one bucket width (~19%) regardless of sample count.
+    """
+
+    __slots__ = ("name", "_lock", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(BUCKET_BOUNDS) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            seconds = 0.0
+        idx = bisect_left(BUCKET_BOUNDS, seconds)
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += seconds
+            if seconds < self._min:
+                self._min = seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile in seconds (0 when nothing was recorded).
+
+        Walks cumulative bucket counts to the target rank and returns
+        that bucket's upper bound, clamped to the exact observed
+        min/max so single-sample and tail readings stay truthful.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if not self._count:
+                return 0.0
+            rank = max(1, round(q * self._count))
+            seen = 0
+            for idx, n in enumerate(self._counts):
+                seen += n
+                if seen >= rank:
+                    if idx >= len(BUCKET_BOUNDS):
+                        return self._max
+                    bound = BUCKET_BOUNDS[idx]
+                    return min(max(bound, self._min), self._max)
+            return self._max
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard p50/p95/p99 readback, in seconds."""
+        return {"p50": self.quantile(0.50), "p95": self.quantile(0.95), "p99": self.quantile(0.99)}
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, Prometheus-style.
+
+        The final pair uses ``inf`` as the bound and equals ``count``.
+        """
+        with self._lock:
+            out: list[tuple[float, int]] = []
+            seen = 0
+            for bound, n in zip(BUCKET_BOUNDS, self._counts):
+                seen += n
+                out.append((bound, seen))
+            out.append((float("inf"), self._count))
+            return out
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize to the Prometheus metric-name alphabet ([a-zA-Z0-9_:])."""
+    cleaned = "".join(c if c.isalnum() or c in "_:" else "_" for c in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and shared thereafter.
+
+    ``registry.histogram("rpc:server:WRITE:service")`` returns the same
+    object from every thread, so call sites never coordinate creation.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Instrument] = {}
+
+    def _get_or_create(self, name: str, cls: type) -> Instrument:
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = self._instruments[name] = cls(name)
+            elif not isinstance(inst, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {type(inst).__name__}, "
+                    f"not {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        inst = self._get_or_create(name, Counter)
+        assert isinstance(inst, Counter)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._get_or_create(name, Gauge)
+        assert isinstance(inst, Gauge)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._get_or_create(name, Histogram)
+        assert isinstance(inst, Histogram)
+        return inst
+
+    def instruments(self) -> dict[str, Instrument]:
+        with self._lock:
+            return dict(self._instruments)
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and bench phases only)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def to_dict(self) -> dict[str, dict[str, float | int | str]]:
+        """JSON-friendly snapshot served at ``/metrics.json``."""
+        out: dict[str, dict[str, float | int | str]] = {}
+        for name, inst in sorted(self.instruments().items()):
+            if isinstance(inst, Counter):
+                out[name] = {"type": "counter", "value": inst.value}
+            elif isinstance(inst, Gauge):
+                out[name] = {"type": "gauge", "value": inst.value}
+            else:
+                pct = inst.percentiles()
+                out[name] = {
+                    "type": "histogram",
+                    "count": inst.count,
+                    "sum": inst.sum,
+                    "mean": inst.mean,
+                    "p50": pct["p50"],
+                    "p95": pct["p95"],
+                    "p99": pct["p99"],
+                }
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format, served at ``/metrics``."""
+        lines: list[str] = []
+        for name, inst in sorted(self.instruments().items()):
+            pname = _prom_name(name)
+            if isinstance(inst, Counter):
+                lines.append(f"# TYPE {pname} counter")
+                lines.append(f"{pname} {inst.value:g}")
+            elif isinstance(inst, Gauge):
+                lines.append(f"# TYPE {pname} gauge")
+                lines.append(f"{pname} {inst.value:g}")
+            else:
+                lines.append(f"# TYPE {pname} histogram")
+                for bound, cumulative in inst.bucket_counts():
+                    le = "+Inf" if bound == float("inf") else f"{bound:.9g}"
+                    lines.append(f'{pname}_bucket{{le="{le}"}} {cumulative}')
+                lines.append(f"{pname}_sum {inst.sum:.9g}")
+                lines.append(f"{pname}_count {inst.count}")
+        return "\n".join(lines) + "\n"
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every layer records into by default."""
+    return _REGISTRY

@@ -302,18 +302,24 @@ class RPCClient:
             raise RPCError(f"call failed with status {reply.stat.name}")
         return XDRDecoder(reply.results)
 
-    def call(self, proc: int, args: bytes = b"") -> XDRDecoder:
+    def call(self, proc: int, args: bytes = b"", cred: bytes = b"") -> XDRDecoder:
         """Call a procedure; returns a decoder over the results.
+
+        ``cred`` rides in the call's AUTH_NONE credential body — the
+        slot the trace layer uses to ship span contexts; peers that
+        predate tracing decode and ignore it (see
+        :mod:`repro.obs.trace`).
 
         Raises :class:`ProcedureUnavailable` for PROG/PROC_UNAVAIL and
         :class:`RPCError` for other non-success statuses or xid mismatches.
         """
         request = CallMessage(prog=self.prog, vers=self.vers, proc=proc,
-                              args=args)
+                              args=args, auth_body=cred)
         raw = self.transport.call(request.encode())
         return self._decode_reply(request, raw)
 
-    def call_async(self, proc: int, args: bytes = b"") -> Future:
+    def call_async(self, proc: int, args: bytes = b"",
+                   cred: bytes = b"") -> Future:
         """Start a call; the future resolves to the reply's decoder.
 
         Over a pipelined transport (or :class:`ConnectionPool`) the
@@ -321,9 +327,10 @@ class RPCClient:
         ``call_async`` invocations overlap their round trips; elsewhere
         a client-owned thread pool supplies the overlap.  Errors arrive
         through the future exactly as :meth:`call` would raise them.
+        ``cred`` is the optional credential body, as in :meth:`call`.
         """
         request = CallMessage(prog=self.prog, vers=self.vers, proc=proc,
-                              args=args)
+                              args=args, auth_body=cred)
         raw = request.encode()
         submit = getattr(self.transport, "submit", None)
         if submit is None:

@@ -10,6 +10,14 @@ Authentication flavors: ``AUTH_NONE`` and a DisCFS-specific
 the secure channel, not from per-message credentials (the paper's point:
 "requests coming over the IPsec link can be safely assumed to come from
 the authorized user").
+
+The ``AUTH_NONE`` credential *body* (an XDR opaque, normally empty)
+doubles as the optional trace field: tracing clients pack a span
+context there (:func:`repro.obs.trace.encode_context`) and servers that
+understand it record a child span.  Both directions are NULL-compatible
+with peers that predate tracing — the body has always been decoded,
+size-capped and otherwise ignored, so an old server skips the context
+and an old client simply sends the empty body.
 """
 
 from __future__ import annotations

@@ -24,12 +24,14 @@ from __future__ import annotations
 import socket
 import struct
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from repro.errors import TransportError
+from repro.obs.trace import mark_request_received
 
 Handler = Callable[[bytes], bytes]
 
@@ -66,6 +68,7 @@ class InProcessTransport:
             raise TransportError("transport is closed")
         self.stats.calls += 1
         self.stats.bytes_sent += len(request)
+        mark_request_received()  # no queue: service starts immediately
         response = self._handler(request)
         self.stats.bytes_received += len(response)
         return response
@@ -373,10 +376,16 @@ class TCPServer:
                     request = _recv_record(conn)
                 except TransportError:
                     return
+                # Stamp arrival now: with a worker pool, the gap until a
+                # worker picks the request up is queue wait, which the
+                # program layer splits from service time for tracing.
+                received = time.perf_counter()
                 if self._pool is not None:
-                    self._pool.submit(self._handle_one, conn, send_lock, request)
+                    self._pool.submit(self._handle_one, conn, send_lock,
+                                      request, received)
                     continue
                 try:
+                    mark_request_received(received)
                     response = self._handler(request)
                 except Exception:  # handler bug: drop connection, keep server
                     return
@@ -386,9 +395,10 @@ class TCPServer:
                     return
 
     def _handle_one(self, conn: socket.socket, send_lock: threading.Lock,
-                    request: bytes) -> None:
+                    request: bytes, received: float | None = None) -> None:
         """Worker-pool path: handle and reply, racing sibling requests."""
         try:
+            mark_request_received(received)
             response = self._handler(request)
         except Exception:  # handler bug: drop connection, keep server
             try:

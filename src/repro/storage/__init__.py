@@ -38,6 +38,8 @@ from repro.storage.control import (
     SpecTree,
     describe,
     iter_stores,
+    latency_usage,
+    render_latency_table,
     render_tenant_table,
     reshard,
     tenant_usage,
@@ -51,6 +53,7 @@ from repro.storage.journal import (
 )
 from repro.storage.lazy import LazyBlockStore
 from repro.storage.memory import MemoryBlockStore
+from repro.storage.metered import InstrumentedBlockStore
 from repro.storage.net import (
     BLOCKSTORE_PROGRAM,
     BlockStoreProgram,
@@ -90,6 +93,7 @@ __all__ = [
     "DelayedBlockStore",
     "FailingBlockStore",
     "FileBlockStore",
+    "InstrumentedBlockStore",
     "JournalBlockStore",
     "JournalInfo",
     "JournalStats",
@@ -115,11 +119,13 @@ __all__ = [
     "inspect_journal",
     "issue_store_credential",
     "iter_stores",
+    "latency_usage",
     "open_device",
     "open_store",
     "parse_spec",
     "register_scheme",
     "registered_schemes",
+    "render_latency_table",
     "render_tenant_table",
     "reshard",
     "serve_store",

@@ -96,18 +96,15 @@ class BlockStore:
     unwritten blocks, pad short writes, and record stats — mirroring the
     semantics callers already rely on from ``BlockDevice``.
 
-    Stats counters are updated without locking.  Thread-safe stores
-    (``sqlite://``) keep their *data* correct under ``discfs serve``'s
-    per-connection threads, but concurrent clients can lose stats
-    increments; the benchmarks that consume these counters are
-    single-threaded, where they are exact.  The concurrent fan-out
-    layers keep that guarantee by construction: ``shard://`` and
-    ``replica://`` record stats in the *caller's* thread before
-    dispatching, and each child receives at most one in-flight batch
-    (shard) or an ordered lane of them (replica), so a child's own
-    counters are never raced by that child's siblings — only counters
-    shared *across* layers (``ReplicaStats``) needed a real lock, which
-    ``replica://`` now holds around them.
+    Stats increments are atomic: :class:`BlockDeviceStats.record_read`
+    and friends hold a per-instance lock, so the counters stay exact
+    even where concurrent paths share a store — replica straggler
+    lanes, shard fan-out pools, pooled ``remote://`` windows and
+    ``store-serve --workers`` threads all drive the same child from
+    several threads at once (a bare ``x += 1`` there silently loses
+    updates; ``tests/unit/test_storage_concurrency.py`` regresses
+    this).  Counters shared *across* layers (``ReplicaStats``) keep
+    their own lock in ``replica://``.
     """
 
     #: URI scheme this store registers under (set by subclasses).

@@ -166,9 +166,12 @@ class CachedBlockStore(BlockStore):
         )
 
     def _extra_stats(self) -> dict[str, float]:
+        lookups = self.cache_stats.hits + self.cache_stats.misses
         return {
             "hits": self.cache_stats.hits,
             "misses": self.cache_stats.misses,
+            "hit_ratio": round(self.cache_stats.hits / lookups, 4)
+            if lookups else 0.0,
             "evictions": self.cache_stats.evictions,
             "writebacks": self.cache_stats.writebacks,
             "dirty": len(self._dirty),

@@ -205,6 +205,62 @@ def render_tenant_table(tenants: Mapping[str, Mapping[str, float]]) -> str:
 
 
 # ---------------------------------------------------------------------------
+# per-layer latency
+# ---------------------------------------------------------------------------
+
+
+def latency_usage(
+    extra: Mapping[str, float],
+) -> dict[tuple[str, str], dict[str, float]]:
+    """Group flat ``lat:<layer>:<op>:<field>`` stats extras into
+    per-(layer, op) rows.
+
+    :class:`~repro.storage.metered.InstrumentedBlockStore` publishes its
+    histogram readbacks under this stable key namespace (fields:
+    ``p50``/``p95``/``p99`` in milliseconds plus ``count``) so they
+    survive the wire-format STATS payload and ``store-inspect --json``
+    unchanged.  This undoes the flattening for rendering:
+    ``{"lat:mem:read:p99": 0.2}`` becomes ``{("mem", "read"): {"p99":
+    0.2}}``.  Malformed keys are ignored rather than guessed at.
+    """
+    rows: dict[tuple[str, str], dict[str, float]] = {}
+    for key, value in extra.items():
+        if not key.startswith("lat:"):
+            continue
+        parts = key.split(":")
+        if len(parts) != 4 or not all(parts[1:]):
+            continue
+        _, layer, op, field_name = parts
+        rows.setdefault((layer, op), {})[field_name] = value
+    return rows
+
+
+def render_latency_table(
+    rows: Mapping[tuple[str, str], Mapping[str, float]],
+) -> str:
+    """Aligned per-layer latency table (``discfs store-inspect`` prints
+    it under the topology tree when a metered node reports latencies)."""
+    table = [("layer", "op", "count", "p50(ms)", "p95(ms)", "p99(ms)")]
+    for layer, op in sorted(rows):
+        fields = rows[(layer, op)]
+        table.append((
+            layer,
+            op,
+            str(int(fields.get("count", 0))),
+            f"{fields.get('p50', 0.0):.3f}",
+            f"{fields.get('p95', 0.0):.3f}",
+            f"{fields.get('p99', 0.0):.3f}",
+        ))
+    widths = [max(len(row[col]) for row in table)
+              for col in range(len(table[0]))]
+    return "\n".join(
+        "  ".join(cell.ljust(width)
+                  for cell, width in zip(row, widths)).rstrip()
+        for row in table
+    )
+
+
+# ---------------------------------------------------------------------------
 # reshard
 # ---------------------------------------------------------------------------
 

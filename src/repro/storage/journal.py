@@ -48,6 +48,7 @@ import zlib
 from dataclasses import dataclass, field
 
 from repro.errors import InvalidArgument
+from repro.obs.metrics import Histogram
 from repro.storage.base import BlockStore
 
 MAGIC = b"DJRNL001"
@@ -209,6 +210,9 @@ class JournalBlockStore(BlockStore):
         self.journal_path = journal_path
         self.cap = cap
         self.journal_stats = JournalStats()
+        # Per-instance (not registry-shared): a mounted stack can hold
+        # several journals and each reports its own fsync latency.
+        self._fsync_hist = Histogram("journal:fsync_seconds")
         self._seq = 0
         self._txns_in_log = 0
         self._end = 0  # append offset
@@ -236,13 +240,18 @@ class JournalBlockStore(BlockStore):
     def _reset_log(self) -> None:
         os.ftruncate(self._fd, 0)
         os.pwrite(self._fd, _HEADER.pack(MAGIC, self.block_size, 0), 0)
-        os.fsync(self._fd)
-        self._record_fsync()
+        self._fsync()
         self._end = _HEADER.size
         self._seq = 0
         self._txns_in_log = 0
 
-    def _record_fsync(self) -> None:
+    def _fsync(self) -> None:
+        """The journal's one durability barrier, timed: fsync latency is
+        the per-transaction floor, so it feeds the latency extras
+        (``lat:journal:fsync:*``) alongside the raw counters."""
+        t0 = time.perf_counter()
+        os.fsync(self._fd)
+        self._fsync_hist.record(time.perf_counter() - t0)
         self.stats.record_fsync()
         self.journal_stats.fsyncs += 1
 
@@ -263,8 +272,7 @@ class JournalBlockStore(BlockStore):
         rec = (self._encode_record(KIND_DATA, self._seq, bytes(payload))
                + self._encode_record(KIND_COMMIT, self._seq, b""))
         os.pwrite(self._fd, rec, self._end)
-        os.fsync(self._fd)
-        self._record_fsync()
+        self._fsync()
         self._end += len(rec)
         self._txns_in_log += 1
         self.journal_stats.transactions += 1
@@ -418,6 +426,17 @@ class JournalBlockStore(BlockStore):
                 self.journal_stats.replayed_transactions,
             "replayed_blocks": self.journal_stats.replayed_blocks,
             "pending_transactions": self._txns_in_log,
+        } | self._fsync_latency_extras()
+
+    def _fsync_latency_extras(self) -> dict[str, float]:
+        if not self._fsync_hist.count:
+            return {}
+        p = self._fsync_hist.percentiles()
+        return {
+            "lat:journal:fsync:count": float(self._fsync_hist.count),
+            "lat:journal:fsync:p50": round(p["p50"] * 1000.0, 4),
+            "lat:journal:fsync:p95": round(p["p95"] * 1000.0, 4),
+            "lat:journal:fsync:p99": round(p["p99"] * 1000.0, 4),
         }
 
     def describe(self) -> str:

@@ -68,7 +68,9 @@ mistakes a denied tenant for a down node.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import time
 from collections import deque
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -93,6 +95,17 @@ from repro.rpc.transport import (
 )
 from repro.rpc.xdr import XDRDecoder, XDREncoder
 from repro.crypto.keycodec import encode_public_key
+from repro.obs.metrics import get_registry
+from repro.obs.trace import (
+    Span,
+    SpanContext,
+    current_context,
+    decode_context,
+    encode_context,
+    get_recorder,
+    take_request_received,
+    use_context,
+)
 from repro.storage.auth import StoreAuthGate, sign_session_request
 from repro.storage.base import BlockStore, Capabilities, StoreStats
 
@@ -155,6 +168,9 @@ MAX_CREDENTIALS = 32
 #: Block numbers one LIST page may carry.
 LIST_PAGE = 4096
 
+#: Reusable no-op context manager for the untraced fast path.
+_NO_CONTEXT = contextlib.nullcontext()
+
 #: Upper bounds on one READ_MANY/WRITE_MANY message.  The client
 #: window is the smaller of an item cap and a byte budget computed from
 #: the negotiated block size, so large-block stores stay under the
@@ -183,6 +199,22 @@ class BlockStoreProgram(RPCProgram):
         self.gate = gate
         if gate is not None:
             gate.bind(store)
+        #: "host:port" label stamped on server-side spans (set by
+        #: StoreServer once the listener is bound; in-process programs
+        #: keep the generic default).
+        self.node = "server"
+        registry = get_registry()
+        self._recorder = get_recorder()
+        #: Per-proc service-time histograms plus one queue-wait
+        #: histogram, registered eagerly so the metrics endpoint shows
+        #: the full proc surface from the first scrape.
+        self._svc_hist = {
+            proc: registry.histogram(
+                f"rpc:server:{name}:service_seconds"
+            )
+            for proc, name in PROC_NAMES.items() if proc != 0
+        }
+        self._queue_hist = registry.histogram("rpc:server:queue_wait_seconds")
         # Proc 0 (NULL) keeps the RPC-wide convention — empty args,
         # empty reply, no token/status envelope — so transport-level
         # health checks work against any program uniformly.
@@ -213,25 +245,66 @@ class BlockStoreProgram(RPCProgram):
         session token, authorize it against the gate, run the handler on
         the session's store view, and prefix the reply with a status —
         turning the typed auth/quota/rate errors into in-band codes
-        instead of SYSTEM_ERR transport failures."""
+        instead of SYSTEM_ERR transport failures.
+
+        The wrapper is also the server-side observation point: every
+        call lands in the per-proc service histogram plus the shared
+        queue-wait histogram (arrival stamped by the transport, so the
+        worker-pool wait is split from handler time), and when the
+        client shipped a span context in the call's credential body a
+        child server span is recorded — under which the handler runs,
+        so a metered served store parents its spans correctly."""
         name = PROC_NAMES[proc]
         required = PROC_RIGHTS[proc]
 
         def wrapped(dec: XDRDecoder, ctx: CallContext) -> bytes:
-            token = dec.unpack_opaque(max_size=MAX_TOKEN)
+            received = take_request_received()
+            wall = time.time()
+            start = time.perf_counter()
+            queue_wait = max(0.0, start - received) if received is not None \
+                else 0.0
+            parent = decode_context(ctx.call.auth_body) \
+                if ctx.call is not None else None
+            span_ctx: Optional[SpanContext] = \
+                parent.child() if parent is not None else None
+            status = "ok"
             try:
-                store = self.store
-                if self.gate is not None and required is not None:
-                    session = self.gate.authorize(token, name, required)
-                    store = session.store
-                payload = handler(store, dec, ctx)
-            except (AuthError, QuotaExceeded, RateLimited) as exc:
-                for err_type, code in _ERROR_STATUS:
-                    if isinstance(exc, err_type):
-                        return (XDREncoder().pack_uint(code)
-                                .pack_string(str(exc)).getvalue())
-                raise  # unreachable
-            return XDREncoder().pack_uint(ERR_OK).getvalue() + payload
+                token = dec.unpack_opaque(max_size=MAX_TOKEN)
+                try:
+                    store = self.store
+                    if self.gate is not None and required is not None:
+                        session = self.gate.authorize(token, name, required)
+                        store = session.store
+                    with use_context(span_ctx) if span_ctx is not None \
+                            else _NO_CONTEXT:
+                        payload = handler(store, dec, ctx)
+                except (AuthError, QuotaExceeded, RateLimited) as exc:
+                    status = "denied"
+                    for err_type, code in _ERROR_STATUS:
+                        if isinstance(exc, err_type):
+                            return (XDREncoder().pack_uint(code)
+                                    .pack_string(str(exc)).getvalue())
+                    raise  # unreachable
+                return XDREncoder().pack_uint(ERR_OK).getvalue() + payload
+            except Exception:
+                if status == "ok":
+                    status = "error"
+                raise
+            finally:
+                service = time.perf_counter() - start
+                self._svc_hist[proc].record(service)
+                self._queue_hist.record(queue_wait)
+                if span_ctx is not None:
+                    self._recorder.record(Span(
+                        name=name, kind="server",
+                        trace_id=span_ctx.trace_id,
+                        span_id=span_ctx.span_id,
+                        parent_id=span_ctx.parent_id,
+                        node=self.node, start=wall,
+                        duration_ms=service * 1000.0,
+                        queue_ms=queue_wait * 1000.0,
+                        status=status,
+                    ))
 
         return wrapped
 
@@ -484,6 +557,9 @@ class StoreServer:
                                          host=host, port=port,
                                          workers=workers)
         self.address: tuple[str, int] = self._tcp.address
+        # Server spans carry the bound endpoint, so a cross-node trace
+        # tree names which node served each proc.
+        self.program.node = f"{self.address[0]}:{self.address[1]}"
 
     def handler(self, request: bytes) -> bytes:
         """``bytes -> bytes`` entry point for in-process transports."""
@@ -643,6 +719,36 @@ class RemoteBlockStore(BlockStore):
         """Prefix the v2 session token onto a request's arguments."""
         return XDREncoder().pack_opaque(self._token).getvalue() + args
 
+    @property
+    def _node_label(self) -> str:
+        return (f"{self.endpoint[0]}:{self.endpoint[1]}" if self.endpoint
+                else "in-process")
+
+    def _trace_start(self, proc: int):
+        """Derive a child span context for one RPC when a trace is
+        active; returns ``(cred_bytes, span_ctx, wall, start)`` — all
+        empty/None/0 when untraced, so the hot path pays one
+        contextvar read."""
+        parent = current_context()
+        if parent is None:
+            return b"", None, 0.0, 0.0
+        ctx = parent.child()
+        return encode_context(ctx), ctx, time.time(), time.perf_counter()
+
+    def _trace_finish(self, proc: int, span_ctx, wall: float, start: float,
+                      status: str) -> None:
+        """Record the client-side RPC span begun by :meth:`_trace_start`."""
+        if span_ctx is None:
+            return
+        get_recorder().record(Span(
+            name=PROC_NAMES.get(proc, str(proc)), kind="client",
+            trace_id=span_ctx.trace_id, span_id=span_ctx.span_id,
+            parent_id=span_ctx.parent_id, node=self._node_label,
+            start=wall,
+            duration_ms=(time.perf_counter() - start) * 1000.0,
+            status=status,
+        ))
+
     @staticmethod
     def _check_status(dec: XDRDecoder) -> XDRDecoder:
         """Decode the v2 reply status; re-raise server-side auth/quota/
@@ -656,35 +762,66 @@ class RemoteBlockStore(BlockStore):
         return dec
 
     def _call(self, proc: int, args: bytes = b"") -> XDRDecoder:
+        cred, span_ctx, wall, start = self._trace_start(proc)
+        status = "ok"
         try:
-            dec = self._client.call(proc, self._frame(args))
-        except (TransportError, RPCError, OSError) as exc:
-            raise StoreUnavailable(f"remote block store failed: {exc}") from exc
-        return self._check_status(dec)
+            try:
+                dec = self._client.call(proc, self._frame(args), cred=cred)
+            except (TransportError, RPCError, OSError) as exc:
+                raise StoreUnavailable(
+                    f"remote block store failed: {exc}"
+                ) from exc
+            return self._check_status(dec)
+        except Exception:
+            status = "error"
+            raise
+        finally:
+            self._trace_finish(proc, span_ctx, wall, start, status)
 
     # -- async windowed batches --------------------------------------------
 
     def _submit(self, proc: int, args: bytes) -> Future:
-        """Start one RPC; transport errors surface as StoreUnavailable."""
+        """Start one RPC; transport errors surface as StoreUnavailable.
+
+        When a trace is active the span context rides on the future and
+        the client span is closed by :meth:`_await` (it covers the full
+        in-flight window, queueing included — that is the latency the
+        caller experienced)."""
+        cred, span_ctx, wall, start = self._trace_start(proc)
         try:
-            return self._client.call_async(proc, self._frame(args))
+            fut = self._client.call_async(proc, self._frame(args), cred=cred)
         except (TransportError, RPCError, OSError) as exc:
+            self._trace_finish(proc, span_ctx, wall, start, "error")
             raise StoreUnavailable(f"remote block store failed: {exc}") from exc
+        if span_ctx is not None:
+            fut.trace_info = (proc, span_ctx, wall, start)  # type: ignore[attr-defined]
+        return fut
 
     def _await(self, fut: Future) -> XDRDecoder:
+        trace_info = getattr(fut, "trace_info", None)
+        status = "ok"
         try:
-            dec = fut.result(timeout=self.timeout)
-        except FutureTimeoutError:
-            # Tear the wedged connection down (failing its other
-            # in-flight windows) so a never-answering server cannot
-            # accumulate pending calls against the pool.
-            abandon_call(fut, f"no reply within {self.timeout}s")
-            raise StoreUnavailable(
-                f"remote call timed out after {self.timeout}s"
-            ) from None
-        except (TransportError, RPCError, OSError) as exc:
-            raise StoreUnavailable(f"remote block store failed: {exc}") from exc
-        return self._check_status(dec)
+            try:
+                dec = fut.result(timeout=self.timeout)
+            except FutureTimeoutError:
+                # Tear the wedged connection down (failing its other
+                # in-flight windows) so a never-answering server cannot
+                # accumulate pending calls against the pool.
+                abandon_call(fut, f"no reply within {self.timeout}s")
+                raise StoreUnavailable(
+                    f"remote call timed out after {self.timeout}s"
+                ) from None
+            except (TransportError, RPCError, OSError) as exc:
+                raise StoreUnavailable(
+                    f"remote block store failed: {exc}"
+                ) from exc
+            return self._check_status(dec)
+        except Exception:
+            status = "error"
+            raise
+        finally:
+            if trace_info is not None:
+                self._trace_finish(*trace_info, status)
 
     @property
     def _inflight_cap(self) -> int:

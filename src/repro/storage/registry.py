@@ -82,6 +82,12 @@ Supported URI grammars (see README "Storage backends" for examples):
     Pass-through that sleeps ``N`` milliseconds before every operation —
     the injectable straggler for concurrency drills (a loaded replica,
     a slow link), the counterpart of ``failing://``'s outage.
+``metered://<child-uri>[#slow_ms=F&ring=N]``
+    Latency-instrumentation overlay: every op is timed into the
+    process-wide metrics registry (p50/p95/p99 surface through
+    ``snapshot()`` extras and ``store-serve --metrics-port``), traces
+    originate here when tracing is on, and ops slower than ``slow_ms``
+    are counted/flagged.  ``ring`` resizes the trace ring buffer.
 ``tenant://<child-uri>#name=N[&offset=&blocks=&quota=&bytes=&rate=&burst=]``
     A named private window onto a region of the child store — each
     tenant sees a zero-based namespace and cannot address blocks outside
@@ -118,6 +124,7 @@ from repro.storage.spec import (
     JournalSpec,
     LazySpec,
     MemSpec,
+    MeteredSpec,
     OpaqueSpec,
     RemoteSpec,
     ReplicaSpec,
@@ -446,6 +453,20 @@ def _build_slow(spec: SlowSpec, num_blocks: int, block_size: int) -> BlockStore:
                              else 0.0)
 
 
+def _build_metered(
+    spec: MeteredSpec, num_blocks: int, block_size: int
+) -> BlockStore:
+    from repro.storage.metered import InstrumentedBlockStore
+
+    child = build(spec.child, num_blocks=num_blocks, block_size=block_size)
+    try:
+        return InstrumentedBlockStore(child, slow_ms=spec.slow_ms,
+                                      ring=spec.ring)
+    except Exception:
+        child.close()
+        raise
+
+
 def _build_tenant(
     spec: TenantSpec, num_blocks: int, block_size: int
 ) -> BlockStore:
@@ -482,6 +503,7 @@ _BUILDERS.update({
     LazySpec: _build_lazy,
     SlowSpec: _build_slow,
     TenantSpec: _build_tenant,
+    MeteredSpec: _build_metered,
 })
 
 __all__ = [

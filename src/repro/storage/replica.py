@@ -44,6 +44,7 @@ is the injectable failure used to test exactly that, and
 
 from __future__ import annotations
 
+import contextvars
 import json
 import os
 import threading
@@ -171,11 +172,17 @@ class ReplicatedBlockStore(BlockStore):
             return lane
 
     def _submit_child(self, idx: int, fn) -> Future:
-        """Queue ``fn`` on child ``idx``'s ordered lane."""
+        """Queue ``fn`` on child ``idx``'s ordered lane.
+
+        The caller's :mod:`contextvars` context is copied into the lane
+        so an active trace span parents the child's spans (a lane
+        thread outlives many operations and would otherwise see none).
+        """
         with self._drain_cv:
             self._pending += 1
         try:
-            fut = self._lane(idx).submit(fn)
+            ctx = contextvars.copy_context()
+            fut = self._lane(idx).submit(ctx.run, fn)
         except BaseException:
             with self._drain_cv:
                 self._pending -= 1

@@ -25,6 +25,7 @@ benchmarks can report per-shard traffic and verify balance.
 from __future__ import annotations
 
 import bisect
+import contextvars
 import hashlib
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -181,7 +182,12 @@ class ShardedBlockStore(BlockStore):
         Returns the task results in order."""
         if self.fanout == 1 or len(tasks) == 1:
             return [task() for task in tasks]
-        futures = [self._pool().submit(task) for task in tasks]
+        # Copy the caller's contextvars so an active trace span parents
+        # the per-shard spans run on the long-lived pool threads.
+        futures = [
+            self._pool().submit(contextvars.copy_context().run, task)
+            for task in tasks
+        ]
         results = []
         first_exc: BaseException | None = None
         for fut in futures:

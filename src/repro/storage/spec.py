@@ -810,6 +810,44 @@ class CachedSpec(_WrapperSpec):
 
 
 @dataclass
+class MeteredSpec(_WrapperSpec):
+    """``metered://<child>[#slow_ms=F&ring=N]`` — latency instrumentation.
+
+    ``slow_ms`` sets the slow-op threshold (flagged on spans, counted in
+    ``slow_ops``); ``ring`` resizes the process-wide trace ring buffer.
+    """
+
+    scheme: ClassVar[str] = "metered"
+    options: ClassVar[frozenset[str]] = frozenset({"slow_ms", "ring"})
+
+    slow_ms: float | None = None
+    ring: int | None = None
+
+    def validate(self) -> None:
+        if self.slow_ms is not None and self.slow_ms < 0:
+            raise SpecError(
+                f"metered:// option slow_ms={self.slow_ms:g} must be >= 0"
+            )
+        if self.ring is not None and self.ring <= 0:
+            raise SpecError(
+                f"metered:// option ring={self.ring} must be positive"
+            )
+        super().validate()
+
+    def _option_pairs(self) -> list[tuple[str, object]]:
+        return [("slow_ms", self.slow_ms), ("ring", self.ring)]
+
+    @classmethod
+    def parse(cls, rest: str) -> "MeteredSpec":
+        child, options = cls._parse_child(rest)
+        spec = cls(child=child,
+                   slow_ms=_float_option(options, "slow_ms", cls.scheme),
+                   ring=_int_option(options, "ring", cls.scheme))
+        spec.validate()
+        return spec
+
+
+@dataclass
 class FailingSpec(_WrapperSpec):
     """``failing://<child>[#fail=1]`` — injectable outage wrapper."""
 
@@ -1014,7 +1052,7 @@ def _register(cls: type[StoreSpec]) -> None:
 
 for _cls in (MemSpec, FileSpec, SqliteSpec, ShardSpec, CachedSpec,
              RemoteSpec, ReplicaSpec, FailingSpec, JournalSpec, LazySpec,
-             SlowSpec, TenantSpec):
+             SlowSpec, TenantSpec, MeteredSpec):
     _register(_cls)
 
 
@@ -1157,6 +1195,14 @@ def replica(*children: SpecLike, w: int | None = None, r: int | None = None,
 def cached(child: SpecLike, capacity: int | None = None) -> CachedSpec:
     """Write-back LRU overlay spec."""
     spec = CachedSpec(child=_coerce(child), capacity=capacity)
+    spec.validate()
+    return spec
+
+
+def metered(child: SpecLike, slow_ms: float | None = None,
+            ring: int | None = None) -> MeteredSpec:
+    """Latency-instrumentation overlay spec."""
+    spec = MeteredSpec(child=_coerce(child), slow_ms=slow_ms, ring=ring)
     spec.validate()
     return spec
 

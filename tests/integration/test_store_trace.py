@@ -1,0 +1,168 @@
+"""End-to-end distributed tracing: real server processes, real sockets,
+and the ``discfs store-trace`` reconstruction.
+
+The acceptance path for the observability plane: two credential-gated
+``discfs store-serve`` *processes* each append spans to their own
+``--trace-log`` file, an authenticated in-process client mounts them as
+a ``replica://remote://…;remote://…#w=2`` pair and performs one traced
+write, and ``store-trace`` joins the three span logs back into a single
+cross-node tree — the client's RPC spans parenting one server span per
+node, every span carrying the client's trace id, with the server-side
+queue-wait vs. service-time split rendered.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import threading
+
+import pytest
+
+import repro.cli
+from repro.crypto.dsa import generate_dsa_keypair
+from repro.crypto.keycodec import encode_private_key, encode_public_key
+from repro.crypto.numbers import seeded_random_bits
+from repro.obs import configure_tracing, get_recorder, new_root_context
+from repro.obs.trace import use_context
+from repro.storage import open_store
+from repro.storage import spec as specs
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.cli.__file__)))
+
+_ANNOUNCE = re.compile(r"block store serving on ([\d.]+:\d+)")
+
+
+@pytest.fixture(autouse=True)
+def clean_tracing():
+    recorder = get_recorder()
+    recorder.clear()
+    recorder.enable(False)
+    recorder.set_log(None)
+    yield
+    recorder.clear()
+    recorder.enable(False)
+    recorder.set_log(None)
+
+
+@pytest.fixture
+def auth_files(tmp_path):
+    operator = generate_dsa_keypair(
+        rand=seeded_random_bits(b"store-trace-operator"))
+    key_path = tmp_path / "op.key"
+    key_path.write_text(encode_private_key(operator) + "\n")
+    policy_path = tmp_path / "POLICY"
+    policy_path.write_text(
+        'Authorizer: "POLICY"\n'
+        f'Licensees: "{encode_public_key(operator)}"\n'
+        'Conditions: (app_domain == "discfs-store") -> "admin";\n'
+    )
+    return {"key": str(key_path), "policy": str(policy_path)}
+
+
+def _spawn_traced_server(policy: str, trace_log: str):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli", "store-serve",
+         "--backend", "mem://", "--port", "0",
+         "--policy", policy, "--trace-log", trace_log],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    endpoint: list[str] = []
+    ready = threading.Event()
+
+    def _watch():
+        for line in proc.stdout:
+            match = _ANNOUNCE.search(line)
+            if match:
+                endpoint.append(match.group(1))
+                ready.set()
+                return
+
+    threading.Thread(target=_watch, daemon=True).start()
+    if not ready.wait(timeout=60):
+        proc.kill()
+        proc.wait()
+        raise AssertionError("store-serve never announced its address")
+    return proc, endpoint[0]
+
+
+class TestStoreTraceReconstruction:
+    def test_one_authenticated_write_becomes_a_cross_node_tree(
+            self, tmp_path, auth_files, capsys):
+        node_logs = [str(tmp_path / "node-a.jsonl"),
+                     str(tmp_path / "node-b.jsonl")]
+        client_log = str(tmp_path / "client.jsonl")
+        procs = []
+        try:
+            endpoints = []
+            for log in node_logs:
+                proc, endpoint = _spawn_traced_server(
+                    auth_files["policy"], log)
+                procs.append(proc)
+                endpoints.append(endpoint)
+
+            configure_tracing(log_path=client_log)
+            spec = specs.replica(
+                *[specs.remote(ep, key=auth_files["key"], rights="admin")
+                  for ep in endpoints],
+                w=2, r=1)
+            store = open_store(spec)
+            ctx = new_root_context()
+            try:
+                with use_context(ctx):
+                    store.write(3, b"traced" * 40)
+            finally:
+                store.close()
+            get_recorder().close()
+        finally:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+
+        for log in node_logs:
+            assert os.path.getsize(log) > 0, f"{log} recorded no spans"
+
+        rc = repro.cli.main(
+            ["store-trace", *node_logs, client_log, "--trace",
+             ctx.trace_id])
+        assert rc == 0
+        out = capsys.readouterr().out
+
+        # One tree, headed by the client's trace id.
+        assert out.count("trace ") == 1
+        assert ctx.trace_id in out
+
+        lines = out.splitlines()
+        client_lines = [ln for ln in lines if ln.lstrip().startswith("client")]
+        server_lines = [ln for ln in lines if ln.lstrip().startswith("server")]
+        assert len(client_lines) == 2, out  # one RPC per replica child
+        assert len(server_lines) == 2, out  # one server span per node
+
+        # Both server processes appear, each under a client span
+        # (deeper indentation), each showing its queue/service split.
+        nodes = {ep for ep in
+                 (ln.split("@")[1].split()[0] for ln in server_lines)}
+        assert len(nodes) == 2, out
+        for server_line in server_lines:
+            assert "queue " in server_line, out
+        client_indent = min(len(ln) - len(ln.lstrip())
+                            for ln in client_lines)
+        for server_line in server_lines:
+            assert len(server_line) - len(server_line.lstrip()) \
+                > client_indent, out
+
+    def test_store_trace_exits_nonzero_on_no_match(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        rc = repro.cli.main(["store-trace", str(empty)])
+        assert rc == 1
+        assert "no matching traces" in capsys.readouterr().err

@@ -143,6 +143,10 @@ def composite_specs(children: st.SearchStrategy) -> st.SearchStrategy:
         st.builds(specs.SlowSpec, child=children, ms=millis),
         st.builds(specs.FailingSpec, child=children,
                   fail=st.one_of(st.none(), st.booleans())),
+        st.builds(specs.MeteredSpec, child=children,
+                  slow_ms=millis,
+                  ring=st.one_of(st.none(),
+                                 st.integers(min_value=1, max_value=4096))),
         tenant_specs(),
     )
 
@@ -187,6 +191,6 @@ def test_every_registered_scheme_appears_in_the_strategy():
         specs.ReplicaSpec.scheme, specs.CachedSpec.scheme,
         specs.JournalSpec.scheme, specs.LazySpec.scheme,
         specs.SlowSpec.scheme, specs.FailingSpec.scheme,
-        specs.TenantSpec.scheme,
+        specs.TenantSpec.scheme, specs.MeteredSpec.scheme,
     }
     assert generated == set(registered_schemes())

@@ -301,6 +301,26 @@ class TestControlPlaneCommands:
         assert len(tree["children"]) == 2
         assert tree["capabilities"]["composite"] is True
 
+    def test_store_inspect_json_exposes_per_layer_latency(self, capsys):
+        """--json carries the metered layer's histogram readback under
+        the stable ``lat:<layer>:<op>:<quantile>`` key namespace."""
+        import json
+
+        assert run(["store-inspect", "metered://mem://", "--exercise",
+                    "--json"]) == 0
+        tree = json.loads(capsys.readouterr().out)
+        assert tree["scheme"] == "metered"
+        extra = tree["stats"]["extra"]
+        assert extra["lat:mem:read:count"] == 2.0
+        for quantile in ("p50", "p95", "p99"):
+            assert f"lat:mem:read:{quantile}" in extra
+
+    def test_store_inspect_renders_latency_table(self, capsys):
+        assert run(["store-inspect", "metered://mem://", "--exercise"]) == 0
+        out = capsys.readouterr().out
+        assert "p50(ms)" in out and "p99(ms)" in out
+        assert "mem    read" in out
+
     def test_store_inspect_parse_only(self, capsys):
         assert run(["store-inspect", "shard://3", "--parse"]) == 0
         assert "spec ok: shard://mem://;mem://;mem://" in \

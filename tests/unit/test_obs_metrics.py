@@ -1,0 +1,195 @@
+"""The metrics core: counters, gauges, log-bucketed histograms, the
+process registry and its Prometheus/JSON renderings, the trajectory
+append format, and the ``metered://`` layer that feeds them all.
+
+The quantile contract under test is the histogram's, not a sampler's:
+recordings land in ~19%-wide log buckets, a quantile readback walks the
+cumulative counts and answers with the matched bucket's upper bound
+clamped to the exact observed min/max — so p50/p99 are estimates with
+bounded relative error, never off by more than one bucket.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.exposition import serve_metrics
+from repro.obs.trajectory import SCHEMA, append_record, read_records
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter("ops")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("ops")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_threaded_increments_do_not_lose_updates(self):
+        c = Counter("ops")
+        threads = [
+            threading.Thread(
+                target=lambda: [c.inc() for _ in range(2000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 16000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("inflight")
+        g.set(5.0)
+        g.inc(2.0)
+        g.dec(3.0)
+        assert g.value == 4.0
+
+
+class TestHistogram:
+    def test_quantiles_clamp_to_observed_range(self):
+        h = Histogram("lat")
+        for ms in (1, 2, 3, 4, 100):
+            h.record(ms / 1000.0)
+        assert h.count == 5
+        # p50 answers from the log bucket holding the 3rd sample: the
+        # estimate may exceed 3ms by at most one bucket (~19%).
+        assert 0.002 <= h.quantile(0.5) <= 0.0036
+        # Extreme quantiles stay within the observed range: q=0 answers
+        # the smallest sample's bucket (bound within ~19% of the 1ms
+        # minimum), q=1 clamps to the exact observed maximum.
+        assert 0.001 <= h.quantile(0.0) <= 0.0012
+        assert h.quantile(1.0) == pytest.approx(0.1)
+
+    def test_p99_tracks_the_tail(self):
+        h = Histogram("lat")
+        for _ in range(90):
+            h.record(0.001)
+        for _ in range(10):
+            h.record(1.0)
+        p = h.percentiles()
+        assert p["p50"] < 0.002
+        assert p["p99"] >= 0.5
+
+    def test_empty_histogram_answers_zero(self):
+        h = Histogram("lat")
+        assert h.count == 0
+        assert h.quantile(0.99) == 0.0
+
+    def test_overflow_bucket(self):
+        h = Histogram("lat")
+        h.record(10_000.0)  # beyond the last bound: +Inf bucket
+        assert h.count == 1
+        assert h.quantile(0.5) == pytest.approx(10_000.0)
+
+    def test_mean_and_sum(self):
+        h = Histogram("lat")
+        h.record(0.25)
+        h.record(0.75)
+        assert h.sum == pytest.approx(1.0)
+        assert h.mean == pytest.approx(0.5)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_process_registry_is_shared(self):
+        assert get_registry() is get_registry()
+
+    def test_to_dict_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(3)
+        reg.histogram("lat").record(0.01)
+        payload = json.loads(json.dumps(reg.to_dict()))
+        assert payload["ops"]["value"] == 3
+        assert payload["lat"]["count"] == 1
+
+    def test_prometheus_rendering(self):
+        reg = MetricsRegistry()
+        reg.counter("store:ops_total").inc(2)
+        reg.histogram("store:lat_seconds").record(0.004)
+        text = reg.render_prometheus()
+        assert "# TYPE store:ops_total counter" in text
+        assert "store:ops_total 2" in text
+        assert '_bucket{le="+Inf"} 1' in text
+        assert "store:lat_seconds_count 1" in text
+        # bucket counts are cumulative: the +Inf line carries the total
+        inf_line = [ln for ln in text.splitlines()
+                    if 'le="+Inf"' in ln][0]
+        assert inf_line.endswith(" 1")
+
+
+class TestExposition:
+    def test_endpoints_serve_registry_and_recorder(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat_seconds").record(0.002)
+        with serve_metrics(port=0, registry=reg) as server:
+            host, port = server.address
+            base = f"http://{host}:{port}"
+            text = urllib.request.urlopen(f"{base}/metrics").read().decode()
+            assert "lat_seconds_count 1" in text
+            data = json.loads(
+                urllib.request.urlopen(f"{base}/metrics.json").read())
+            assert data["lat_seconds"]["count"] == 1
+            spans = json.loads(
+                urllib.request.urlopen(f"{base}/trace.json").read())
+            assert isinstance(spans, list)
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(f"{base}/nope")
+
+
+class TestTrajectory:
+    def test_append_creates_schema_versioned_records(self, tmp_path):
+        path = append_record("metered", {"write_ops_s": 1000.0},
+                             directory=str(tmp_path))
+        assert str(path).endswith("BENCH_metered.json")
+        append_record("metered", {"write_ops_s": 1100.0},
+                      directory=str(tmp_path))
+        records = read_records(path)
+        assert len(records) == 2
+        first = records[0]
+        assert first["schema"] == SCHEMA
+        assert first["topic"] == "metered"
+        assert first["write_ops_s"] == 1000.0
+        assert "git_sha" in first and "date" in first
+
+    def test_missing_directory_is_created(self, tmp_path):
+        path = append_record("t", {"x": 1.0},
+                             directory=str(tmp_path / "a" / "b"))
+        assert len(read_records(path)) == 1
+
+    def test_bad_topic_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            append_record("../evil", {}, directory=str(tmp_path))
+
+    def test_corrupt_file_is_replaced_not_crashed(self, tmp_path):
+        target = tmp_path / "BENCH_t.json"
+        target.write_text("{not json")
+        append_record("t", {"x": 1.0}, directory=str(tmp_path))
+        assert len(read_records(str(target))) == 1

@@ -47,6 +47,7 @@ URI_TEMPLATES = {
     "lazy": "lazy://mem://",
     "slow": "slow://mem://#ms=0",
     "tenant": "tenant://mem://#name=conf",
+    "metered": "metered://mem://",
 }
 
 EXTRA_COMPOSITES = [
@@ -67,6 +68,8 @@ EXTRA_COMPOSITES = [
     "replica://slow://mem://#ms=1;mem://;mem://#w=2&r=2",
     "shard://remote://{remote}?workers=2;remote://{remote2}?workers=2",
     "tenant://mem://?blocks=128#name=carve&offset=64",
+    "metered://cached://mem://#capacity=8",
+    "metered://remote://{remote}#slow_ms=250&ring=64",
     # The full battery over an *authenticated* session against a
     # KeyNote-gated server: proves authorization is transparent to the
     # storage contract, not a layer that changes semantics.

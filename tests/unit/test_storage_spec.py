@@ -398,3 +398,50 @@ class TestProgrammaticOnlyTopologies:
             assert store.read(2).startswith(b"served by the quorum")
         finally:
             store.close()
+
+
+class TestMeteredSpec:
+    """The observability overlay's typed spec: parse, render, validate,
+    and the standard typo-suggestion contract for its options."""
+
+    def test_parse_and_round_trip(self):
+        spec = parse_spec("metered://cached://mem://#slow_ms=50&ring=128")
+        assert spec.scheme == "metered"
+        assert spec.slow_ms == 50.0
+        assert spec.ring == 128
+        assert spec.child.scheme == "cached"
+        assert spec.to_uri() == \
+            "metered://cached://mem://#slow_ms=50.0&ring=128"
+
+    def test_defaults_render_bare(self):
+        assert parse_spec("metered://mem://").to_uri() == "metered://mem://"
+
+    def test_builder(self):
+        spec = specs.metered(specs.mem(), slow_ms=5.0, ring=64)
+        assert spec.to_uri() == "metered://mem://#slow_ms=5.0&ring=64"
+
+    def test_option_typo_suggestions(self):
+        with pytest.raises(SpecError, match="did you mean 'slow_ms'"):
+            parse_spec("metered://mem://#slow_mss=5")
+        with pytest.raises(SpecError, match="did you mean 'ring'"):
+            parse_spec("metered://mem://#rign=64")
+
+    def test_scheme_typo_suggestion(self):
+        with pytest.raises(InvalidArgument, match="did you mean 'metered'"):
+            parse_spec("metred://mem://")
+
+    def test_validation(self):
+        with pytest.raises(SpecError, match="slow_ms"):
+            parse_spec("metered://mem://#slow_ms=-1")
+        with pytest.raises(SpecError, match="ring"):
+            parse_spec("metered://mem://#ring=0")
+
+    def test_options_reach_the_built_store(self):
+        from repro.storage import open_store
+
+        store = open_store("metered://mem://#slow_ms=7.5&ring=32")
+        try:
+            assert store.scheme == "metered"
+            assert store.slow_ms == 7.5
+        finally:
+            store.close()
