@@ -1,0 +1,287 @@
+"""Registry/spec coverage checker.
+
+Adding a storage scheme touches four artifacts, and forgetting any one
+of them ships a half-integrated backend:
+
+1. a ``StoreSpec`` subclass with a ``scheme`` class attribute,
+   registered in the spec module's registration loop;
+2. a builder entry in the registry's ``_BUILDERS`` table;
+3. a URI template in the conformance suite's ``URI_TEMPLATES`` (the
+   battery that proves the backend honors the storage contract);
+4. a row in the README backends table (the operator-facing catalogue).
+
+The conformance suite already self-checks #3 against the *runtime*
+registry; this checker closes the loop statically across all four, so
+the gap shows up in lint — before a test run, and including the two
+artifacts (README, conformance file) no test imports.
+
+Findings are anchored at the spec class definition, which is where the
+fix starts and where a suppression can be attached.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Iterator
+
+from repro.analysis.core import Checker, Finding, Project, SourceFile
+
+__all__ = ["RegistryCoverageChecker"]
+
+_SCHEME_RE = re.compile(r"`(\w[\w+.-]*)://")
+
+
+@dataclass
+class _SpecClass:
+    name: str
+    scheme: str
+    line: int
+    sf: SourceFile
+
+
+def _constant_str(node: ast.expr | None) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _spec_classes(sf: SourceFile) -> list[_SpecClass]:
+    out: list[_SpecClass] = []
+    if sf.tree is None:
+        return out
+    classdefs = [
+        node for node in ast.walk(sf.tree) if isinstance(node, ast.ClassDef)
+    ]
+    bases_of: dict[str, set[str]] = {
+        node.name: {
+            base.id if isinstance(base, ast.Name) else
+            base.attr if isinstance(base, ast.Attribute) else ""
+            for base in node.bases
+        }
+        for node in classdefs
+    }
+
+    def descends_from_spec(name: str, seen: frozenset[str]) -> bool:
+        if name in seen:
+            return False
+        bases = bases_of.get(name, set())
+        if "StoreSpec" in bases:
+            return True
+        return any(
+            descends_from_spec(base, seen | {name})
+            for base in bases if base in bases_of
+        )
+
+    for node in classdefs:
+        if not descends_from_spec(node.name, frozenset()):
+            continue
+        scheme: str | None = None
+        for item in node.body:
+            if isinstance(item, ast.Assign):
+                for target in item.targets:
+                    if isinstance(target, ast.Name) \
+                            and target.id == "scheme":
+                        scheme = _constant_str(item.value)
+            elif isinstance(item, ast.AnnAssign):
+                if isinstance(item.target, ast.Name) \
+                        and item.target.id == "scheme":
+                    scheme = _constant_str(item.value)
+        if scheme:
+            out.append(_SpecClass(
+                name=node.name, scheme=scheme, line=node.lineno, sf=sf))
+    return out
+
+
+def _registration_loop_names(sf: SourceFile) -> set[str] | None:
+    """Class names iterated by a ``for _cls in (...): _register(_cls)``
+    loop; None when the file has no such loop."""
+    if sf.tree is None:
+        return None
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.For):
+            continue
+        if not isinstance(node.iter, (ast.Tuple, ast.List)):
+            continue
+        calls_register = any(
+            isinstance(sub, ast.Call) and (
+                (isinstance(sub.func, ast.Name)
+                 and "register" in sub.func.id)
+                or (isinstance(sub.func, ast.Attribute)
+                    and "register" in sub.func.attr)
+            )
+            for stmt in node.body for sub in ast.walk(stmt)
+        )
+        if not calls_register:
+            continue
+        names = {
+            elt.id for elt in node.iter.elts if isinstance(elt, ast.Name)
+        }
+        if names:
+            return names
+    return None
+
+
+def _builder_keys(sf: SourceFile) -> set[str] | None:
+    """Spec-class names keyed into a ``*BUILDERS`` table; None when the
+    file has no such table."""
+    if sf.tree is None:
+        return None
+    keys: set[str] = set()
+    found = False
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "update" \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id.endswith("BUILDERS") \
+                and node.args and isinstance(node.args[0], ast.Dict):
+            found = True
+            for key in node.args[0].keys:
+                if isinstance(key, ast.Name):
+                    keys.add(key.id)
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id.endswith("BUILDERS") \
+                        and isinstance(target.slice, ast.Name):
+                    found = True
+                    keys.add(target.slice.id)
+    return keys if found else None
+
+
+def _template_schemes(sf: SourceFile) -> set[str] | None:
+    if sf.tree is None:
+        return None
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.Assign) \
+                and any(isinstance(t, ast.Name) and t.id == "URI_TEMPLATES"
+                        for t in node.targets) \
+                and isinstance(node.value, ast.Dict):
+            return {
+                key.value for key in node.value.keys
+                if isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+            }
+    return None
+
+
+def _readme_schemes(text: str) -> set[str] | None:
+    """Schemes named in table rows of the storage-backends section."""
+    in_section = False
+    found_table = False
+    schemes: set[str] = set()
+    for line in text.splitlines():
+        if line.startswith("## "):
+            in_section = "storage backends" in line.lower()
+            continue
+        if in_section and line.lstrip().startswith("|"):
+            found_table = True
+            schemes.update(_SCHEME_RE.findall(line))
+    return schemes if found_table else None
+
+
+class RegistryCoverageChecker(Checker):
+    name = "registry-coverage"
+    description = (
+        "every StoreSpec scheme needs a builder, a conformance template "
+        "and a README backends-table row"
+    )
+
+    #: Artifact locations relative to the project root; fixtures mirror
+    #: this layout under a temporary root.
+    CONFORMANCE_REL: ClassVar[str] = "tests/unit/test_storage_conformance.py"
+    README_REL: ClassVar[str] = "README.md"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        specs: list[_SpecClass] = []
+        loop_names: set[str] | None = None
+        builder_keys: set[str] | None = None
+        builder_sf: SourceFile | None = None
+        for sf in project.files:
+            found = _spec_classes(sf)
+            specs.extend(found)
+            if found and loop_names is None:
+                loop_names = _registration_loop_names(sf)
+            keys = _builder_keys(sf)
+            if keys is not None:
+                builder_keys = (builder_keys or set()) | keys
+                builder_sf = sf
+        if not specs:
+            return
+
+        templates = self._load_aux(project, self.CONFORMANCE_REL,
+                                   _template_schemes)
+        readme_path = project.root / self.README_REL
+        readme: set[str] | None = None
+        if readme_path.is_file():
+            readme = _readme_schemes(
+                readme_path.read_text(encoding="utf-8"))
+
+        for spec in sorted(specs, key=lambda s: s.scheme):
+            if loop_names is not None and spec.name not in loop_names:
+                yield self.finding(
+                    spec.sf, None,
+                    message=(
+                        f"{spec.name} (scheme {spec.scheme}://) is not in "
+                        "the spec registration loop: the registry cannot "
+                        "parse its URIs"
+                    ),
+                    line=spec.line,
+                )
+            if builder_keys is not None and spec.name not in builder_keys:
+                yield self.finding(
+                    spec.sf, None,
+                    message=(
+                        f"{spec.name} (scheme {spec.scheme}://) has no "
+                        "builder in the registry's _BUILDERS table: "
+                        "open_store cannot construct it"
+                    ),
+                    line=spec.line,
+                )
+            if templates is not None and spec.scheme not in templates:
+                yield self.finding(
+                    spec.sf, None,
+                    message=(
+                        f"scheme {spec.scheme}:// has no URI template in "
+                        f"{self.CONFORMANCE_REL}: the conformance battery "
+                        "never exercises it"
+                    ),
+                    line=spec.line,
+                )
+            if readme is not None and spec.scheme not in readme:
+                yield self.finding(
+                    spec.sf, None,
+                    message=(
+                        f"scheme {spec.scheme}:// has no row in the "
+                        f"README storage-backends table"
+                    ),
+                    severity="warning",
+                    line=spec.line,
+                )
+
+        spec_names = {s.name for s in specs}
+        if builder_keys is not None and builder_sf is not None:
+            for orphan in sorted(builder_keys - spec_names):
+                yield self.finding(
+                    builder_sf, None,
+                    message=(
+                        f"_BUILDERS entry {orphan} has no matching "
+                        "StoreSpec class with a scheme"
+                    ),
+                    severity="warning",
+                    line=1,
+                )
+
+    @staticmethod
+    def _load_aux(
+        project: Project,
+        rel: str,
+        extract: Callable[[SourceFile], set[str] | None],
+    ) -> set[str] | None:
+        path = project.root / rel
+        if not path.is_file():
+            return None
+        return extract(project.load(path))

@@ -1,0 +1,670 @@
+"""RPC protocol-drift checker.
+
+The block-store wire protocol is hand-rolled XDR: every ``PROC_*``
+procedure has a client encode site (``self._call(PROC_X, enc.getvalue())``)
+and a server decode site (the registered handler), and nothing but
+convention keeps the two pack/unpack sequences mirrored.  One added
+field on one side is a silent corruption bug that only shows up as an
+``XDRError`` (or worse, misparsed data) at runtime.
+
+This checker recovers both schemas statically and diffs them:
+
+* client sites are found by scanning every function for calls whose
+  first argument is a ``PROC_*`` constant; pack/unpack events are
+  collected in evaluation order, so chained encoders
+  (``XDREncoder().pack_uint(n).pack_opaque(d)``), windowed loops and
+  multi-proc functions (the session handshake drives ``CHALLENGE`` and
+  ``SESSION_OPEN`` from one body) all attribute correctly;
+* ``pack_array``/``unpack_array`` element schemas are resolved through
+  lambdas, local ``def``\\ s and same-class helper methods (one-level
+  fold — e.g. ``self._decode_read_window(dec, ...)``);
+* server handlers are found via ``self.register(PROC_X, ...)``; each
+  ``return`` branch yields a reply schema and all branches must agree;
+* the v2 envelope is checked structurally: every registration must go
+  through the same gate wrapper, the gate must start by unpacking the
+  opaque session token and start every reply with the status word, and
+  the client's transport method must mirror both.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.analysis.core import Checker, Finding, Project, SourceFile
+
+__all__ = ["RPCDriftChecker"]
+
+#: One schema item: ("uint", None) or ("array", (<element schema>,)).
+Item = tuple[str, tuple["Item", ...] | None]
+Schema = tuple[Item, ...]
+
+#: Methods never folded into a client schema: they implement the
+#: envelope / transport, not per-proc payloads.
+_NO_FOLD = frozenset({"register", "handle"})
+
+_COMPOSITE = {"pack_array": "array", "unpack_array": "array",
+              "pack_optional": "optional", "unpack_optional": "optional"}
+
+#: The XDR codec surface (xdr.py); anything else named ``pack_*`` is an
+#: application helper, not a wire primitive (e.g. a local ``pack_window``
+#: def), and is handled by the fold path instead.
+_XDR_KINDS = frozenset({
+    "uint", "int", "uhyper", "hyper", "bool", "enum",
+    "fixed_opaque", "opaque", "string", "array", "optional",
+})
+
+
+def _kind(method_name: str) -> str | None:
+    for prefix in ("pack_", "unpack_"):
+        if method_name.startswith(prefix):
+            kind = method_name[len(prefix):]
+            if kind in _XDR_KINDS:
+                return kind
+    return None
+
+
+@dataclass
+class _Event:
+    op: str  # "pack" | "unpack" | "call" | "ret"
+    line: int
+    kind: str = ""  # schema kind for pack/unpack
+    elem: Schema | None = None
+    proc: str = ""  # for "call"
+    callee: str = ""  # for "call": the dispatch method name
+    in_return: bool = False  # pack lexically inside a return expression
+    ret_packs: Schema = ()  # for "ret": packs inside this return's expr
+
+
+@dataclass
+class _Registration:
+    proc: str
+    handler: str
+    gated: bool
+    gate: str
+    line: int
+    sf: SourceFile
+    cls: ast.ClassDef
+
+
+@dataclass
+class _ClientSite:
+    proc: str
+    args: Schema
+    reply: Schema
+    line: int
+    reply_line: int
+    sf: SourceFile
+    func: str
+    dispatch: str = ""  # the method routing the call (_call/_submit)
+
+
+@dataclass
+class _ServerProc:
+    proc: str
+    req: Schema
+    reply: Schema
+    line: int
+    sf: SourceFile
+    handler: str
+    branches: tuple[Schema, ...] = ()
+
+
+class _FunctionScanner:
+    """Collect pack/unpack/call events from one function, in evaluation
+    order, resolving array elements and folding one level of helpers."""
+
+    def __init__(self, fn: ast.AST, class_methods: dict[str, ast.AST],
+                 include_nested: bool = False) -> None:
+        self.class_methods = class_methods
+        self.include_nested = include_nested
+        self.local_defs: dict[str, ast.AST] = {}
+        body = getattr(fn, "body", [])
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node is not fn:
+                self.local_defs[node.name] = node
+        self.events: list[_Event] = []
+        self._scan_body(body, in_return=False)
+
+    # -- traversal ---------------------------------------------------------
+
+    def _scan_body(self, body: Sequence[ast.stmt], in_return: bool) -> None:
+        for stmt in body:
+            self._scan_node(stmt, in_return)
+
+    def _scan_node(self, node: ast.AST, in_return: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if self.include_nested:
+                self._scan_body(node.body, in_return=False)
+            return
+        if isinstance(node, (ast.Lambda, ast.ListComp, ast.SetComp,
+                             ast.DictComp, ast.GeneratorExp)):
+            return
+        if isinstance(node, ast.Call) and _call_name(node) == "register":
+            # Registration wiring (`self.register(PROC_X, self._gated(
+            # PROC_X, self._proc_x))`): the inner wrapper call also has a
+            # PROC_* first argument and would be misread as a client
+            # dispatch site.  _find_registrations owns this shape.
+            return
+        if isinstance(node, ast.Return):
+            packs_before = len(self.events)
+            if node.value is not None:
+                self._scan_node(node.value, in_return=True)
+            ret_packs = tuple(
+                (e.kind, e.elem) for e in self.events[packs_before:]
+                if e.op == "pack"
+            )
+            self.events.append(
+                _Event(op="ret", line=node.lineno, ret_packs=ret_packs))
+            return
+        # Children first (arguments evaluate before the call fires), so
+        # chained encoders come out in execution order.
+        for child in ast.iter_child_nodes(node):
+            self._scan_node(child, in_return)
+        if isinstance(node, ast.Call):
+            self._handle_call(node, in_return)
+
+    # -- call classification -----------------------------------------------
+
+    def _handle_call(self, node: ast.Call, in_return: bool) -> None:
+        func = node.func
+        name = ""
+        on_self = False
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+            on_self = (isinstance(func.value, ast.Name)
+                       and func.value.id == "self")
+        elif isinstance(func, ast.Name):
+            name = func.id
+
+        kind = _kind(name)
+        if kind is not None:
+            composite = _COMPOSITE.get(name)
+            elem: Schema | None = None
+            if composite is not None:
+                elem = self._element_schema(node, name)
+                kind = composite
+            op = "pack" if name.startswith("pack_") else "unpack"
+            self.events.append(_Event(
+                op=op, line=node.lineno, kind=kind, elem=elem,
+                in_return=in_return,
+            ))
+            return
+
+        proc = _proc_arg(node)
+        if proc is not None and name != "register" and name:
+            self.events.append(_Event(
+                op="call", line=node.lineno, proc=proc, callee=name))
+            return
+
+        # One-level fold of payload helpers: a local def or same-class
+        # method whose body is pure pack/unpack (no dispatch of its own).
+        target = self.local_defs.get(name)
+        if target is None and on_self and name not in _NO_FOLD:
+            target = self.class_methods.get(name)
+        if target is not None:
+            sub = _FunctionScanner(target, class_methods={})
+            if any(e.op == "call" for e in sub.events):
+                return
+            for e in sub.events:
+                if e.op in ("pack", "unpack"):
+                    self.events.append(_Event(
+                        op=e.op, line=node.lineno, kind=e.kind, elem=e.elem,
+                        in_return=in_return,
+                    ))
+
+    def _element_schema(self, node: ast.Call, name: str) -> Schema:
+        """The per-item schema of a pack/unpack_array|optional call."""
+        fn_arg: ast.expr | None = None
+        if name.startswith("pack_"):
+            if len(node.args) >= 2:
+                fn_arg = node.args[1]
+        elif node.args:
+            fn_arg = node.args[0]
+        if fn_arg is None:
+            return ()
+        if isinstance(fn_arg, ast.Lambda):
+            sub = _FunctionScanner(_wrap_lambda(fn_arg), class_methods={})
+        elif isinstance(fn_arg, ast.Name) and fn_arg.id in self.local_defs:
+            sub = _FunctionScanner(self.local_defs[fn_arg.id],
+                                   class_methods={})
+        elif isinstance(fn_arg, ast.Attribute) \
+                and isinstance(fn_arg.value, ast.Name) \
+                and fn_arg.value.id == "self" \
+                and fn_arg.attr in self.class_methods:
+            sub = _FunctionScanner(self.class_methods[fn_arg.attr],
+                                   class_methods={})
+        else:
+            return ()
+        return tuple(
+            (e.kind, e.elem) for e in sub.events
+            if e.op == ("pack" if name.startswith("pack_") else "unpack")
+        )
+
+
+def _call_name(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return ""
+
+
+def _wrap_lambda(node: ast.Lambda) -> ast.AST:
+    wrapper = ast.FunctionDef(
+        name="<lambda>", args=node.args,
+        body=[ast.Return(value=node.body, lineno=node.lineno,
+                         col_offset=node.col_offset)],
+        decorator_list=[], lineno=node.lineno, col_offset=node.col_offset,
+    )
+    return ast.fix_missing_locations(wrapper)
+
+
+def _proc_arg(node: ast.Call) -> str | None:
+    if node.args and isinstance(node.args[0], ast.Name) \
+            and node.args[0].id.startswith("PROC_"):
+        return node.args[0].id
+    return None
+
+
+def _packs(events: Sequence[_Event]) -> Schema:
+    return tuple((e.kind, e.elem) for e in events if e.op == "pack")
+
+
+def _unpacks(events: Sequence[_Event]) -> Schema:
+    return tuple((e.kind, e.elem) for e in events if e.op == "unpack")
+
+
+def _render(schema: Schema) -> str:
+    parts = []
+    for kind, elem in schema:
+        if elem is not None and kind in ("array", "optional"):
+            parts.append(f"{kind}<{_render(elem)}>")
+        else:
+            parts.append(kind)
+    return "[" + ", ".join(parts) + "]"
+
+
+def _mirrors(a: Schema, b: Schema) -> bool:
+    if len(a) != len(b):
+        return False
+    for (ka, ea), (kb, eb) in zip(a, b):
+        if ka != kb:
+            return False
+        if ka in ("array", "optional"):
+            # An unresolvable element (dynamic callable) is (), which we
+            # treat as "unknown, assume ok" rather than a false positive.
+            if ea and eb and not _mirrors(ea, eb):
+                return False
+    return True
+
+
+class RPCDriftChecker(Checker):
+    name = "rpc-drift"
+    description = (
+        "client XDR encode sites must mirror server decode sites per PROC_*"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        registrations: list[_Registration] = []
+        servers: dict[str, _ServerProc] = {}
+        clients: list[_ClientSite] = []
+        gates: list[tuple[SourceFile, ast.ClassDef, str]] = []
+
+        for sf in project.files:
+            if sf.tree is None:
+                continue
+            for cls in ast.walk(sf.tree):
+                if not isinstance(cls, ast.ClassDef):
+                    continue
+                methods: dict[str, ast.AST] = {
+                    item.name: item for item in cls.body
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef))
+                }
+                regs = _find_registrations(sf, cls)
+                registrations.extend(regs)
+                for reg in regs:
+                    if reg.gated and (sf, cls, reg.gate) not in gates:
+                        gates.append((sf, cls, reg.gate))
+                    handler = methods.get(reg.handler)
+                    if handler is None:
+                        continue
+                    servers.setdefault(reg.proc, _extract_server(
+                        sf, reg, handler, methods))
+                for mname, fn in methods.items():
+                    clients.extend(
+                        _extract_client_sites(sf, cls, mname, fn, methods))
+
+        yield from self._check_registration_envelope(registrations)
+        yield from self._check_gate_shape(gates)
+        yield from self._check_client_envelope(clients, gates, project)
+        yield from self._check_pairing(servers, clients, registrations)
+
+    # -- envelope ----------------------------------------------------------
+
+    def _check_registration_envelope(
+        self, registrations: list[_Registration],
+    ) -> Iterator[Finding]:
+        if not registrations:
+            return
+        gated = [r for r in registrations if r.gated]
+        if gated and len(gated) != len(registrations):
+            for reg in registrations:
+                if not reg.gated:
+                    yield self.finding(
+                        reg.sf, None,
+                        message=(
+                            f"{reg.proc} is registered without the "
+                            f"{gated[0].gate} envelope while "
+                            f"{len(gated)} other procs use it — its "
+                            "replies will lack the status word / token "
+                            "framing clients expect"
+                        ),
+                        hint=f"register via self.{gated[0].gate}(...)",
+                        line=reg.line,
+                    )
+
+    def _check_gate_shape(
+        self, gates: list[tuple[SourceFile, ast.ClassDef, str]],
+    ) -> Iterator[Finding]:
+        for sf, cls, gate_name in gates:
+            gate_fn = next(
+                (item for item in cls.body
+                 if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                 and item.name == gate_name),
+                None,
+            )
+            if gate_fn is None:
+                continue
+            events = _FunctionScanner(
+                gate_fn, class_methods={}, include_nested=True).events
+            unpacks = _unpacks(events)
+            if not unpacks or unpacks[0][0] != "opaque":
+                yield self.finding(
+                    sf, None,
+                    message=(
+                        f"{cls.name}.{gate_name} does not start by "
+                        "unpacking the opaque session token; the client "
+                        "frames every call with one"
+                    ),
+                    line=gate_fn.lineno,
+                )
+            for event in events:
+                if event.op == "ret" and event.ret_packs \
+                        and event.ret_packs[0][0] != "uint":
+                    yield self.finding(
+                        sf, None,
+                        message=(
+                            f"{cls.name}.{gate_name} reply at line "
+                            f"{event.line} does not start with the uint "
+                            "status word"
+                        ),
+                        line=event.line,
+                    )
+
+    def _check_client_envelope(
+        self,
+        clients: list[_ClientSite],
+        gates: list[tuple[SourceFile, ast.ClassDef, str]],
+        project: Project,
+    ) -> Iterator[Finding]:
+        del project
+        if not clients or not gates:
+            return
+        # The dispatch methods client sites route through (_call/_submit)
+        # must frame the token (their one-level fold reaches _frame); the
+        # status word may be decoded anywhere in the class (_call does it
+        # inline, the async path defers it to _await/_check_status), so
+        # that check is per class.
+        wanted = {site.dispatch for site in clients if site.dispatch}
+        checked: set[tuple[str, str]] = set()
+        status_checked: set[str] = set()
+        files = []
+        for site in clients:
+            if site.sf not in files:
+                files.append(site.sf)
+        for sf in files:
+            if sf.tree is None:
+                continue
+            for cls in ast.walk(sf.tree):
+                if not isinstance(cls, ast.ClassDef):
+                    continue
+                methods: dict[str, ast.AST] = {
+                    item.name: item for item in cls.body
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef))
+                }
+                dispatchers = sorted(wanted & set(methods))
+                for name in dispatchers:
+                    key = (cls.name, name)
+                    if key in checked:
+                        continue
+                    checked.add(key)
+                    events = _FunctionScanner(
+                        methods[name], class_methods=methods).events
+                    fn_line = int(getattr(methods[name], "lineno", 1))
+                    if not any(e.op == "pack" and e.kind == "opaque"
+                               for e in events):
+                        yield self.finding(
+                            sf, None,
+                            message=(
+                                f"{cls.name}.{name} never packs the "
+                                "opaque session token the server gate "
+                                "unpacks first"
+                            ),
+                            line=fn_line,
+                        )
+                if dispatchers and cls.name not in status_checked:
+                    status_checked.add(cls.name)
+                    decodes_status = any(
+                        e.op == "unpack" and e.kind == "uint"
+                        for name in methods
+                        for e in _FunctionScanner(
+                            methods[name], class_methods=methods).events
+                    )
+                    if not decodes_status:
+                        yield self.finding(
+                            sf, None,
+                            message=(
+                                f"{cls.name} never unpacks the uint "
+                                "status word the server gate prefixes "
+                                "every reply with"
+                            ),
+                            line=int(getattr(cls, "lineno", 1)),
+                        )
+
+    # -- per-proc schemas --------------------------------------------------
+
+    def _check_pairing(
+        self,
+        servers: dict[str, _ServerProc],
+        clients: list[_ClientSite],
+        registrations: list[_Registration],
+    ) -> Iterator[Finding]:
+        client_procs = {site.proc for site in clients}
+        for proc, server in sorted(servers.items()):
+            for branch in server.branches[1:]:
+                if not _mirrors(branch, server.reply):
+                    yield self.finding(
+                        server.sf, None,
+                        message=(
+                            f"{proc} handler {server.handler} has "
+                            f"disagreeing reply branches: "
+                            f"{_render(server.reply)} vs "
+                            f"{_render(branch)} — clients cannot decode "
+                            "both"
+                        ),
+                        line=server.line,
+                    )
+                    break
+        for site in clients:
+            server = servers.get(site.proc)
+            if server is None:
+                if registrations:
+                    yield self.finding(
+                        site.sf, None,
+                        message=(
+                            f"client calls {site.proc} but no server "
+                            "handler is registered for it"
+                        ),
+                        line=site.line,
+                    )
+                continue
+            if not _mirrors(site.args, server.req):
+                yield self.finding(
+                    site.sf, None,
+                    message=(
+                        f"{site.proc} request drift: client "
+                        f"{site.func} encodes {_render(site.args)} but "
+                        f"server {server.handler} decodes "
+                        f"{_render(server.req)} ({server.sf.rel}:"
+                        f"{server.line})"
+                    ),
+                    hint="make the pack sequence mirror the unpack "
+                         "sequence, type for type, in order",
+                    line=site.line,
+                )
+            if not _mirrors(site.reply, server.reply) \
+                    and not _reply_prefix_ok(site.reply, server.reply):
+                yield self.finding(
+                    site.sf, None,
+                    message=(
+                        f"{site.proc} reply drift: server "
+                        f"{server.handler} encodes "
+                        f"{_render(server.reply)} but client "
+                        f"{site.func} decodes {_render(site.reply)} "
+                        f"({server.sf.rel}:{server.line})"
+                    ),
+                    hint="make the reply unpack sequence mirror the "
+                         "handler's pack sequence",
+                    line=site.reply_line or site.line,
+                )
+        for proc, server in sorted(servers.items()):
+            if clients and proc not in client_procs:
+                yield self.finding(
+                    server.sf, None,
+                    message=(
+                        f"{proc} has a server handler but no client "
+                        "encode site was found"
+                    ),
+                    severity="warning",
+                    line=server.line,
+                )
+
+
+def _reply_prefix_ok(client: Schema, server: Schema) -> bool:
+    """An empty client reply schema means the decode is not observable
+    at this site — fire-and-forget ``.done()`` calls, or the pipelined
+    path where ``_submit`` returns a future and a nested ``drain_one``
+    decodes later.  Only a *mismatched* decode is drift."""
+    del server
+    return client == ()
+
+
+def _find_registrations(
+    sf: SourceFile, cls: ast.ClassDef,
+) -> list[_Registration]:
+    out: list[_Registration] = []
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "register"):
+            continue
+        proc = _proc_arg(node)
+        if proc is None or len(node.args) < 2:
+            continue
+        target = node.args[1]
+        gated = False
+        gate = ""
+        handler = ""
+        if isinstance(target, ast.Call) \
+                and isinstance(target.func, ast.Attribute) \
+                and isinstance(target.func.value, ast.Name) \
+                and target.func.value.id == "self":
+            gated = True
+            gate = target.func.attr
+            for arg in target.args:
+                if isinstance(arg, ast.Attribute) \
+                        and isinstance(arg.value, ast.Name) \
+                        and arg.value.id == "self":
+                    handler = arg.attr
+        elif isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == "self":
+            handler = target.attr
+        if handler:
+            out.append(_Registration(
+                proc=proc, handler=handler, gated=gated, gate=gate,
+                line=node.lineno, sf=sf, cls=cls,
+            ))
+    return out
+
+
+def _extract_server(
+    sf: SourceFile,
+    reg: _Registration,
+    handler: ast.AST,
+    methods: dict[str, ast.AST],
+) -> _ServerProc:
+    events = _FunctionScanner(handler, class_methods=methods).events
+    req = _unpacks(events)
+    branches: list[Schema] = []
+    loose: list[Item] = []
+    for event in events:
+        if event.op == "pack" and not event.in_return:
+            loose.append((event.kind, event.elem))
+        elif event.op == "ret":
+            branches.append(event.ret_packs or tuple(loose))
+    if not branches:
+        branches.append(tuple(loose))
+    reply = branches[0]
+    return _ServerProc(
+        proc=reg.proc, req=req, reply=reply, line=reg.line, sf=sf,
+        handler=reg.handler, branches=tuple(branches),
+    )
+
+
+def _extract_client_sites(
+    sf: SourceFile,
+    cls: ast.ClassDef,
+    mname: str,
+    fn: ast.AST,
+    methods: dict[str, ast.AST],
+) -> list[_ClientSite]:
+    events = _FunctionScanner(fn, class_methods=methods).events
+    if not any(e.op == "call" for e in events):
+        return []
+    sites: list[_ClientSite] = []
+    pending: list[Item] = []
+    current: _ClientSite | None = None
+    current_reply: list[Item] = []
+
+    def flush() -> None:
+        nonlocal current
+        if current is not None:
+            current.reply = tuple(current_reply)
+            sites.append(current)
+            current = None
+
+    for event in events:
+        if event.op == "pack":
+            pending.append((event.kind, event.elem))
+        elif event.op == "call":
+            flush()
+            current = _ClientSite(
+                proc=event.proc, args=tuple(pending), reply=(),
+                line=event.line, reply_line=0, sf=sf,
+                func=f"{cls.name}.{mname}", dispatch=event.callee,
+            )
+            current_reply.clear()
+            pending.clear()
+        elif event.op == "unpack" and current is not None:
+            current_reply.append((event.kind, event.elem))
+            if not current.reply_line:
+                current.reply_line = event.line
+    flush()
+    return sites

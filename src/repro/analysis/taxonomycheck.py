@@ -1,0 +1,231 @@
+"""Error-taxonomy checker.
+
+The exception hierarchy encodes a semantic contract (``errors.py``):
+``AuthError``, ``QuotaExceeded`` and ``RateLimited`` are *answers* — a
+policy decision, a full quota, a throttle — deliberately **not**
+``StoreUnavailable``, which means "this node cannot answer".  The
+distinction is load-bearing: ``replica://`` fails over around
+unavailability, and failing over around a denial would turn "no" into
+"ask a different node until one forgets to say no".
+
+Three patterns violate the contract:
+
+* an ``except`` that catches a typed denial and re-raises it as
+  ``StoreUnavailable``/``QuorumError`` (denial laundered into
+  unavailability) — error;
+* an ``except`` that catches a typed denial and swallows it (no raise
+  at all) — warning, because legitimate protocol boundaries convert
+  denials to in-band status codes and annotate the suppression;
+* a broad catch (``Exception``, ``BaseException``, ``ReproError``,
+  ``FSError`` or bare) on a data-path method that does not re-raise —
+  warning: the net is wide enough to trap denials by accident.
+
+Named tuple constants (``_CHILD_FAILURES = (ReproError, OSError)``) are
+resolved through module- and class-level assignments so the checker sees
+through the common "shared catch set" idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Checker, Finding, Project, SourceFile
+
+__all__ = ["ErrorTaxonomyChecker"]
+
+#: The typed denials: answers, not outages.
+_DENIALS = frozenset({"AuthError", "QuotaExceeded", "RateLimited"})
+
+#: Availability errors a denial must never be converted into.
+_UNAVAILABLE = frozenset({"StoreUnavailable", "QuorumError"})
+
+#: Catch-alls wide enough to trap a denial by accident.
+_BROAD = frozenset({"Exception", "BaseException", "ReproError", "FSError"})
+
+#: Methods on the storage data path, where a broad catch is riskiest.
+_DATA_PATH = frozenset({
+    "_get", "_put", "_contains", "_get_many", "_put_many",
+    "read", "write", "read_many", "write_many",
+})
+
+
+def _last_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _tuple_elements(node: ast.expr) -> list[str] | None:
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return [_last_name(elt) for elt in node.elts]
+    return None
+
+
+def _collect_constants(tree: ast.Module) -> dict[str, list[str]]:
+    """``NAME = (ExcA, ExcB)`` assignments, module- and class-level,
+    keyed by the bare constant name (class scoping by name is enough
+    for a lint heuristic)."""
+    out: dict[str, list[str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        elements = _tuple_elements(node.value)
+        if elements is None:
+            continue
+        for target in node.targets:
+            name = ""
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute):
+                name = target.attr
+            if name:
+                out[name] = elements
+    return out
+
+
+def _caught_names(handler: ast.ExceptHandler,
+                  constants: dict[str, list[str]]) -> list[str]:
+    """The exception class names an ``except`` clause can catch.
+
+    A bare ``except:`` reports as ``BaseException``.
+    """
+    if handler.type is None:
+        return ["BaseException"]
+    nodes: list[ast.expr]
+    if isinstance(handler.type, ast.Tuple):
+        nodes = list(handler.type.elts)
+    else:
+        nodes = [handler.type]
+    names: list[str] = []
+    for node in nodes:
+        name = _last_name(node)
+        if name in constants:
+            names.extend(constants[name])
+        elif name:
+            names.append(name)
+    return names
+
+
+def _raises(body: list[ast.stmt]) -> list[ast.Raise]:
+    out = []
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                out.append(node)
+    return out
+
+
+def _reraises(raise_node: ast.Raise, caught_as: str | None) -> bool:
+    if raise_node.exc is None:
+        return True
+    if caught_as and isinstance(raise_node.exc, ast.Name) \
+            and raise_node.exc.id == caught_as:
+        return True
+    return False
+
+
+def _raised_name(raise_node: ast.Raise) -> str:
+    exc = raise_node.exc
+    if exc is None:
+        return ""
+    if isinstance(exc, ast.Call):
+        return _last_name(exc.func)
+    return _last_name(exc)
+
+
+class ErrorTaxonomyChecker(Checker):
+    name = "error-taxonomy"
+    description = (
+        "typed denials (AuthError/QuotaExceeded/RateLimited) must not be "
+        "converted to, or swallowed as, availability errors"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for sf in project.files:
+            if sf.tree is None:
+                continue
+            constants = _collect_constants(sf.tree)
+            yield from self._check_file(sf, constants)
+
+    def _check_file(
+        self, sf: SourceFile, constants: dict[str, list[str]],
+    ) -> Iterator[Finding]:
+        for cls in ast.walk(sf.tree or ast.Module(body=[], type_ignores=[])):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            for item in cls.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from self._check_method(sf, cls, item, constants)
+
+    def _check_method(
+        self,
+        sf: SourceFile,
+        cls: ast.ClassDef,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        constants: dict[str, list[str]],
+    ) -> Iterator[Finding]:
+        where = f"{cls.name}.{fn.name}"
+        on_data_path = fn.name in _DATA_PATH or fn.name.startswith("_proc_")
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = set(_caught_names(node, constants))
+            raises = _raises(node.body)
+            reraised = any(_reraises(r, node.name) for r in raises)
+
+            denials = caught & _DENIALS
+            if denials:
+                label = "/".join(sorted(denials))
+                converted = [
+                    r for r in raises if _raised_name(r) in _UNAVAILABLE
+                ]
+                if converted:
+                    yield self.finding(
+                        sf, None,
+                        message=(
+                            f"{where} re-raises {label} as "
+                            f"{_raised_name(converted[0])}: a denial is "
+                            "an answer, not a dead node — replicas would "
+                            "fail over around it"
+                        ),
+                        hint="let the typed denial propagate; reserve "
+                             "StoreUnavailable for nodes that cannot "
+                             "answer",
+                        line=node.lineno,
+                    )
+                elif not raises:
+                    yield self.finding(
+                        sf, None,
+                        message=(
+                            f"{where} catches {label} and swallows it; "
+                            "callers will see success where policy said "
+                            "no"
+                        ),
+                        hint="re-raise the denial, or suppress with a "
+                             "justification if this is a protocol "
+                             "boundary that preserves the denial "
+                             "in-band",
+                        severity="warning",
+                        line=node.lineno,
+                    )
+                continue
+
+            if on_data_path and (caught & _BROAD) and not reraised:
+                label = "/".join(sorted(caught & _BROAD))
+                yield self.finding(
+                    sf, None,
+                    message=(
+                        f"{where} catches {label} on the data path "
+                        "without re-raising: wide enough to trap typed "
+                        "denials (QuotaExceeded/RateLimited/AuthError) "
+                        "as failures"
+                    ),
+                    hint="narrow the catch to availability errors "
+                         "(StoreUnavailable, OSError), re-raise, or "
+                         "suppress with a justification",
+                    severity="warning",
+                    line=node.lineno,
+                )

@@ -872,7 +872,7 @@ def print_metered_report(results: dict) -> None:
         f"{'w p50/p99 ms':>15}{'r p50/p99 ms':>15}"
     )
     for label, row in results["rows"].items():
-        def lat(op: str) -> str:
+        def lat(op: str, row: dict = row) -> str:
             p50 = row.get(f"{op}_p50_ms")
             p99 = row.get(f"{op}_p99_ms")
             if p50 is None:

@@ -759,6 +759,56 @@ def cmd_revoke(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis import Baseline, all_checkers, run_lint
+
+    if args.list_rules:
+        for name, factory in sorted(all_checkers().items()):
+            print(f"{name:20s} {factory.description}")
+        return 0
+
+    root = Path.cwd()
+    paths = [Path(p) for p in (args.paths or ["src/repro"])]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+
+    baseline = None
+    if args.baseline and Path(args.baseline).is_file():
+        baseline = Baseline.load(Path(args.baseline))
+
+    try:
+        result = run_lint(paths, root, rules=args.rule, baseline=baseline)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).save(Path(args.write_baseline))
+        print(f"wrote {len(result.findings)} finding(s) to "
+              f"{args.write_baseline}; annotate each with a justification")
+        return 0
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return result.exit_code
+
+    for finding in result.findings:
+        print(finding.render())
+    errors = sum(1 for f in result.findings if f.severity == "error")
+    print(
+        f"discfs-lint: {result.files_checked} file(s), "
+        f"{errors} error(s), {len(result.findings) - errors} warning(s), "
+        f"{result.suppressed} suppressed, "
+        f"{result.grandfathered} grandfathered"
+    )
+    return result.exit_code
+
+
 # ---------------------------------------------------------------------------
 # Argument parsing
 # ---------------------------------------------------------------------------
@@ -941,6 +991,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--records", action="store_true",
                    help="also list every record in the log")
     p.set_defaults(func=cmd_journal_inspect)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the project-specific static analyzers (discfs-lint)",
+    )
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="files or directories to lint (default: src/repro)")
+    p.add_argument("--rule", action="append", metavar="RULE",
+                   help="run only this rule (repeatable; see --list-rules)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable findings + summary")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="grandfather findings whose fingerprint is in FILE")
+    p.add_argument("--write-baseline", metavar="FILE",
+                   help="write current findings to FILE as a new baseline")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list available rules and exit")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("ls", help="list a remote directory")
     _add_client_args(p)

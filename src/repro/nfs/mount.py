@@ -62,7 +62,9 @@ class MountProgram(RPCProgram):
             return enc.getvalue()
         try:
             inode = self.vfs.fs.namei(path)
-        except FSError as exc:
+        # NFS wire boundary: the error is preserved in-band as the reply's
+        # NFSStat code, not swallowed.
+        except FSError as exc:  # discfs-lint: disable=error-taxonomy
             enc.pack_enum(stat_for_error(exc))
             return enc.getvalue()
         enc.pack_enum(NFSStat.NFS_OK)

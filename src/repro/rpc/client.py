@@ -213,7 +213,7 @@ class ConnectionPool:
         except Exception:
             self._release(slot, transport)
             raise
-        fut.pool_transport = transport  # lets abandon_call tear it down
+        fut.pool_transport = transport  # type: ignore[attr-defined]  # lets abandon_call tear it down
         fut.add_done_callback(lambda _f: self._release(slot, transport))
         return fut
 
@@ -245,7 +245,7 @@ class ConnectionPool:
         slot, transport = self._acquire()
         try:
             fut = self._dispatch(transport, request)
-            fut.pool_transport = transport  # for abandon_call symmetry
+            fut.pool_transport = transport  # type: ignore[attr-defined]  # for abandon_call symmetry
             try:
                 return fut.result(timeout=self.timeout)
             except FutureTimeoutError:
@@ -347,7 +347,7 @@ class RPCClient:
         inner = submit(raw)
         pool_transport = getattr(inner, "pool_transport", None)
         if pool_transport is not None:
-            outer.pool_transport = pool_transport  # keep abandon_call working
+            outer.pool_transport = pool_transport  # type: ignore[attr-defined]  # keep abandon_call working
 
         def chain(f: Future) -> None:
             exc = f.exception()

@@ -149,8 +149,13 @@ class LazyBlockStore(BlockStore):
         self._forward(lambda c: c.flush())
 
     def close(self) -> None:
-        self._closed = True
-        child, self._child = self._child, None
+        # Under _connect_lock, or close() can race _ensure(): the swap
+        # below could take the slot while _ensure is mid-connect, and the
+        # freshly opened child would be resurrected after close (leaked
+        # connection on a store the caller believes shut down).
+        with self._connect_lock:
+            self._closed = True
+            child, self._child = self._child, None
         if child is not None:
             child.close()
 

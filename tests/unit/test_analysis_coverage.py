@@ -1,0 +1,156 @@
+"""Unit tests for the registry/spec coverage checker, on a miniature
+project tree with deliberately missing artifacts."""
+
+import textwrap
+
+from repro.analysis.core import run_lint
+
+SPEC = """\
+    class StoreSpec:
+        pass
+
+    class MemSpec(StoreSpec):
+        scheme = "mem"
+
+    class _WrapperSpec(StoreSpec):
+        pass
+
+    class CachedSpec(_WrapperSpec):
+        scheme = "cached"
+
+    def _register(cls):
+        pass
+
+    for _cls in (MemSpec, CachedSpec):
+        _register(_cls)
+    """
+
+REGISTRY = """\
+    _BUILDERS = {}
+    _BUILDERS.update({
+        MemSpec: _build_mem,
+        CachedSpec: _build_cached,
+    })
+    """
+
+CONFORMANCE = """\
+    URI_TEMPLATES = {
+        "mem": "mem://",
+        "cached": "cached://mem://",
+    }
+    """
+
+README = """\
+    # Fixture
+
+    ## Storage backends
+
+    | URI | Backend |
+    | --- | --- |
+    | `mem://` | memory |
+    | `cached://<child>` | cache overlay |
+    """
+
+
+def _write_tree(tmp_path, spec=SPEC, registry=REGISTRY,
+                conformance=CONFORMANCE, readme=README):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "spec.py").write_text(textwrap.dedent(spec))
+    (src / "registry.py").write_text(textwrap.dedent(registry))
+    tests = tmp_path / "tests" / "unit"
+    tests.mkdir(parents=True)
+    (tests / "test_storage_conformance.py").write_text(
+        textwrap.dedent(conformance))
+    (tmp_path / "README.md").write_text(textwrap.dedent(readme))
+    return run_lint([src], tmp_path, rules=["registry-coverage"])
+
+
+class TestRegistryCoverage:
+    def test_complete_tree_is_clean(self, tmp_path):
+        assert _write_tree(tmp_path).findings == []
+
+    def test_wrapper_subclass_is_recognized(self, tmp_path):
+        # CachedSpec reaches StoreSpec through _WrapperSpec; removing
+        # its builder must be reported even though the subclassing is
+        # indirect.
+        result = _write_tree(
+            tmp_path,
+            registry="""\
+                _BUILDERS = {}
+                _BUILDERS.update({
+                    MemSpec: _build_mem,
+                })
+                """,
+        )
+        [finding] = result.findings
+        assert "CachedSpec" in finding.message
+        assert "_BUILDERS" in finding.message
+        assert finding.severity == "error"
+
+    def test_missing_registration_loop_entry(self, tmp_path):
+        result = _write_tree(
+            tmp_path,
+            spec=SPEC.replace("for _cls in (MemSpec, CachedSpec):",
+                              "for _cls in (MemSpec,):"),
+        )
+        [finding] = result.findings
+        assert "CachedSpec" in finding.message
+        assert "registration loop" in finding.message
+
+    def test_missing_conformance_template(self, tmp_path):
+        result = _write_tree(
+            tmp_path,
+            conformance="""\
+                URI_TEMPLATES = {
+                    "mem": "mem://",
+                }
+                """,
+        )
+        [finding] = result.findings
+        assert "cached://" in finding.message
+        assert "conformance" in finding.message
+
+    def test_missing_readme_row_is_a_warning(self, tmp_path):
+        result = _write_tree(
+            tmp_path,
+            readme="""\
+                # Fixture
+
+                ## Storage backends
+
+                | URI | Backend |
+                | --- | --- |
+                | `mem://` | memory |
+                """,
+        )
+        [finding] = result.findings
+        assert finding.severity == "warning"
+        assert "cached://" in finding.message
+        assert "README" in finding.message
+
+    def test_orphan_builder_is_a_warning(self, tmp_path):
+        result = _write_tree(
+            tmp_path,
+            registry="""\
+                _BUILDERS = {}
+                _BUILDERS.update({
+                    MemSpec: _build_mem,
+                    CachedSpec: _build_cached,
+                    GhostSpec: _build_ghost,
+                })
+                """,
+        )
+        [finding] = result.findings
+        assert finding.severity == "warning"
+        assert "GhostSpec" in finding.message
+
+    def test_absent_artifacts_skip_their_checks(self, tmp_path):
+        # A fixture with no conformance file and no README checks only
+        # what exists (no crashes, no phantom findings).
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "spec.py").write_text(textwrap.dedent(SPEC))
+        (src / "registry.py").write_text(textwrap.dedent(REGISTRY))
+        result = run_lint([src], tmp_path, rules=["registry-coverage"])
+        assert result.findings == []

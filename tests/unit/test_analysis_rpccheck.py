@@ -1,0 +1,203 @@
+"""Unit tests for the RPC protocol-drift checker, on fixture
+client/server pairs with seeded drift."""
+
+import textwrap
+
+from repro.analysis.core import run_lint
+
+# A mirrored client/server pair; the drift tests below perturb one side.
+CLEAN = """\
+    PROC_PING = 1
+    PROC_STORE = 2
+
+    class Server:
+        def __init__(self):
+            self.register(PROC_PING, self._proc_ping)
+            self.register(PROC_STORE, self._proc_store)
+
+        def _proc_ping(self, dec):
+            return XDREncoder().pack_uint(1).getvalue()
+
+        def _proc_store(self, dec):
+            block_no = dec.unpack_uint()
+            data = dec.unpack_opaque()
+            self.blocks[block_no] = data
+            return XDREncoder().pack_bool(True).getvalue()
+
+    class Client:
+        def ping(self):
+            dec = self._call(PROC_PING, b"")
+            return dec.unpack_uint()
+
+        def store(self, block_no, data):
+            enc = XDREncoder().pack_uint(block_no).pack_opaque(data)
+            dec = self._call(PROC_STORE, enc.getvalue())
+            return dec.unpack_bool()
+    """
+
+
+def _lint(tmp_path, source):
+    (tmp_path / "fixture.py").write_text(textwrap.dedent(source))
+    return run_lint([tmp_path], tmp_path, rules=["rpc-drift"])
+
+
+class TestRPCDrift:
+    def test_mirrored_pair_is_clean(self, tmp_path):
+        assert _lint(tmp_path, CLEAN).findings == []
+
+    def test_request_type_drift_is_flagged(self, tmp_path):
+        # Client packs (uint, opaque); server now expects (uint, string).
+        drifted = CLEAN.replace("data = dec.unpack_opaque()",
+                                "data = dec.unpack_string()")
+        result = _lint(tmp_path, drifted)
+        [finding] = result.findings
+        assert "PROC_STORE request drift" in finding.message
+        assert "[uint, opaque]" in finding.message
+        assert "[uint, string]" in finding.message
+
+    def test_reply_drift_is_flagged(self, tmp_path):
+        drifted = CLEAN.replace("return dec.unpack_bool()",
+                                "return dec.unpack_uint()")
+        result = _lint(tmp_path, drifted)
+        [finding] = result.findings
+        assert "PROC_STORE reply drift" in finding.message
+
+    def test_missing_request_field_is_flagged(self, tmp_path):
+        drifted = CLEAN.replace(
+            "enc = XDREncoder().pack_uint(block_no).pack_opaque(data)",
+            "enc = XDREncoder().pack_uint(block_no)")
+        result = _lint(tmp_path, drifted)
+        [finding] = result.findings
+        assert "PROC_STORE request drift" in finding.message
+
+    def test_array_element_drift_is_flagged(self, tmp_path):
+        result = _lint(tmp_path, """\
+            PROC_BATCH = 3
+
+            class Server:
+                def __init__(self):
+                    self.register(PROC_BATCH, self._proc_batch)
+
+                def _proc_batch(self, dec):
+                    nos = dec.unpack_array(lambda d: d.unpack_uint())
+                    return b""
+
+            class Client:
+                def batch(self, nos):
+                    enc = XDREncoder()
+                    enc.pack_array(nos, lambda e, n: e.pack_string(n))
+                    self._call(PROC_BATCH, enc.getvalue())
+            """)
+        [finding] = result.findings
+        assert "PROC_BATCH request drift" in finding.message
+        assert "array<[string]>" in finding.message
+        assert "array<[uint]>" in finding.message
+
+    def test_client_without_server_is_flagged(self, tmp_path):
+        # Same indentation depth as CLEAN so the shared dedent applies.
+        result = _lint(tmp_path, CLEAN + """\
+
+    PROC_GHOST = 9
+
+    class GhostClient:
+        def ghost(self):
+            self._call(PROC_GHOST, b"")
+    """)
+        assert any("PROC_GHOST" in f.message and "no server handler"
+                   in f.message for f in result.findings)
+
+    def test_server_without_client_is_a_warning(self, tmp_path):
+        drifted = CLEAN.replace(
+            "def ping(self):\n", "def ping_disabled(self):\n").replace(
+            'dec = self._call(PROC_PING, b"")\n            '
+            'return dec.unpack_uint()',
+            "return None")
+        result = _lint(tmp_path, drifted)
+        hits = [f for f in result.findings if "PROC_PING" in f.message]
+        assert hits and all(f.severity == "warning" for f in hits)
+        assert "no client encode site" in hits[0].message
+
+    def test_disagreeing_reply_branches_are_flagged(self, tmp_path):
+        result = _lint(tmp_path, """\
+            PROC_X = 4
+
+            class Server:
+                def __init__(self):
+                    self.register(PROC_X, self._proc_x)
+
+                def _proc_x(self, dec):
+                    flag = dec.unpack_bool()
+                    if flag:
+                        return XDREncoder().pack_uint(1).getvalue()
+                    return XDREncoder().pack_string("no").getvalue()
+
+            class Client:
+                def x(self, flag):
+                    enc = XDREncoder().pack_bool(flag)
+                    dec = self._call(PROC_X, enc.getvalue())
+                    return dec.unpack_uint()
+            """)
+        assert any("disagreeing reply branches" in f.message
+                   for f in result.findings)
+
+    def test_ungated_registration_among_gated_is_flagged(self, tmp_path):
+        result = _lint(tmp_path, """\
+            PROC_A = 1
+            PROC_B = 2
+
+            class Server:
+                def __init__(self):
+                    self.register(PROC_A, self._gated(PROC_A, self._proc_a))
+                    self.register(PROC_B, self._proc_b)
+
+                def _gated(self, proc, handler):
+                    def wrapped(dec, ctx):
+                        token = dec.unpack_opaque()
+                        self.check(token)
+                        return (XDREncoder().pack_uint(0).getvalue()
+                                + handler(dec, ctx))
+                    return wrapped
+
+                def _proc_a(self, dec, ctx):
+                    return b""
+
+                def _proc_b(self, dec, ctx):
+                    return b""
+            """)
+        assert any("PROC_B" in f.message and "envelope" in f.message
+                   for f in result.findings)
+
+    def test_deferred_decode_site_is_not_reply_drift(self, tmp_path):
+        # The pipelined pattern: _submit returns a future, a nested
+        # closure decodes later.  The site's reply is unobservable and
+        # must not be reported as drift.
+        result = _lint(tmp_path, """\
+            PROC_READ = 5
+
+            class Server:
+                def __init__(self):
+                    self.register(PROC_READ, self._proc_read)
+
+                def _proc_read(self, dec):
+                    no = dec.unpack_uint()
+                    return XDREncoder().pack_opaque(self.blocks[no]).getvalue()
+
+            class Client:
+                def read(self, no):
+                    enc = XDREncoder().pack_uint(no)
+                    dec = self._call(PROC_READ, enc.getvalue())
+                    return dec.unpack_opaque()
+
+                def read_pipelined(self, nos):
+                    out = []
+
+                    def drain(fut):
+                        dec = fut.result()
+                        out.append(dec.unpack_opaque())
+
+                    for no in nos:
+                        enc = XDREncoder().pack_uint(no)
+                        drain(self._submit(PROC_READ, enc.getvalue()))
+                    return out
+            """)
+        assert result.findings == []

@@ -1,0 +1,66 @@
+"""Self-check: ``discfs lint src/repro`` must be clean against the
+shipped baseline — the gate CI enforces, run as a test so a drifting
+checker or a new violation fails close to the change that caused it."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.core import Baseline, run_lint
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "lint-baseline.json"
+
+
+class TestSelfCheck:
+    def test_src_repro_is_clean_against_shipped_baseline(self):
+        baseline = Baseline.load(BASELINE)
+        result = run_lint([REPO_ROOT / "src" / "repro"], REPO_ROOT,
+                          baseline=baseline)
+        rendered = "\n".join(f.render() for f in result.findings)
+        assert result.findings == [], f"discfs-lint found:\n{rendered}"
+        assert result.exit_code == 0
+
+    def test_shipped_baseline_is_empty_or_fully_justified(self):
+        raw = json.loads(BASELINE.read_text())
+        assert raw["version"] == 1
+        for entry in raw["findings"]:
+            assert entry.get("justification"), (
+                f"baseline entry {entry.get('fingerprint')} has no "
+                "justification — fix the finding or document why not"
+            )
+
+    def test_cli_lint_exits_zero(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        code = main(["lint", "src/repro", "--baseline",
+                     str(BASELINE)])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "discfs-lint:" in out
+
+    def test_cli_json_shape(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        code = main(["lint", "src/repro", "--json",
+                     "--baseline", str(BASELINE)])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["summary"]["errors"] == 0
+        assert payload["files_checked"] > 50
+
+    def test_cli_unknown_rule_is_usage_error(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        code = main(["lint", "src/repro", "--rule", "no-such-rule"])
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_cli_write_baseline_round_trip(self, monkeypatch, tmp_path,
+                                           capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        out_file = tmp_path / "new-baseline.json"
+        code = main(["lint", "src/repro", "--write-baseline",
+                     str(out_file)])
+        assert code == 0
+        raw = json.loads(out_file.read_text())
+        assert raw["version"] == 1
+        assert raw["findings"] == []  # src/repro is clean
+        del capsys

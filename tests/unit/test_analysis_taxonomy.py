@@ -1,0 +1,153 @@
+"""Unit tests for the error-taxonomy checker: typed denials must not be
+laundered into availability errors or silently swallowed."""
+
+import textwrap
+
+from repro.analysis.core import run_lint
+
+
+def _lint(tmp_path, source):
+    (tmp_path / "fixture.py").write_text(textwrap.dedent(source))
+    return run_lint([tmp_path], tmp_path, rules=["error-taxonomy"])
+
+
+class TestDenialHandling:
+    def test_denial_converted_to_unavailable_is_an_error(self, tmp_path):
+        result = _lint(tmp_path, """\
+            class Store:
+                def _put(self, block_no, data):
+                    try:
+                        self.child.write(block_no, data)
+                    except QuotaExceeded as exc:
+                        raise StoreUnavailable(str(exc))
+            """)
+        [finding] = result.findings
+        assert finding.severity == "error"
+        assert "QuotaExceeded" in finding.message
+        assert "StoreUnavailable" in finding.message
+
+    def test_denial_swallowed_is_a_warning(self, tmp_path):
+        result = _lint(tmp_path, """\
+            class Store:
+                def _put(self, block_no, data):
+                    try:
+                        self.child.write(block_no, data)
+                    except (AuthError, RateLimited):
+                        pass
+            """)
+        [finding] = result.findings
+        assert finding.severity == "warning"
+        assert "swallows" in finding.message
+
+    def test_denial_reraised_is_clean(self, tmp_path):
+        result = _lint(tmp_path, """\
+            class Store:
+                def _put(self, block_no, data):
+                    try:
+                        self.child.write(block_no, data)
+                    except QuotaExceeded:
+                        self.stats.denials += 1
+                        raise
+            """)
+        assert result.findings == []
+
+    def test_tuple_constant_is_expanded(self, tmp_path):
+        result = _lint(tmp_path, """\
+            _DENIALS = (AuthError, QuotaExceeded)
+
+            class Store:
+                def _get(self, block_no):
+                    try:
+                        return self.child.read(block_no)
+                    except _DENIALS:
+                        return None
+            """)
+        [finding] = result.findings
+        assert "AuthError" in finding.message
+        assert "QuotaExceeded" in finding.message
+
+
+class TestBroadCatches:
+    def test_broad_data_path_catch_is_a_warning(self, tmp_path):
+        result = _lint(tmp_path, """\
+            class Store:
+                def _get(self, block_no):
+                    try:
+                        return self.child.read(block_no)
+                    except Exception:
+                        return None
+            """)
+        [finding] = result.findings
+        assert finding.severity == "warning"
+        assert "data path" in finding.message
+
+    def test_broad_catch_with_reraise_is_clean(self, tmp_path):
+        result = _lint(tmp_path, """\
+            class Store:
+                def _get(self, block_no):
+                    try:
+                        return self.child.read(block_no)
+                    except Exception:
+                        self.stats.errors += 1
+                        raise
+            """)
+        assert result.findings == []
+
+    def test_broad_catch_off_data_path_is_clean(self, tmp_path):
+        result = _lint(tmp_path, """\
+            class Store:
+                def describe(self):
+                    try:
+                        return self.child.describe()
+                    except Exception:
+                        return "unknown"
+            """)
+        assert result.findings == []
+
+    def test_proc_handler_counts_as_data_path(self, tmp_path):
+        result = _lint(tmp_path, """\
+            class Program:
+                def _proc_read(self, dec, ctx):
+                    try:
+                        return self.store.read(dec.unpack_uint())
+                    except Exception:
+                        return b""
+            """)
+        [finding] = result.findings
+        assert "Program._proc_read" in finding.message
+
+    def test_bare_except_counts_as_broad(self, tmp_path):
+        result = _lint(tmp_path, """\
+            class Store:
+                def _contains(self, block_no):
+                    try:
+                        return self.child.contains(block_no)
+                    except:
+                        return False
+            """)
+        [finding] = result.findings
+        assert "BaseException" in finding.message
+
+    def test_narrow_availability_catch_is_clean(self, tmp_path):
+        result = _lint(tmp_path, """\
+            class Store:
+                def _get(self, block_no):
+                    try:
+                        return self.child.read(block_no)
+                    except (StoreUnavailable, OSError):
+                        return None
+            """)
+        assert result.findings == []
+
+    def test_suppression_with_justification(self, tmp_path):
+        result = _lint(tmp_path, """\
+            class Store:
+                def _get(self, block_no):
+                    try:
+                        return self.child.read(block_no)
+                    # justified: per-replica probe, OR across the others
+                    except Exception:  # discfs-lint: disable=error-taxonomy
+                        return None
+            """)
+        assert result.findings == []
+        assert result.suppressed == 1

@@ -416,6 +416,59 @@ class TestLazyConnect:
             s.read(0)
         s.close()
 
+    def test_close_waits_for_inflight_connect(self, monkeypatch):
+        """Regression: close() racing a concurrent _ensure() must not
+        resurrect the freshly opened child.  close() used to swap the
+        child slot without _connect_lock, so a connect already past the
+        closed-check would install its child *after* the swap — a live
+        connection leaked on a store the caller believes shut down."""
+        import threading
+
+        from repro.storage import registry
+
+        class TrackedStore(MemoryBlockStore):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.close_calls = 0
+
+            def close(self):
+                self.close_calls += 1
+                super().close()
+
+        child = TrackedStore(BLOCKS, BS)
+        connect_started = threading.Event()
+        release_connect = threading.Event()
+
+        def slow_open(uri, **kwargs):
+            connect_started.set()
+            assert release_connect.wait(timeout=10)
+            return child
+
+        monkeypatch.setattr(registry, "open_store", slow_open)
+        s = LazyBlockStore("mem://", num_blocks=BLOCKS, block_size=BS)
+
+        def reader():
+            try:
+                s.read(0)
+            except Exception:
+                pass  # a read losing the race to close() may fail; fine
+
+        t = threading.Thread(target=reader)
+        t.start()
+        assert connect_started.wait(timeout=10)
+        # The connect is in flight, holding _connect_lock.  close() must
+        # queue behind it rather than swap the (still-empty) slot now.
+        closer = threading.Thread(target=s.close)
+        closer.start()
+        release_connect.set()
+        t.join(timeout=10)
+        closer.join(timeout=10)
+        assert not t.is_alive() and not closer.is_alive()
+        assert s._child is None, "child resurrected after close()"
+        assert child.close_calls >= 1, "freshly opened child leaked"
+        with pytest.raises(InvalidArgument):
+            s.read(0)  # closed stays closed
+
     def test_replica_mounts_with_one_node_down_and_heals(self):
         """Acceptance: replica://remote://h1;h2;h3#w=2&r=2 mounts with a
         node down, serves through the outage, and heals the node when it
