@@ -298,8 +298,12 @@ class LintResult:
 def all_checkers() -> dict[str, Callable[[], Checker]]:
     """Rule name -> factory, for ``--rule`` selection and ``--list-rules``."""
     from repro.analysis.coveragecheck import RegistryCoverageChecker
+    from repro.analysis.fsynccheck import FsyncOrderingChecker
+    from repro.analysis.leakcheck import ResourceLeakChecker
     from repro.analysis.lockcheck import LockDisciplineChecker, LockOrderChecker
+    from repro.analysis.quorumcheck import QuorumArithmeticChecker
     from repro.analysis.rpccheck import RPCDriftChecker
+    from repro.analysis.spancheck import SpanPropagationChecker
     from repro.analysis.taxonomycheck import ErrorTaxonomyChecker
 
     checkers: dict[str, Callable[[], Checker]] = {}
@@ -309,6 +313,10 @@ def all_checkers() -> dict[str, Callable[[], Checker]]:
         RPCDriftChecker,
         ErrorTaxonomyChecker,
         RegistryCoverageChecker,
+        FsyncOrderingChecker,
+        SpanPropagationChecker,
+        QuorumArithmeticChecker,
+        ResourceLeakChecker,
     ):
         checkers[cls.name] = cls
     return checkers

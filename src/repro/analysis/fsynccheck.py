@@ -1,0 +1,224 @@
+"""fsync-ordering: the intent log must dominate journal child writes.
+
+``journal://``'s crash-consistency argument is one sentence long: *the
+child never sees a write that is not already durable in the intent
+log*.  Concretely, in any journal-shaped class — one that both fsyncs a
+log and forwards writes to ``self.child`` — every path through the
+write entry points (``_put`` / ``_put_many``) that reaches a
+``self.child.write*`` call must first pass a statement that appends to
+the log **and** fsyncs it.  An early return, a branch, or a swallowed
+exception that lets the child write happen un-logged silently converts
+the journal into a pass-through wrapper; replay then cannot restore the
+block after a crash, which is exactly the failure the paper's recovery
+experiments measure.
+
+The rule is phrased in :mod:`repro.analysis.flow` must-facts: a
+statement establishes the ``logged`` fact when it calls ``os.fsync``
+directly or calls a ``self.`` method that fsyncs on *all* of its normal
+exit paths (computed as a fixpoint over the class, so
+``self._append_transaction(...)`` counts because its body ends in
+``self._fsync()``).  A child write is clean when ``logged`` is in its
+must-set — i.e. every path from function entry, exceptional edges
+included, established the fact first.  ``_replay``'s child writes are
+deliberately out of scope: replay runs *from* the log, so analysis
+starts at the write entry points and follows self-calls only.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.core import Checker, Finding, Project, SourceFile
+from repro.analysis.flow import CFG, build_cfg, header_exprs, must_facts
+
+#: Methods that hand a write to the wrapped child store.
+_CHILD_WRITES = frozenset({"write", "write_many", "_put", "_put_many"})
+#: Attribute names a wrapper keeps its child under.
+_CHILD_ATTRS = frozenset({"child", "_child"})
+#: Entry points of the write path; analysis follows self-calls from here.
+_ENTRY_POINTS = ("_put", "_put_many")
+
+_FuncDef = ast.FunctionDef | ast.AsyncFunctionDef
+
+_LOGGED = "logged"
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, _FuncDef]:
+    return {
+        stmt.name: stmt for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _calls_at(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Call expressions evaluated at this statement's own CFG node."""
+    for expr in header_exprs(stmt):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                yield node
+
+
+def _is_os_fsync(call: ast.Call) -> bool:
+    func = call.func
+    return (
+        isinstance(func, ast.Attribute) and func.attr == "fsync"
+        and isinstance(func.value, ast.Name) and func.value.id == "os"
+    )
+
+
+def _self_method_called(call: ast.Call) -> str | None:
+    """``self.<name>(...)`` -> name."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name) and func.value.id == "self"
+    ):
+        return func.attr
+    return None
+
+
+def _child_write(call: ast.Call) -> str | None:
+    """``self.child.write*(...)`` -> dotted description, else None."""
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr in _CHILD_WRITES):
+        return None
+    owner = func.value
+    if (
+        isinstance(owner, ast.Attribute) and owner.attr in _CHILD_ATTRS
+        and isinstance(owner.value, ast.Name) and owner.value.id == "self"
+    ):
+        return f"self.{owner.attr}.{func.attr}"
+    return None
+
+
+def _fsyncing_methods(methods: dict[str, _FuncDef]) -> frozenset[str]:
+    """Methods guaranteed to fsync on every normal completion —
+    transitively, so a thin wrapper around ``self._fsync()`` counts."""
+    known: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, fn in methods.items():
+            if name in known:
+                continue
+            cfg = build_cfg(fn)
+
+            def gen(stmt: ast.stmt) -> Iterable[str]:
+                for call in _calls_at(stmt):
+                    if _is_os_fsync(call):
+                        return (_LOGGED,)
+                    callee = _self_method_called(call)
+                    if callee is not None and callee in known:
+                        return (_LOGGED,)
+                return ()
+
+            facts = must_facts(cfg, gen)
+            if _LOGGED in facts[CFG.EXIT]:
+                known.add(name)
+                changed = True
+    return frozenset(known)
+
+
+class FsyncOrderingChecker(Checker):
+    """Journal write paths: log append+fsync must dominate child writes."""
+
+    name = "fsync-ordering"
+    description = (
+        "on journal write paths the intent-log append+fsync must "
+        "dominate every self.child.write*; a branch or exception edge "
+        "that skips it breaks crash recovery"
+    )
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        for sf in project.files:
+            if sf.tree is None:
+                continue
+            for cls in ast.walk(sf.tree):
+                if isinstance(cls, ast.ClassDef):
+                    yield from self._check_class(sf, cls)
+
+    def _check_class(self, sf: SourceFile,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        methods = _methods(cls)
+        fsyncing = _fsyncing_methods(methods)
+        if not fsyncing:
+            return  # not journal-shaped: it never makes anything durable
+        roots = [name for name in _ENTRY_POINTS if name in methods]
+        if not roots:
+            return
+
+        # Self-call closure from the write entry points: _replay and
+        # other log-consuming paths are reachable only from __init__,
+        # so they stay out of scope by construction.
+        closure: list[str] = []
+        queue = list(roots)
+        while queue:
+            name = queue.pop()
+            if name in closure or name not in methods:
+                continue
+            closure.append(name)
+            for stmt in ast.walk(methods[name]):
+                if isinstance(stmt, ast.Call):
+                    callee = _self_method_called(stmt)
+                    if callee is not None and callee in methods:
+                        queue.append(callee)
+
+        analyses: dict[str, tuple[CFG, dict[int, frozenset[str]]]] = {}
+        for name in closure:
+            cfg = build_cfg(methods[name])
+
+            def gen(stmt: ast.stmt) -> Iterable[str]:
+                for call in _calls_at(stmt):
+                    if _is_os_fsync(call):
+                        return (_LOGGED,)
+                    callee = _self_method_called(call)
+                    if callee is not None and callee in fsyncing:
+                        return (_LOGGED,)
+                return ()
+
+            analyses[name] = (cfg, must_facts(cfg, gen))
+
+        # A non-root method inherits the fact when *every* closure call
+        # site already holds it (greatest fixpoint: assume inherited,
+        # strike out methods with an unlogged call site until stable).
+        entry_logged = {name: name not in roots for name in closure}
+        changed = True
+        while changed:
+            changed = False
+            for caller in closure:
+                cfg, facts = analyses[caller]
+                for index, stmt in cfg.statements():
+                    for call in _calls_at(stmt):
+                        callee = _self_method_called(call)
+                        if callee is None or callee not in entry_logged:
+                            continue
+                        site_ok = (
+                            _LOGGED in facts[index]
+                            or entry_logged[caller]
+                        )
+                        if not site_ok and entry_logged[callee]:
+                            entry_logged[callee] = False
+                            changed = True
+
+        for name in closure:
+            cfg, facts = analyses[name]
+            for index, stmt in cfg.statements():
+                for call in _calls_at(stmt):
+                    target = _child_write(call)
+                    if target is None:
+                        continue
+                    if _LOGGED in facts[index] or entry_logged[name]:
+                        continue
+                    yield self.finding(
+                        sf, stmt,
+                        f"{cls.name}.{name}: {target} is reachable "
+                        "without the intent-log append+fsync",
+                        hint=(
+                            "append and fsync the intent log on every "
+                            "path (branches, early returns and "
+                            "exception edges included) before the "
+                            "child write, as _put_many does via "
+                            "_append_transaction"
+                        ),
+                    )

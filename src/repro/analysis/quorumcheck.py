@@ -1,0 +1,256 @@
+"""quorum-arithmetic: W/R/N must be *related* before a replica set is
+kept.
+
+``replica://``'s read-your-writes story is pure arithmetic: a read
+quorum intersects every write quorum iff ``W + R > N``, and both
+quorums must be at least 1 to mean anything.  The failure mode this
+rule exists for is silent: a constructor that bounds-checks ``W`` and
+``R`` individually but never relates them to ``N`` accepts a
+non-overlapping configuration without anyone having *decided* that —
+and non-overlap is a legitimate mode here (``w=1&r=1`` fan-out configs
+trade consistency for latency on purpose), so the requirement is not a
+rejection but a **proof of consideration**: on every path that stores
+the quorums, the code must have (a) established ``W >= 1`` and
+``R >= 1`` and (b) evaluated ``W + R`` against ``N`` — as an
+``assert``, a validating ``if``/``raise`` (or ``_require(...)``-style
+call), or a recorded classification like
+``self.consistent_quorums = write_quorum + read_quorum > n``.
+
+Phrased as :mod:`repro.analysis.flow` must-facts so ordering counts: a
+relation established after the quorums are stored, or only on one
+branch, does not dominate the store and is flagged.  Scope is
+constructor-shaped functions that bind both quorum names — forwarding
+keyword arguments (``write_quorum=spec.w``) does not opt a function in,
+so builders that delegate validation stay clean.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.core import Checker, Finding, Project, SourceFile
+from repro.analysis.flow import build_cfg, header_exprs, must_facts
+
+_FuncDef = ast.FunctionDef | ast.AsyncFunctionDef
+
+#: Accepted spellings of the quorum/set-size bindings.  Bare ``w``/``r``
+#: locals are deliberately excluded (too generic); ``self.w``/``self.r``
+#: attributes count because the spec layer names its URI options that
+#: way.
+_W_NAMES = frozenset({"write_quorum", "quorum_w", "w_quorum"})
+_R_NAMES = frozenset({"read_quorum", "quorum_r", "r_quorum"})
+_W_ATTRS = _W_NAMES | frozenset({"w"})
+_R_ATTRS = _R_NAMES | frozenset({"r"})
+_N_NAMES = frozenset({"n", "replicas", "num_replicas", "n_replicas"})
+
+_FACT_W = "bound:w"
+_FACT_R = "bound:r"
+_FACT_OVERLAP = "overlap"
+
+_MISSING_TEXT = {
+    _FACT_W: "W >= 1",
+    _FACT_R: "R >= 1",
+    _FACT_OVERLAP: "W + R vs N",
+}
+
+
+def _exprs_at(stmt: ast.stmt) -> Iterator[ast.AST]:
+    for expr in header_exprs(stmt):
+        yield from ast.walk(expr)
+
+
+class _Role:
+    """Classify an expression as a W / R / N token, if any."""
+
+    @staticmethod
+    def of(expr: ast.AST) -> str | None:
+        if isinstance(expr, ast.Name):
+            if expr.id in _W_NAMES:
+                return "w"
+            if expr.id in _R_NAMES:
+                return "r"
+            if expr.id in _N_NAMES:
+                return "n"
+            return None
+        if isinstance(expr, ast.Attribute) \
+                and isinstance(expr.value, ast.Name) \
+                and expr.value.id == "self":
+            if expr.attr in _W_ATTRS:
+                return "w"
+            if expr.attr in _R_ATTRS:
+                return "r"
+            if expr.attr in _N_NAMES:
+                return "n"
+            return None
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and func.id == "len":
+                return "n"
+        return None
+
+
+def _roles_in(expr: ast.AST) -> set[str]:
+    return {
+        role for node in ast.walk(expr)
+        if (role := _Role.of(node)) is not None
+    }
+
+
+def _compare_facts(comp: ast.Compare) -> set[str]:
+    """Facts a comparison establishes when it gates/classifies a path."""
+    facts: set[str] = set()
+    operands: list[ast.expr] = [comp.left, *comp.comparators]
+    # W + R related to N: one operand sums a w-token and an r-token,
+    # another is an n-token.
+    sums = [
+        op for op in operands
+        if isinstance(op, ast.BinOp) and isinstance(op.op, ast.Add)
+        and {"w", "r"} <= _roles_in(op)
+    ]
+    if sums and any(_Role.of(op) == "n" or "n" in _roles_in(op)
+                    for op in operands if op not in sums):
+        facts.add(_FACT_OVERLAP)
+    # Lower bounds: the token compared against the constant 1 (the
+    # ``1 <= w <= n`` chained idiom covers both bound and ceiling).
+    has_one = any(
+        isinstance(op, ast.Constant) and op.value == 1 for op in operands
+    )
+    if has_one:
+        direct = {
+            role for op in operands if (role := _Role.of(op)) is not None
+        }
+        if "w" in direct:
+            facts.add(_FACT_W)
+        if "r" in direct:
+            facts.add(_FACT_R)
+    return facts
+
+
+def _is_validating_if(stmt: ast.If) -> bool:
+    """``if <cond>: raise ...`` (or the mirrored else-raise): only one
+    branch survives, so the surviving path is gated by the test."""
+    def all_abrupt(body: list[ast.stmt]) -> bool:
+        return bool(body) and all(
+            isinstance(s, (ast.Raise, ast.Return)) for s in body
+        )
+    return all_abrupt(stmt.body) or all_abrupt(stmt.orelse)
+
+
+def _gen_facts(stmt: ast.stmt) -> Iterable[str]:
+    comparisons: list[ast.Compare] = []
+    if isinstance(stmt, ast.Assert):
+        comparisons = [
+            node for node in ast.walk(stmt.test)
+            if isinstance(node, ast.Compare)
+        ]
+    elif isinstance(stmt, ast.If):
+        if _is_validating_if(stmt):
+            comparisons = [
+                node for node in ast.walk(stmt.test)
+                if isinstance(node, ast.Compare)
+            ]
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        # ``_require(1 <= self.w <= n, ...)``-style validation helpers.
+        comparisons = [
+            node for arg in stmt.value.args for node in ast.walk(arg)
+            if isinstance(node, ast.Compare)
+        ]
+    elif isinstance(stmt, ast.Assign):
+        # Recorded classification: self.consistent_quorums = w + r > n.
+        comparisons = [
+            node for node in ast.walk(stmt.value)
+            if isinstance(node, ast.Compare)
+        ]
+    facts: set[str] = set()
+    for comp in comparisons:
+        facts |= _compare_facts(comp)
+    return facts
+
+
+def _use_role(stmt: ast.stmt) -> str | None:
+    """A statement that *keeps* a quorum: ``self.<attr> = <bare token>``.
+
+    The value must be the bare binding (or a trivial conditional of
+    it) — comparisons and arithmetic are classifications, not stores.
+    """
+    if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+        return None
+    target = stmt.targets[0]
+    if not (isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"):
+        return None
+    value = stmt.value
+    role = _Role.of(value)
+    if role in ("w", "r"):
+        return role
+    return None
+
+
+class QuorumArithmeticChecker(Checker):
+    """W/R bounds and the W+R>N relation must dominate quorum stores."""
+
+    name = "quorum-arithmetic"
+    description = (
+        "functions that construct replica sets must relate W, R and N "
+        "(W,R >= 1 and W+R vs N) on every path before storing the "
+        "quorums"
+    )
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        for sf in project.files:
+            if sf.tree is None:
+                continue
+            for fn in ast.walk(sf.tree):
+                if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from self._check_function(sf, fn)
+
+    def _check_function(self, sf: SourceFile,
+                        fn: _FuncDef) -> Iterator[Finding]:
+        bound_roles: set[str] = set()
+        for arg in [*fn.args.args, *fn.args.kwonlyargs]:
+            if arg.arg in _W_NAMES:
+                bound_roles.add("w")
+            elif arg.arg in _R_NAMES:
+                bound_roles.add("r")
+        for stmt in fn.body:
+            for node in _exprs_at(stmt):
+                role = _Role.of(node)
+                if role in ("w", "r"):
+                    bound_roles.add(role)
+        if bound_roles != {"w", "r"}:
+            return
+
+        cfg = build_cfg(fn)
+        uses = [
+            (index, stmt) for index, stmt in cfg.statements()
+            if _use_role(stmt) is not None
+        ]
+        if not uses:
+            return
+        facts = must_facts(cfg, _gen_facts)
+        required = (_FACT_W, _FACT_R, _FACT_OVERLAP)
+        reported: set[str] = set()
+        for index, stmt in uses:
+            missing = [f for f in required if f not in facts[index]]
+            if not missing:
+                continue
+            key = ",".join(missing)
+            if key in reported:
+                continue  # one finding per missing-relation set
+            reported.add(key)
+            gaps = ", ".join(_MISSING_TEXT[f] for f in missing)
+            yield self.finding(
+                sf, stmt,
+                f"{fn.name}: quorums stored without relating them on "
+                f"every path first (missing: {gaps})",
+                hint=(
+                    "validate 1 <= W <= N and 1 <= R <= N, and relate "
+                    "W + R to N before keeping the quorums — as an "
+                    "assert, an if/raise, or a recorded classification "
+                    "(self.consistent_quorums = W + R > N); "
+                    "non-overlapping quorums are allowed but must be "
+                    "a decision, not an accident"
+                ),
+            )

@@ -1,0 +1,112 @@
+"""Nightly lint-trend records: per-rule counts with run-over-run deltas.
+
+The nightly workflow already snapshots ``discfs lint --json`` as an
+artifact, but artifacts expire and a raw finding dump does not answer
+the question a trend exists for: *is anything creeping?*  This module
+turns one ``--json`` report into a compact jsonl record — per-rule
+finding counts plus the suppressed/grandfathered totals — appends it to
+a committed trend file (the same pattern as the ``BENCH_*.json``
+trajectory records), and prints a one-line delta against the previous
+run so the nightly log shows drift without anyone diffing artifacts.
+
+Usage (what the nightly workflow runs)::
+
+    python -m repro.analysis.trend lint-trend.json LINT_TREND.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["delta_line", "main", "record_from_report"]
+
+#: Summary counters carried into every record and diffed run-over-run.
+_SUMMARY_KEYS = ("errors", "warnings", "suppressed", "grandfathered")
+
+
+def record_from_report(report: dict[str, Any]) -> dict[str, Any]:
+    """One trend record from a ``discfs lint --json`` report.
+
+    Every selected rule appears in ``per_rule`` (zero included), so a
+    rule that stops running is distinguishable from one that stops
+    finding things.
+    """
+    counts: dict[str, int] = {
+        str(rule): 0 for rule in report.get("rules", [])
+    }
+    for finding in report.get("findings", []):
+        rule = str(finding["rule"])
+        counts[rule] = counts.get(rule, 0) + 1
+    summary = report.get("summary", {})
+    record: dict[str, Any] = {
+        "version": 1,
+        "files_checked": int(report.get("files_checked", 0)),
+        "per_rule": counts,
+    }
+    for key in _SUMMARY_KEYS:
+        record[key] = int(summary.get(key, 0))
+    return record
+
+
+def delta_line(prev: dict[str, Any] | None, cur: dict[str, Any]) -> str:
+    """Human-readable drift vs the previous record, for the run log."""
+    if prev is None:
+        return "lint-trend: first record, no previous run to diff"
+    parts: list[str] = []
+    for key in _SUMMARY_KEYS:
+        diff = int(cur.get(key, 0)) - int(prev.get(key, 0))
+        if diff:
+            parts.append(f"{key} {diff:+d}")
+    prev_rules: dict[str, Any] = prev.get("per_rule", {})
+    cur_rules: dict[str, Any] = cur.get("per_rule", {})
+    for rule in sorted(set(prev_rules) | set(cur_rules)):
+        diff = int(cur_rules.get(rule, 0)) - int(prev_rules.get(rule, 0))
+        if diff:
+            parts.append(f"{rule} {diff:+d}")
+    if not parts:
+        return "lint-trend: no change vs previous run"
+    return "lint-trend: " + ", ".join(parts)
+
+
+def _last_record(trend_path: Path) -> dict[str, Any] | None:
+    if not trend_path.is_file():
+        return None
+    lines = [
+        line for line in
+        trend_path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    if not lines:
+        return None
+    last = json.loads(lines[-1])
+    assert isinstance(last, dict)
+    return last
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if len(args) != 2:
+        print(
+            "usage: python -m repro.analysis.trend "
+            "<lint-report.json> <trend.jsonl>",
+            file=sys.stderr,
+        )
+        return 2
+    report_path, trend_path = Path(args[0]), Path(args[1])
+    report = json.loads(report_path.read_text(encoding="utf-8"))
+    if not isinstance(report, dict):
+        print(f"error: {report_path} is not a lint --json report",
+              file=sys.stderr)
+        return 2
+    current = record_from_report(report)
+    print(delta_line(_last_record(trend_path), current))
+    with trend_path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(current, sort_keys=True) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -777,6 +777,36 @@ def cmd_lint(args) -> int:
         print(f"error: no such path: {missing[0]}", file=sys.stderr)
         return 2
 
+    if getattr(args, "diff", None):
+        import subprocess
+        try:
+            proc = subprocess.run(
+                ["git", "diff", "--name-only", "--diff-filter=d",
+                 args.diff, "--", "*.py"],
+                cwd=root, capture_output=True, text=True, check=True,
+            )
+        except FileNotFoundError:
+            print("error: --diff requires git on PATH", file=sys.stderr)
+            return 2
+        except subprocess.CalledProcessError as exc:
+            detail = (exc.stderr or "").strip() or f"exit {exc.returncode}"
+            print(f"error: git diff {args.diff} failed: {detail}",
+                  file=sys.stderr)
+            return 2
+        scope = [p.resolve() for p in paths]
+        changed: list[Path] = []
+        for rel in proc.stdout.splitlines():
+            candidate = (root / rel).resolve()
+            if not candidate.is_file():
+                continue
+            if any(candidate == s or s in candidate.parents
+                   for s in scope):
+                changed.append(root / rel)
+        if not changed:
+            print(f"discfs-lint: no changed python files vs {args.diff}")
+            return 0
+        paths = changed
+
     baseline = None
     if args.baseline and Path(args.baseline).is_file():
         baseline = Baseline.load(Path(args.baseline))
@@ -1004,6 +1034,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine-readable findings + summary")
     p.add_argument("--baseline", metavar="FILE",
                    help="grandfather findings whose fingerprint is in FILE")
+    p.add_argument("--diff", metavar="REF",
+                   help="lint only python files changed vs git REF "
+                        "(intersected with PATH; new-vs-baseline "
+                        "findings still gate)")
     p.add_argument("--write-baseline", metavar="FILE",
                    help="write current findings to FILE as a new baseline")
     p.add_argument("--list-rules", action="store_true",

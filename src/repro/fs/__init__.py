@@ -18,7 +18,8 @@ ultimately stored files on the local disk.
 """
 
 from repro.fs.blockdev import BlockDeviceStats, FileBlockDevice, MemoryBlockDevice
-from repro.fs.ffs import FFS, FileType
+from repro.fs.ffs import FFS
+from repro.fs.inode import FileType
 from repro.fs.vfs import VFS
 
 __all__ = [

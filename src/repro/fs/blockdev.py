@@ -88,7 +88,8 @@ class BlockDeviceStats:
 class BlockDevice:
     """Abstract fixed-size-block device."""
 
-    def __init__(self, num_blocks: int, block_size: int = DEFAULT_BLOCK_SIZE):
+    def __init__(self, num_blocks: int,
+                 block_size: int = DEFAULT_BLOCK_SIZE) -> None:
         if num_blocks <= 0:
             raise InvalidArgument("device must have at least one block")
         if block_size <= 0 or block_size % 512:
@@ -174,7 +175,8 @@ def device_from_uri(uri: str, num_blocks: int | None = None,
 class MemoryBlockDevice(BlockDevice):
     """Blocks stored in a dict; unwritten blocks read as zeros."""
 
-    def __init__(self, num_blocks: int = 16384, block_size: int = DEFAULT_BLOCK_SIZE):
+    def __init__(self, num_blocks: int = 16384,
+                 block_size: int = DEFAULT_BLOCK_SIZE) -> None:
         super().__init__(num_blocks, block_size)
         self._blocks: dict[int, bytes] = {}
         self._zero = bytes(block_size)
@@ -198,8 +200,9 @@ class FileBlockDevice(BlockDevice):
     """
 
     def __init__(
-        self, path: str, num_blocks: int = 16384, block_size: int = DEFAULT_BLOCK_SIZE
-    ):
+        self, path: str, num_blocks: int = 16384,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
         super().__init__(num_blocks, block_size)
         self._path = path
         flags = os.O_RDWR | os.O_CREAT
@@ -223,5 +226,5 @@ class FileBlockDevice(BlockDevice):
     def __enter__(self) -> "FileBlockDevice":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

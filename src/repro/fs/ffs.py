@@ -44,7 +44,7 @@ class FFS:
     metadata change, atime on read).
     """
 
-    def __init__(self, device: BlockDevice | str | None = None):
+    def __init__(self, device: BlockDevice | str | None = None) -> None:
         # A string is a storage-backend URI ("mem://", "sqlite:///fs.db",
         # "cached://shard://4", ...) resolved through repro.storage.
         if isinstance(device, str):
@@ -527,12 +527,14 @@ class FFS:
             logical = pos // self.block_size
             within = pos % self.block_size
             chunk = min(remaining, self.block_size - within)
-            block_no = inode.blocks.get(logical)
-            fresh = block_no is None
-            if fresh:
+            existing_no = inode.blocks.get(logical)
+            if existing_no is None:
                 block_no = self._alloc_block()
                 inode.blocks[logical] = block_no
-            needs_read = not fresh and chunk < self.block_size
+                needs_read = False
+            else:
+                block_no = existing_no
+                needs_read = chunk < self.block_size
             plan.append((block_no, within, chunk, data_pos, needs_read))
             pos += chunk
             data_pos += chunk

@@ -82,7 +82,7 @@ class InodeTable:
 
     ROOT_INO = 2
 
-    def __init__(self, max_inodes: int = 1 << 20):
+    def __init__(self, max_inodes: int = 1 << 20) -> None:
         self._max = max_inodes
         self._table: dict[int, Inode] = {}
         self._generations: dict[int, int] = {}

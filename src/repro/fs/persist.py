@@ -47,7 +47,7 @@ def _pack_str(text: str) -> bytes:
 
 
 class _Reader:
-    def __init__(self, data: bytes):
+    def __init__(self, data: bytes) -> None:
         self._data = data
         self._pos = 0
 
@@ -59,7 +59,7 @@ class _Reader:
         return out
 
     def u32(self) -> int:
-        return _U32.unpack(self.take(4))[0]
+        return int(_U32.unpack(self.take(4))[0])
 
     def string(self) -> str:
         return self.take(self.u32()).decode("utf-8")

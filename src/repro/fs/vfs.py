@@ -36,7 +36,7 @@ class VFS:
     instead of silently touching a recycled inode.
     """
 
-    def __init__(self, fs: FFS | str):
+    def __init__(self, fs: FFS | str) -> None:
         # A string is a storage-backend URI: build a fresh FFS on that
         # backend (VFS("sqlite:///fs.db") mirrors FFS("sqlite:///fs.db")).
         self.fs = FFS(fs) if isinstance(fs, str) else fs
@@ -55,9 +55,13 @@ class VFS:
     def getattr(self, fid: FileId) -> Inode:
         return self._inode(fid)
 
-    def setattr(self, fid: FileId, **kwargs) -> Inode:
+    def setattr(self, fid: FileId, mode: int | None = None,
+                uid: int | None = None, gid: int | None = None,
+                size: int | None = None, atime: float | None = None,
+                mtime: float | None = None) -> Inode:
         self._inode(fid)
-        return self.fs.setattr(fid.ino, **kwargs)
+        return self.fs.setattr(fid.ino, mode=mode, uid=uid, gid=gid,
+                               size=size, atime=atime, mtime=mtime)
 
     # -- namespace -------------------------------------------------------
 

@@ -24,6 +24,7 @@ separate from the bytes:
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from collections.abc import Mapping
@@ -427,7 +428,16 @@ def reshard(
                 max_workers=min(8, len(pairs)),
                 thread_name_prefix="reshard",
             ) as pool:
-                moved = list(pool.map(move_pair, pairs))
+                # Copy the caller's contextvars per task so an active
+                # trace span parents the mover writes (one Context
+                # cannot be entered concurrently — copy per submission,
+                # like the shard fan-out pool does).
+                futures = [
+                    pool.submit(contextvars.copy_context().run,
+                                move_pair, pair)
+                    for pair in pairs
+                ]
+                moved = [fut.result() for fut in futures]
         else:
             moved = [move_pair(pair) for pair in pairs]
         report.moved_blocks = sum(moved)

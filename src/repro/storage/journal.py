@@ -371,12 +371,21 @@ class JournalBlockStore(BlockStore):
             self._checkpoint()
 
     def close(self) -> None:
-        with self._lock:
-            if self._fd >= 0:
-                self._checkpoint()
-                os.close(self._fd)
-                self._fd = -1
-        self.child.close()
+        # The final checkpoint can fail (the child's flush is somebody
+        # else's disk or network); the fd and the child must be released
+        # regardless, or a flaky child at shutdown leaks the WAL fd.
+        # The log keeps its records when the checkpoint fails, so the
+        # acknowledged writes stay replayable on reopen.
+        try:
+            with self._lock:
+                if self._fd >= 0:
+                    try:
+                        self._checkpoint()
+                    finally:
+                        os.close(self._fd)
+                        self._fd = -1
+        finally:
+            self.child.close()
 
     def abandon(self) -> None:
         """Drop the store *without* checkpointing — the crash simulation

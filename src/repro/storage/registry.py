@@ -237,7 +237,11 @@ def open_device(
     except specs.SpecError:
         canonical = None  # programmatic-only topology: no URI form
     store = build(spec, num_blocks=num_blocks, block_size=block_size)
-    return StoreBlockDevice(store, uri=canonical)
+    try:
+        return StoreBlockDevice(store, uri=canonical)
+    except Exception:
+        store.close()
+        raise
 
 
 # ---------------------------------------------------------------------------
@@ -295,10 +299,12 @@ def _build_children(
 def _build_shard(
     spec: ShardSpec, num_blocks: int, block_size: int
 ) -> BlockStore:
-    return ShardedBlockStore(
-        _build_children(spec.shards, num_blocks, block_size),
-        fanout=spec.fanout,
-    )
+    children = _build_children(spec.shards, num_blocks, block_size)
+    try:
+        return ShardedBlockStore(children, fanout=spec.fanout)
+    except Exception:
+        close_quietly(children)
+        raise
 
 
 def _build_cached(
@@ -406,7 +412,11 @@ def _build_failing(
     from repro.storage.replica import FailingBlockStore
 
     child = build(spec.child, num_blocks=num_blocks, block_size=block_size)
-    return FailingBlockStore(child, failing=bool(spec.fail))
+    try:
+        return FailingBlockStore(child, failing=bool(spec.fail))
+    except Exception:
+        child.close()
+        raise
 
 
 def _journal_path_for(child: StoreSpec) -> str:
@@ -449,8 +459,12 @@ def _build_slow(spec: SlowSpec, num_blocks: int, block_size: int) -> BlockStore:
     from repro.storage.replica import DelayedBlockStore
 
     child = build(spec.child, num_blocks=num_blocks, block_size=block_size)
-    return DelayedBlockStore(child, delay_ms=spec.ms if spec.ms is not None
-                             else 0.0)
+    try:
+        return DelayedBlockStore(child, delay_ms=spec.ms if spec.ms is not None
+                                 else 0.0)
+    except Exception:
+        child.close()
+        raise
 
 
 def _build_metered(

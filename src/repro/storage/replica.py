@@ -116,6 +116,13 @@ class ReplicatedBlockStore(BlockStore):
             raise InvalidArgument("replica hedge_ms must be >= 0")
         super().__init__(min(c.num_blocks for c in children), block_size)
         self.children = list(children)
+        #: Quorum-overlap classification, decided *before* the quorums
+        #: are kept: reads are strongly consistent iff every read
+        #: quorum intersects every write quorum (W + R > N).
+        #: Non-overlapping configs (w=1&r=1 fan-out) are a supported
+        #: eventual-consistency mode, so this is recorded and surfaced
+        #: in stats rather than rejected.
+        self.consistent_quorums = write_quorum + read_quorum > n
         self.write_quorum = write_quorum
         self.read_quorum = read_quorum
         self.fanout = n if fanout is None else min(int(fanout), n)
@@ -714,6 +721,7 @@ class ReplicatedBlockStore(BlockStore):
                 "hedged_reads": self.replica_stats.hedged_reads,
                 "write_quorum": self.write_quorum,
                 "read_quorum": self.read_quorum,
+                "consistent_quorums": float(self.consistent_quorums),
             }
 
     def describe(self) -> str:

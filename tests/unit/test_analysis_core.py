@@ -136,6 +136,8 @@ class TestRunLint:
         assert set(checkers) == {
             "lock-discipline", "lock-order", "rpc-drift",
             "error-taxonomy", "registry-coverage",
+            "fsync-ordering", "span-propagation",
+            "quorum-arithmetic", "resource-leak",
         }
         for factory in checkers.values():
             assert factory.description

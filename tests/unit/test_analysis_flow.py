@@ -1,0 +1,232 @@
+"""CFG construction and must-facts dataflow (repro.analysis.flow).
+
+The v2 checkers are only as sound as the core they share, so these
+tests pin the flow semantics directly: joins intersect, loops may run
+zero times, exceptional edges propagate the *pre*-state, and abrupt
+exits prune paths.  The gen function used throughout is deliberately
+trivial — ``x = ...`` establishes the fact ``x`` — so every assertion
+reads as "which assignments dominate this point".
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.flow import (CFG, build_cfg, header_exprs, must_facts,
+                                 stmt_can_raise)
+
+
+def _fn(source: str) -> ast.FunctionDef:
+    module = ast.parse(textwrap.dedent(source))
+    fn = module.body[0]
+    assert isinstance(fn, ast.FunctionDef)
+    return fn
+
+
+def _assign_gen(stmt: ast.stmt):
+    if isinstance(stmt, ast.Assign):
+        return tuple(
+            t.id for t in stmt.targets if isinstance(t, ast.Name)
+        )
+    return ()
+
+
+def _facts_at_use(source: str) -> frozenset[str]:
+    """Must-facts holding just before the ``use()`` statement."""
+    cfg = build_cfg(_fn(source))
+    facts = must_facts(cfg, _assign_gen)
+    for index, stmt in cfg.statements():
+        if (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and isinstance(stmt.value.func, ast.Name)
+                and stmt.value.func.id == "use"):
+            return facts[index]
+    raise AssertionError("fixture has no use() statement")
+
+
+class TestBuildCfg:
+    def test_every_statement_gets_a_node(self):
+        fn = _fn("""
+            def f():
+                a = 1
+                if a:
+                    b = 2
+                return a
+        """)
+        cfg = build_cfg(fn)
+        for stmt in ast.walk(fn):
+            if isinstance(stmt, ast.stmt) and stmt is not fn:
+                assert cfg.node_of(stmt) is not None
+
+    def test_nested_def_body_is_opaque(self):
+        fn = _fn("""
+            def f():
+                def inner():
+                    hidden = 1
+                return inner
+        """)
+        cfg = build_cfg(fn)
+        inner = fn.body[0]
+        assert isinstance(inner, ast.FunctionDef)
+        assert cfg.node_of(inner) is not None  # the def itself flows
+        assert cfg.node_of(inner.body[0]) is None  # its body does not
+
+    def test_return_reaches_exit(self):
+        fn = _fn("""
+            def f():
+                return 1
+        """)
+        cfg = build_cfg(fn)
+        node = cfg.node_of(fn.body[0])
+        assert node is not None
+        assert CFG.EXIT in cfg.nodes[node].succs
+
+
+class TestStmtCanRaise:
+    @pytest.mark.parametrize("src,expected", [
+        ("x()", True),                 # calls raise
+        ("raise ValueError()", True),
+        ("assert x", True),
+        ("y = obj.attr", True),        # attribute access raises here
+        ("pass", False),
+        ("break", False),
+        ("x = 1", False),
+        ("import os", False),
+    ])
+    def test_classification(self, src, expected):
+        stmt = ast.parse(src).body[0]
+        assert stmt_can_raise(stmt) is expected
+
+    def test_compound_header_only(self):
+        # The if *test* is a plain name: the calls in the body belong to
+        # their own nodes, not the header's.
+        stmt = ast.parse("if flag:\n    danger()").body[0]
+        assert stmt_can_raise(stmt) is False
+        assert header_exprs(stmt) == [stmt.test]
+
+
+class TestMustFacts:
+    def test_straight_line_accumulates(self):
+        facts = _facts_at_use("""
+            def f():
+                a = 1
+                b = 2
+                use()
+        """)
+        assert {"a", "b"} <= facts
+
+    def test_branch_join_intersects(self):
+        facts = _facts_at_use("""
+            def f(flag):
+                if flag:
+                    common = 1
+                    only_then = 2
+                else:
+                    common = 3
+                use()
+        """)
+        assert "common" in facts
+        assert "only_then" not in facts
+
+    def test_if_without_else_drops_body_facts(self):
+        facts = _facts_at_use("""
+            def f(flag):
+                before = 1
+                if flag:
+                    maybe = 2
+                use()
+        """)
+        assert "before" in facts
+        assert "maybe" not in facts
+
+    def test_early_return_prunes_the_other_branch(self):
+        facts = _facts_at_use("""
+            def f(flag):
+                if flag:
+                    a = 1
+                else:
+                    return None
+                use()
+        """)
+        assert "a" in facts  # the returning branch never reaches use()
+
+    def test_loop_body_may_run_zero_times(self):
+        facts = _facts_at_use("""
+            def f(items):
+                before = 1
+                for item in items:
+                    inside = 2
+                use()
+        """)
+        assert "before" in facts  # survives the back edge
+        assert "inside" not in facts  # empty iterable skips the body
+
+    def test_while_true_exits_only_via_break(self):
+        facts = _facts_at_use("""
+            def f(cond):
+                while True:
+                    a = 1
+                    if cond():
+                        break
+                use()
+        """)
+        assert "a" in facts  # no fall-through edge past `while True`
+
+    def test_try_finally_sees_pre_state_on_exception_edge(self):
+        facts = _facts_at_use("""
+            def f(step):
+                try:
+                    a = step()
+                    b = step()
+                finally:
+                    use()
+        """)
+        # `a = step()` can raise before completing, so the finally
+        # cannot count on either fact.
+        assert "a" not in facts
+        assert "b" not in facts
+
+    def test_handler_that_restores_the_fact_keeps_it(self):
+        facts = _facts_at_use("""
+            def f(step, fallback):
+                try:
+                    a = step()
+                except Exception:
+                    a = fallback()
+                use()
+        """)
+        assert "a" in facts  # both the normal and the handler path assign
+
+    def test_handler_that_swallows_loses_the_fact(self):
+        facts = _facts_at_use("""
+            def f(step):
+                try:
+                    a = step()
+                except Exception:
+                    pass
+                use()
+        """)
+        assert "a" not in facts
+
+    def test_with_block_inherits_surrounding_facts(self):
+        facts = _facts_at_use("""
+            def f(lock):
+                a = 1
+                with lock:
+                    use()
+        """)
+        assert "a" in facts
+
+    def test_unreachable_code_is_vacuously_dominated(self):
+        # Design decision pinned: nodes no path reaches keep the full
+        # universe, so rules never fire on dead code.
+        facts = _facts_at_use("""
+            def f():
+                a = 1
+                return a
+                use()
+        """)
+        assert "a" in facts

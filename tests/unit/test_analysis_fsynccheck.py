@@ -1,0 +1,144 @@
+"""fsync-ordering rule: seeded violations and known-good journals.
+
+Each seeded fixture is the *minimal* broken shape (non-vacuity: the
+rule must fire on it), each known-good fixture is the corresponding
+correct idiom from ``repro.storage.journal`` (the rule must stay
+silent).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.core import Project
+from repro.analysis.fsynccheck import FsyncOrderingChecker
+
+
+def _run(tmp_path, source):
+    path = tmp_path / "journal.py"
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    project = Project(tmp_path, [path])
+    return list(FsyncOrderingChecker().run(project))
+
+
+class TestSeededViolations:
+    def test_branch_that_skips_the_log_is_flagged(self, tmp_path):
+        findings = _run(tmp_path, """
+            import os
+
+            class BadJournal:
+                def _fsync(self):
+                    os.fsync(self._fd)
+
+                def _append_transaction(self, items):
+                    self._write_records(items)
+                    self._fsync()
+
+                def _put_many(self, items):
+                    if self._fast_path:
+                        self.child.write_many(items)
+                        return
+                    self._append_transaction(items)
+                    self.child.write_many(items)
+        """)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.rule == "fsync-ordering"
+        assert "_put_many" in f.message
+        assert "self.child.write_many" in f.message
+
+    def test_swallowed_exception_loses_the_fsync(self, tmp_path):
+        # The handler path reaches the child write without the log
+        # append having completed — exactly the exceptional-edge case
+        # the dataflow core exists for.
+        findings = _run(tmp_path, """
+            import os
+
+            class SwallowJournal:
+                def _fsync(self):
+                    os.fsync(self._fd)
+
+                def _put_many(self, items):
+                    try:
+                        self._fsync()
+                    except OSError:
+                        pass
+                    self.child.write_many(items)
+        """)
+        assert len(findings) == 1
+        assert findings[0].rule == "fsync-ordering"
+
+
+class TestKnownGood:
+    def test_log_dominating_every_write_is_clean(self, tmp_path):
+        findings = _run(tmp_path, """
+            import os
+
+            class GoodJournal:
+                def _fsync(self):
+                    os.fsync(self._fd)
+
+                def _append_transaction(self, items):
+                    self._write_records(items)
+                    self._fsync()
+
+                def _put(self, block, data):
+                    self._put_many([(block, data)])
+
+                def _put_many(self, items):
+                    self._append_transaction(items)
+                    self.child.write_many(items)
+        """)
+        assert findings == []
+
+    def test_helper_inherits_the_fact_from_its_call_sites(self, tmp_path):
+        # The child write lives in a helper; every closure call site
+        # holds `logged`, so the helper inherits it (greatest fixpoint).
+        findings = _run(tmp_path, """
+            import os
+
+            class DelegatingJournal:
+                def _fsync(self):
+                    os.fsync(self._fd)
+
+                def _flush_to_child(self, items):
+                    self.child.write_many(items)
+
+                def _put_many(self, items):
+                    self._fsync()
+                    self._flush_to_child(items)
+        """)
+        assert findings == []
+
+    def test_non_journal_wrappers_are_out_of_scope(self, tmp_path):
+        # A plain pass-through wrapper never fsyncs: not journal-shaped,
+        # so its child writes are none of this rule's business.
+        findings = _run(tmp_path, """
+            class PassThrough:
+                def _put(self, block, data):
+                    self.child.write(block, data)
+
+                def _put_many(self, items):
+                    self.child.write_many(items)
+        """)
+        assert findings == []
+
+    def test_replay_paths_are_out_of_scope(self, tmp_path):
+        # _replay writes the child *from* the log; it is reachable only
+        # outside the write entry points, so it must not be flagged.
+        findings = _run(tmp_path, """
+            import os
+
+            class ReplayJournal:
+                def _fsync(self):
+                    os.fsync(self._fd)
+
+                def _replay(self):
+                    for block, data in self._records():
+                        self.child.write(block, data)
+
+                def _put_many(self, items):
+                    self._fsync()
+                    self.child.write_many(items)
+        """)
+        assert findings == []

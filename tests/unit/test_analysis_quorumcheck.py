@@ -1,0 +1,144 @@
+"""quorum-arithmetic rule: W/R/N must be related before the store.
+
+The rule demands proof of *consideration*, not overlap itself —
+``w=1&r=1`` is a supported mode — so the known-good fixtures cover all
+three accepted proof shapes (assert, validating if/raise, recorded
+classification) and the seeded ones each drop exactly one leg.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.core import Project
+from repro.analysis.quorumcheck import QuorumArithmeticChecker
+
+
+def _run(tmp_path, source):
+    path = tmp_path / "replica.py"
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    project = Project(tmp_path, [path])
+    return list(QuorumArithmeticChecker().run(project))
+
+
+class TestSeededViolations:
+    def test_bounds_without_relation_is_flagged(self, tmp_path):
+        # The real bug this rule was built on: W and R each
+        # bounds-checked, never related to N.
+        findings = _run(tmp_path, """
+            class Replica:
+                def __init__(self, children, write_quorum, read_quorum):
+                    n = len(children)
+                    if write_quorum < 1 or write_quorum > n:
+                        raise ValueError("write quorum")
+                    if read_quorum < 1 or read_quorum > n:
+                        raise ValueError("read quorum")
+                    self.write_quorum = write_quorum
+                    self.read_quorum = read_quorum
+        """)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.rule == "quorum-arithmetic"
+        assert "W + R vs N" in f.message
+
+    def test_no_validation_at_all_is_flagged(self, tmp_path):
+        findings = _run(tmp_path, """
+            class Replica:
+                def __init__(self, children, write_quorum, read_quorum):
+                    self.write_quorum = write_quorum
+                    self.read_quorum = read_quorum
+        """)
+        assert len(findings) == 1
+        assert "W >= 1" in findings[0].message
+        assert "R >= 1" in findings[0].message
+
+    def test_relation_on_one_branch_only_is_flagged(self, tmp_path):
+        # Flow-sensitivity: the overlap check on the strict path does
+        # not dominate the store.
+        findings = _run(tmp_path, """
+            class Replica:
+                def __init__(self, children, write_quorum, read_quorum,
+                             strict):
+                    n = len(children)
+                    assert 1 <= write_quorum <= n
+                    assert 1 <= read_quorum <= n
+                    if strict:
+                        assert write_quorum + read_quorum > n
+                    self.write_quorum = write_quorum
+                    self.read_quorum = read_quorum
+        """)
+        assert len(findings) == 1
+        assert "W + R vs N" in findings[0].message
+
+    def test_relation_after_the_store_is_flagged(self, tmp_path):
+        findings = _run(tmp_path, """
+            class Replica:
+                def __init__(self, children, write_quorum, read_quorum):
+                    n = len(children)
+                    assert 1 <= write_quorum <= n
+                    assert 1 <= read_quorum <= n
+                    self.write_quorum = write_quorum
+                    self.read_quorum = read_quorum
+                    assert write_quorum + read_quorum > n
+        """)
+        assert len(findings) == 1
+
+
+class TestKnownGood:
+    def test_asserted_relation_is_clean(self, tmp_path):
+        findings = _run(tmp_path, """
+            class Replica:
+                def __init__(self, children, write_quorum, read_quorum):
+                    n = len(children)
+                    assert 1 <= write_quorum <= n
+                    assert 1 <= read_quorum <= n
+                    assert write_quorum + read_quorum > n
+                    self.write_quorum = write_quorum
+                    self.read_quorum = read_quorum
+        """)
+        assert findings == []
+
+    def test_recorded_classification_is_clean(self, tmp_path):
+        # The production idiom: non-overlap stays legal but becomes a
+        # decision, recorded before the quorums are kept.
+        findings = _run(tmp_path, """
+            class Replica:
+                def __init__(self, children, write_quorum, read_quorum):
+                    n = len(children)
+                    if write_quorum < 1 or write_quorum > n:
+                        raise ValueError("write quorum")
+                    if read_quorum < 1 or read_quorum > n:
+                        raise ValueError("read quorum")
+                    self.consistent_quorums = (
+                        write_quorum + read_quorum > n
+                    )
+                    self.write_quorum = write_quorum
+                    self.read_quorum = read_quorum
+        """)
+        assert findings == []
+
+    def test_require_helper_is_clean(self, tmp_path):
+        findings = _run(tmp_path, """
+            class Replica:
+                def __init__(self, children, write_quorum, read_quorum):
+                    n = len(children)
+                    _require(1 <= write_quorum <= n, "write quorum")
+                    _require(1 <= read_quorum <= n, "read quorum")
+                    _require(write_quorum + read_quorum > n, "overlap")
+                    self.write_quorum = write_quorum
+                    self.read_quorum = read_quorum
+        """)
+        assert findings == []
+
+    def test_keyword_forwarding_does_not_opt_in(self, tmp_path):
+        # Builders that delegate construction (and therefore
+        # validation) never bind the quorums themselves.
+        findings = _run(tmp_path, """
+            def build_replica(spec, children):
+                return Replica(
+                    children,
+                    write_quorum=spec.w,
+                    read_quorum=spec.r,
+                )
+        """)
+        assert findings == []

@@ -3,7 +3,10 @@ shipped baseline — the gate CI enforces, run as a test so a drifting
 checker or a new violation fails close to the change that caused it."""
 
 import json
+import subprocess
 from pathlib import Path
+
+import pytest
 
 from repro.analysis.core import Baseline, run_lint
 from repro.cli import main
@@ -64,3 +67,64 @@ class TestSelfCheck:
         assert raw["version"] == 1
         assert raw["findings"] == []  # src/repro is clean
         del capsys
+
+
+def _git(repo, *argv):
+    subprocess.run(
+        ["git", "-c", "user.email=lint@test", "-c", "user.name=lint",
+         *argv],
+        cwd=repo, check=True, capture_output=True, text=True,
+    )
+
+
+class TestDiffMode:
+    """``--diff REF``: lint only the python files changed vs REF, so a
+    PR gate pays for its own changes, not the whole tree."""
+
+    LEAKY = (
+        "def open_wrapped(uri):\n"
+        "    store = open_store(uri)\n"
+        "    return Wrapper(store)\n"
+    )
+    CLEAN = "def nothing():\n    return None\n"
+
+    @pytest.fixture
+    def repo(self, tmp_path, monkeypatch):
+        (tmp_path / "storage").mkdir()
+        (tmp_path / "storage" / "a.py").write_text(self.CLEAN)
+        # b.py carries a pre-existing violation that --diff must skip.
+        (tmp_path / "storage" / "b.py").write_text(self.LEAKY)
+        _git(tmp_path, "init", "-q")
+        _git(tmp_path, "add", ".")
+        _git(tmp_path, "commit", "-qm", "seed")
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    def test_no_changes_is_a_clean_noop(self, repo, capsys):
+        code = main(["lint", "storage", "--diff", "HEAD"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no changed python files" in out
+
+    def test_only_changed_files_are_linted(self, repo, capsys):
+        (repo / "storage" / "a.py").write_text(self.LEAKY)
+        code = main(["lint", "storage", "--diff", "HEAD"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "storage/a.py" in out  # the new violation gates
+        assert "storage/b.py" not in out  # the old one is out of scope
+
+    def test_changes_outside_the_lint_paths_are_ignored(self, repo,
+                                                        capsys):
+        (repo / "elsewhere").mkdir()
+        (repo / "elsewhere" / "c.py").write_text(self.LEAKY)
+        _git(repo, "add", "elsewhere")
+        code = main(["lint", "storage", "--diff", "HEAD"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no changed python files" in out
+
+    def test_unknown_ref_is_usage_error(self, repo, capsys):
+        code = main(["lint", "storage", "--diff", "no-such-ref"])
+        assert code == 2
+        assert "git diff no-such-ref failed" in capsys.readouterr().err

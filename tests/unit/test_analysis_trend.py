@@ -1,0 +1,91 @@
+"""Lint-trend records (repro.analysis.trend): per-rule counts + deltas."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.trend import delta_line, main, record_from_report
+
+_REPORT = {
+    "version": 1,
+    "rules": ["fsync-ordering", "resource-leak", "span-propagation"],
+    "files_checked": 99,
+    "summary": {
+        "errors": 2, "warnings": 0, "suppressed": 3, "grandfathered": 1,
+    },
+    "findings": [
+        {"rule": "resource-leak"},
+        {"rule": "resource-leak"},
+    ],
+}
+
+
+class TestRecordFromReport:
+    def test_counts_every_selected_rule_including_zero(self):
+        record = record_from_report(_REPORT)
+        assert record["per_rule"] == {
+            "fsync-ordering": 0,
+            "resource-leak": 2,
+            "span-propagation": 0,
+        }
+        assert record["files_checked"] == 99
+        assert record["suppressed"] == 3
+        assert record["grandfathered"] == 1
+
+
+class TestDeltaLine:
+    def test_first_record_has_no_previous(self):
+        cur = record_from_report(_REPORT)
+        assert "first record" in delta_line(None, cur)
+
+    def test_no_change_is_explicit(self):
+        cur = record_from_report(_REPORT)
+        assert delta_line(cur, cur) == "lint-trend: no change vs previous run"
+
+    def test_drift_names_the_rule_and_the_direction(self):
+        prev = record_from_report(_REPORT)
+        nxt = record_from_report({
+            **_REPORT,
+            "summary": {**_REPORT["summary"], "suppressed": 5},
+            "findings": [{"rule": "resource-leak"}],
+        })
+        line = delta_line(prev, nxt)
+        assert "suppressed +2" in line
+        assert "resource-leak -1" in line
+        assert "errors" not in line  # unchanged counters stay silent
+
+    def test_rule_that_stops_running_shows_as_a_drop(self):
+        prev = record_from_report(_REPORT)
+        nxt = record_from_report({
+            **_REPORT, "rules": ["fsync-ordering"], "findings": [],
+        })
+        assert "resource-leak -2" in delta_line(prev, nxt)
+
+
+class TestMain:
+    def test_appends_and_reports_across_runs(self, tmp_path, capsys):
+        report = tmp_path / "lint-trend.json"
+        trend = tmp_path / "LINT_TREND.jsonl"
+        report.write_text(json.dumps(_REPORT))
+
+        assert main([str(report), str(trend)]) == 0
+        assert "first record" in capsys.readouterr().out
+
+        report.write_text(json.dumps({
+            **_REPORT,
+            "findings": _REPORT["findings"] + [{"rule": "fsync-ordering"}],
+            "summary": {**_REPORT["summary"], "errors": 3},
+        }))
+        assert main([str(report), str(trend)]) == 0
+        out = capsys.readouterr().out
+        assert "errors +1" in out
+        assert "fsync-ordering +1" in out
+
+        records = [json.loads(line) for line in
+                   trend.read_text().splitlines()]
+        assert len(records) == 2
+        assert all(r["version"] == 1 for r in records)
+
+    def test_usage_error(self, capsys):
+        assert main(["only-one-arg"]) == 2
+        assert "usage:" in capsys.readouterr().err

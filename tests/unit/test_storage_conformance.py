@@ -1076,3 +1076,24 @@ class TestSpecPipeline:
             assert reopened.block_size == BS
         finally:
             reopened.close()
+
+
+class TestQuorumClassification:
+    """The replica records, before keeping the quorums, whether they
+    overlap (W + R > N) — the invariant that makes reads see the latest
+    acknowledged write.  Non-overlapping configs are still a supported
+    mode (fast, eventually-consistent), but they must be labelled."""
+
+    def test_overlapping_quorums_classified_consistent(self):
+        rep, _ = make_replica(n=3, w=2, r=2)
+        assert rep.consistent_quorums is True
+
+    def test_non_overlapping_quorums_classified_inconsistent(self):
+        rep, _ = make_replica(n=3, w=1, r=1)
+        assert rep.consistent_quorums is False
+
+    def test_classification_surfaces_in_stats(self):
+        rep, _ = make_replica(n=3, w=2, r=2)
+        weak, _ = make_replica(n=2, w=1, r=1)
+        assert rep._extra_stats()["consistent_quorums"] == 1.0
+        assert weak._extra_stats()["consistent_quorums"] == 0.0

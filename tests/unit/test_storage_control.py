@@ -334,3 +334,53 @@ class TestReshard:
                 )
         finally:
             store.close()
+
+
+class TestReshardTracePropagation:
+    """The mover pool runs on fresh threads; an active trace span must
+    be copied into them (contextvars do not flow to pool threads by
+    themselves), or every child write the migration performs is
+    invisible to the trace that requested it."""
+
+    def test_movers_inherit_active_span(self, monkeypatch):
+        from repro.obs.trace import (
+            current_context,
+            new_root_context,
+            use_context,
+        )
+        from repro.storage import control as control_mod
+
+        built = []
+
+        class RecordingStore(MemoryBlockStore):
+            def __init__(self, num_blocks, block_size):
+                super().__init__(num_blocks, block_size)
+                self.write_contexts = []
+
+            def _put_many(self, items):
+                self.write_contexts.append(current_context())
+                super()._put_many(items)
+
+        def recording_build(spec, *, num_blocks, block_size):
+            store = RecordingStore(num_blocks, block_size)
+            built.append(store)
+            return store
+
+        monkeypatch.setattr(control_mod, "build", recording_build)
+
+        old = parse_spec("shard://3")
+        new = parse_spec("shard://4")
+        store = open_store(old, num_blocks=BLOCKS * 4, block_size=BS)
+        try:
+            _fill(store, BLOCKS * 4)
+            ctx = new_root_context()
+            with use_context(ctx):
+                report = reshard(store, old, new)
+            assert report.moved_blocks > 0
+            contexts = [c for s in built for c in s.write_contexts]
+            assert contexts, "no mover writes reached the new child"
+            assert all(c is not None and c.trace_id == ctx.trace_id
+                       for c in contexts), \
+                "reshard mover threads lost the active span context"
+        finally:
+            store.close()

@@ -668,3 +668,50 @@ class TestStampPersistence:
             assert healed.read(0).startswith(b"generation-two")
         finally:
             healed.close()
+
+
+class TestCloseReleasesResources:
+    """close() must release the journal fd and the child even when the
+    final checkpoint fails — otherwise a flaky child at shutdown leaks
+    the WAL fd and leaves the child dangling (and a later reopen of the
+    same journal path replays into it anyway, so holding on buys
+    nothing)."""
+
+    class _FlushBoom(MemoryBlockStore):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self.closed = False
+
+        def flush(self):
+            raise StoreUnavailable("child flush failed at shutdown")
+
+        def close(self):
+            self.closed = True
+            super().close()
+
+    def test_close_releases_fd_and_child_when_checkpoint_fails(
+            self, tmp_path):
+        child = self._FlushBoom(BLOCKS, BS)
+        journal = JournalBlockStore(child, str(tmp_path / "boom.journal"))
+        journal.write(0, b"payload")
+        with pytest.raises(StoreUnavailable):
+            journal.close()  # checkpoint's child.flush raises
+        assert journal._fd == -1, "journal fd leaked past close()"
+        assert child.closed, "child store was never closed"
+        # The log kept its records (checkpoint never truncated), so the
+        # write is still recoverable by a reopen.
+        recovered = MemoryBlockStore(BLOCKS, BS)
+        reopened = JournalBlockStore(recovered,
+                                     str(tmp_path / "boom.journal"))
+        try:
+            assert reopened.read(0).startswith(b"payload")
+        finally:
+            reopened.close()
+
+    def test_close_is_idempotent_after_failed_close(self, tmp_path):
+        child = self._FlushBoom(BLOCKS, BS)
+        journal = JournalBlockStore(child, str(tmp_path / "idem2.journal"))
+        journal.write(1, b"x")
+        with pytest.raises(StoreUnavailable):
+            journal.close()
+        journal.close()  # fd already released: no EBADF, no re-raise
